@@ -1,0 +1,168 @@
+// Package adore is the public API of the ADORE reproduction: a simulated
+// Itanium-2-class machine, an ORC-like static compiler, seventeen SPEC
+// CPU2000-like workloads, and the ADORE dynamic optimizer itself — runtime
+// data-cache prefetching driven by hardware performance-monitoring samples,
+// after Lu et al., "The Performance of Runtime Data Cache Prefetching in a
+// Dynamic Optimization System" (MICRO-36, 2003).
+//
+// Quick start:
+//
+//	bench, _ := adore.Benchmark("mcf", 1.0)
+//	build, _ := adore.Compile(bench.Kernel, adore.CompileOptions())
+//
+//	base, _ := adore.Run(build, adore.RunOptions())          // plain O2
+//	opt, _ := adore.Run(build, adore.WithADORE(adore.RunOptions()))
+//	fmt.Printf("speedup: %.1f%%\n", 100*adore.Speedup(base.CPU.Cycles, opt.CPU.Cycles))
+//
+// The experiment drivers (Fig7, Table1, ...) regenerate every table and
+// figure of the paper's evaluation; `cmd/adore-bench` wraps them.
+//
+// The exported names are aliases of the internal implementation packages,
+// so everything reachable from here is usable without importing internals:
+// isa/asm/program (the simulated target), memsys/cpu/pmu (the machine),
+// compiler (the static side), core (the dynamic optimizer), workloads and
+// harness (the evaluation).
+package adore
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/workloads"
+)
+
+// Workload definition and compilation.
+type (
+	// Kernel is the loop-oriented workload IR accepted by the compiler.
+	Kernel = compiler.Kernel
+	// Array declares one data region of a kernel.
+	Array = compiler.Array
+	// Phase is a repeat-counted sequence of loops.
+	Phase = compiler.Phase
+	// Loop is a one- or two-deep loop nest.
+	Loop = compiler.Loop
+	// Stmt is one loop-body statement.
+	Stmt = compiler.Stmt
+	// Ref is a memory reference (affine, indirect, or pointer-chasing).
+	Ref = compiler.Ref
+	// Init sets a loop-carried temp before the inner loop starts.
+	Init = compiler.Init
+	// BuildOptions are the static compiler knobs (O2/O3, SWP, reserved
+	// registers, profile-guided prefetch filtering).
+	BuildOptions = compiler.Options
+	// Build is compiled output: the program image plus Table 1 metrics.
+	Build = compiler.BuildResult
+)
+
+// The dynamic optimizer.
+type (
+	// Config holds every ADORE parameter: sampling, phase detection,
+	// trace selection, prefetch generation, patching.
+	Config = core.Config
+	// Controller is the dynopt thread.
+	Controller = core.Controller
+	// OptStats aggregates what the optimizer did (Table 2 counters).
+	OptStats = core.Stats
+)
+
+// The machine and harness.
+type (
+	// MachineConfig is the CPU issue model.
+	MachineConfig = cpu.Config
+	// MemoryConfig is the cache hierarchy geometry.
+	MemoryConfig = memsys.HierarchyConfig
+	// SamplingConfig programs the PMU sampler.
+	SamplingConfig = pmu.Config
+	// RunConfig selects what to wire around a workload for one run.
+	RunConfig = harness.RunConfig
+	// Result is the outcome of one run.
+	Result = harness.RunResult
+	// WorkloadInfo describes one of the 17 SPEC2000-like benchmarks.
+	WorkloadInfo = workloads.Benchmark
+)
+
+// Experiment drivers (one per table/figure in the paper's evaluation).
+type (
+	ExpConfig    = harness.ExpConfig
+	Fig7Result   = harness.Fig7Result
+	Table1Result = harness.Table1Result
+	Table2Result = harness.Table2Result
+	SeriesResult = harness.SeriesResult
+	Fig10Result  = harness.Fig10Result
+	Fig11Result  = harness.Fig11Result
+)
+
+// O2 and O3 are the compilation levels of the evaluation.
+const (
+	O2 = compiler.O2
+	O3 = compiler.O3
+)
+
+// Benchmarks returns the 17 paper benchmarks at the given workload scale
+// (1.0 = the standard run lengths).
+func Benchmarks(scale float64) []WorkloadInfo { return workloads.All(scale) }
+
+// Benchmark returns one benchmark by its SPEC name ("mcf", "art", ...).
+func Benchmark(name string, scale float64) (WorkloadInfo, error) {
+	return workloads.ByName(name, scale)
+}
+
+// CompileOptions returns the paper's restricted configuration: O2, no
+// software pipelining, registers r27-r30 and p6 reserved for the runtime
+// optimizer.
+func CompileOptions() BuildOptions { return compiler.DefaultOptions() }
+
+// Compile lowers a kernel to a simulated IA-64 program image.
+func Compile(k *Kernel, opts BuildOptions) (*Build, error) { return compiler.Build(k, opts) }
+
+// DefaultConfig returns ADORE parameters scaled for simulated runs.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// RunOptions returns the standard machine configuration without ADORE.
+func RunOptions() RunConfig { return harness.DefaultRunConfig() }
+
+// WithADORE enables the dynamic optimizer on a run configuration.
+func WithADORE(rc RunConfig) RunConfig {
+	rc.ADORE = true
+	if rc.Core.W == 0 {
+		rc.Core = core.DefaultConfig()
+	}
+	return rc
+}
+
+// Run executes a compiled workload.
+func Run(b *Build, rc RunConfig) (*Result, error) { return harness.Run(b, rc) }
+
+// Speedup returns base/test - 1 (positive: test is faster).
+func Speedup(baseCycles, testCycles uint64) float64 {
+	return harness.Speedup(baseCycles, testCycles)
+}
+
+// Experiments returns a default full-scale experiment configuration.
+func Experiments() ExpConfig { return harness.DefaultExpConfig() }
+
+// Fig7 regenerates Fig. 7(a) (level O2) or 7(b) (level O3).
+func Fig7(cfg ExpConfig, level compiler.OptLevel) (*Fig7Result, error) {
+	return harness.RunFig7(cfg, level)
+}
+
+// Table1 regenerates the profile-guided static prefetching comparison.
+func Table1(cfg ExpConfig) (*Table1Result, error) { return harness.RunTable1(cfg) }
+
+// Table2 regenerates the prefetch pattern analysis.
+func Table2(cfg ExpConfig) (*Table2Result, error) { return harness.RunTable2(cfg) }
+
+// Series regenerates the Fig. 8 (art) / Fig. 9 (mcf) time series for any
+// benchmark.
+func Series(cfg ExpConfig, name string) (*SeriesResult, error) {
+	return harness.RunSeries(cfg, name)
+}
+
+// Fig10 regenerates the register-reservation/SWP impact comparison.
+func Fig10(cfg ExpConfig) (*Fig10Result, error) { return harness.RunFig10(cfg) }
+
+// Fig11 regenerates the monitoring-overhead measurement.
+func Fig11(cfg ExpConfig) (*Fig11Result, error) { return harness.RunFig11(cfg) }

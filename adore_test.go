@@ -1,0 +1,120 @@
+package adore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeBenchmarkRegistry(t *testing.T) {
+	all := Benchmarks(0.05)
+	if len(all) != 17 {
+		t.Fatalf("benchmarks = %d", len(all))
+	}
+	if _, err := Benchmark("mcf", 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Benchmark("bogus", 0.05); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeCompileRun(t *testing.T) {
+	bench, err := Benchmark("gzip", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := Compile(bench.Kernel, CompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(build, RunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Retired == 0 {
+		t.Fatal("nothing executed")
+	}
+}
+
+func TestFacadeKernelDSL(t *testing.T) {
+	k := &Kernel{
+		Name: "dsl",
+		Arrays: []Array{
+			{Name: "a", Elem: 8, N: 1 << 10, Init: InitLinear(2, 1)},
+			{Name: "idx", Elem: 4, N: 1 << 10, Init: InitLinearMod(7, 0, 1<<10)},
+			{Name: "chain", N: 64, Init: InitChain(64, 8, 0, 5)},
+		},
+		Phases: []Phase{{
+			Name:   "main",
+			Repeat: 2,
+			Loops: []*Loop{{
+				Name:      "mix",
+				OuterTrip: 1,
+				InnerTrip: 64,
+				Body: []Stmt{
+					Load("i", "idx", 4, 4),
+					Gather("v", "a", "i", 8, 8),
+					LoadPtr("p", "p", 8),
+					{Kind: SAdd, Dst: "s", A: "s", B: "v"},
+					Store("s", "a", 0, 8),
+					LoadF("f", "a", 8),
+					{Kind: SFMA, Dst: "g", A: "f", B: "g", C: "g"},
+					StoreF("g", "a", 0),
+				},
+				Inits: []Init{
+					InitPtr("p", "chain", 0),
+					InitImm("s", 0),
+				},
+				FloatTemps: []string{"g"},
+			}},
+		}},
+	}
+	build, err := Compile(k, CompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(build, RunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPU.Loads == 0 || res.CPU.Stores == 0 {
+		t.Fatalf("DSL kernel did nothing: %+v", res.CPU)
+	}
+}
+
+func TestFacadeWithADORE(t *testing.T) {
+	rc := WithADORE(RunOptions())
+	if !rc.ADORE || rc.Core.W == 0 {
+		t.Fatalf("WithADORE misconfigured: %+v", rc.Core)
+	}
+}
+
+func TestFacadeSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 1.0 {
+		t.Fatalf("Speedup(200,100) = %v", got)
+	}
+	if got := Speedup(100, 200); got != -0.5 {
+		t.Fatalf("Speedup(100,200) = %v", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Fatalf("Speedup(100,0) = %v", got)
+	}
+}
+
+func TestExperimentRendersMentionPaperArtifacts(t *testing.T) {
+	cfg := Experiments()
+	cfg.Scale = 0.05
+	f, err := Fig7(cfg, O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := f.Render()
+	for _, want := range []string{"Figure 7", "mcf", "swim", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if len(f.Rows) != 17 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+}

@@ -1,0 +1,94 @@
+// adore-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|all] [-scale 1.0]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full runs)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	cfg := harness.DefaultExpConfig()
+	cfg.Scale = *scale
+
+	results := map[string]any{}
+	run := func(name string, f func() (renderer, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			results[name] = out
+			return
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out.Render())
+	}
+	defer func() {
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}()
+
+	run("fig7a", func() (renderer, error) {
+		r, err := harness.RunFig7(cfg, compiler.O2)
+		return r, err
+	})
+	run("fig7b", func() (renderer, error) {
+		r, err := harness.RunFig7(cfg, compiler.O3)
+		return r, err
+	})
+	run("table1", func() (renderer, error) {
+		r, err := harness.RunTable1(cfg)
+		return r, err
+	})
+	run("table2", func() (renderer, error) {
+		r, err := harness.RunTable2(cfg)
+		return r, err
+	})
+	run("fig8", func() (renderer, error) {
+		r, err := harness.RunSeries(cfg, "art")
+		return r, err
+	})
+	run("fig9", func() (renderer, error) {
+		r, err := harness.RunSeries(cfg, "mcf")
+		return r, err
+	})
+	run("fig10", func() (renderer, error) {
+		r, err := harness.RunFig10(cfg)
+		return r, err
+	})
+	run("fig11", func() (renderer, error) {
+		r, err := harness.RunFig11(cfg)
+		return r, err
+	})
+}
+
+// renderer is any experiment result that can print itself as text.
+type renderer interface{ Render() string }

@@ -1,0 +1,82 @@
+// adore-profile collects a cache-miss sampling profile of a workload (the
+// Table 1 training run), prints the per-loop miss latency breakdown, and
+// shows which loops a profile-guided recompilation would keep.
+//
+// Usage:
+//
+//	adore-profile -bench gcc [-scale 1.0] [-cover 0.98]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("bench", "gcc", "benchmark: "+strings.Join(workloads.Names(), " "))
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	flag.Parse()
+
+	bench, err := adore.Benchmark(*name, *scale)
+	fatal(err)
+	build, err := adore.Compile(bench.Kernel, adore.CompileOptions())
+	fatal(err)
+
+	rc := adore.RunOptions()
+	rc.Core = adore.DefaultConfig()
+	pr, err := harness.RunProfiled(build, rc)
+	fatal(err)
+
+	type agg struct {
+		loop   string
+		id     int
+		pfable bool
+		events int
+		lat    uint64
+	}
+	perLoop := map[int]*agg{}
+	var total uint64
+	outside := 0
+	for _, ev := range pr.DearEvents {
+		l, ok := build.Image.LoopAt(ev.PC)
+		if !ok {
+			outside++
+			continue
+		}
+		a := perLoop[l.ID]
+		if a == nil {
+			a = &agg{loop: l.Name, id: l.ID, pfable: l.Prefetchable}
+			perLoop[l.ID] = a
+		}
+		a.events++
+		a.lat += uint64(ev.Latency)
+		total += uint64(ev.Latency)
+	}
+	rows := make([]*agg, 0, len(perLoop))
+	for _, a := range perLoop {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].lat > rows[j].lat })
+
+	fmt.Printf("miss profile of %s: %d DEAR events, %d outside loops\n",
+		bench.Name, len(pr.DearEvents), outside)
+	fmt.Printf("%-4s %-16s %12s %14s %8s %12s\n", "id", "loop", "events", "total latency", "share", "prefetchable")
+	for _, a := range rows {
+		fmt.Printf("%-4d %-16s %12d %14d %7.1f%% %12v\n",
+			a.id, a.loop, a.events, a.lat, 100*float64(a.lat)/float64(total), a.pfable)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// adore-trace runs a workload under ADORE and dumps what the optimizer
+// did: each optimization attempt with its delinquent loads and pattern
+// classification, the installed patches, and the disassembled trace pool.
+//
+// Usage:
+//
+//	adore-trace -bench mcf [-scale 0.3] [-pool]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("bench", "mcf", "benchmark: "+strings.Join(workloads.Names(), " "))
+	scale := flag.Float64("scale", 0.3, "workload scale factor")
+	dumpPool := flag.Bool("pool", false, "disassemble the trace pool at exit")
+	flag.Parse()
+
+	bench, err := adore.Benchmark(*name, *scale)
+	fatal(err)
+	build, err := adore.Compile(bench.Kernel, adore.CompileOptions())
+	fatal(err)
+	img := build.Image
+
+	code := program.NewCodeSpace()
+	seg := &program.Segment{Name: img.Name, Base: img.Code.Base,
+		Bundles: append([]isa.Bundle{}, img.Code.Bundles...)}
+	fatal(code.AddSegment(seg))
+	mem := memsys.NewMemory()
+	img.InitData(mem)
+	hier := memsys.NewHierarchy(memsys.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	p := pmu.New(ccfg.Sampling)
+	m := cpu.New(cpu.DefaultConfig(), code, mem, hier, p)
+	m.SetPC(img.Entry)
+	ctrl, err := core.NewController(ccfg, code, p)
+	fatal(err)
+
+	ctrl.OnOptimize = func(t *core.Trace, loads []core.DelinquentLoad, res core.OptimizeResult) {
+		fmt.Printf("[%12d] optimize trace @%#x (loop=%v, %d bundles, %d insts)\n",
+			m.Now(), t.Start, t.IsLoop, len(t.Bundles), t.InstCount())
+		for _, dl := range loads {
+			fmt.Printf("  delinquent load pc=%#x: %d events, avg latency %.0f cycles\n",
+				dl.PC, dl.Count, dl.AvgLatency)
+		}
+		fmt.Printf("  inserted: %d direct, %d indirect, %d pointer-chasing (failures %d, skipped %d)\n",
+			res.Direct, res.Indirect, res.Pointer, res.Failures, res.Skipped)
+	}
+	ctrl.Attach(m)
+	st, err := m.Run(5_000_000_000)
+	fatal(err)
+
+	fmt.Printf("\nrun: %d cycles, %d instructions (CPI %.3f)\n", st.Cycles, st.Retired, st.CPI())
+	fmt.Printf("ADORE: %+v\n", ctrl.Stats)
+	for _, rec := range ctrl.Patches() {
+		fmt.Printf("patch @%#x -> trace %#x..%#x (active %v)\n", rec.Entry, rec.TraceAddr, rec.TraceEnd, rec.Active)
+	}
+	if *dumpPool {
+		for _, s := range code.Segments() {
+			if s.Name != "trace-pool" {
+				continue
+			}
+			n := ctrl.Pool().Used()
+			sub := &program.Segment{Name: s.Name, Base: s.Base, Bundles: s.Bundles[:n]}
+			fmt.Printf("\ntrace pool (%d bundles):\n%s", n, program.Listing(sub))
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

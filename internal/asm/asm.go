@@ -1,0 +1,446 @@
+// Package asm provides an assembler for the simulated IA-64-like ISA: it
+// accepts a linear instruction stream with symbolic labels, packs it into
+// bundles with automatically chosen templates, and resolves branch targets
+// to bundle addresses. Labels always start a fresh bundle (branch targets
+// are bundle-aligned, as on IA-64) and a branch always ends its bundle.
+//
+// The compiler (internal/compiler), the hand-written example kernels and
+// ADORE's own prefetch-code emitter all build code through this package.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Builder accumulates instructions and produces bundles.
+type Builder struct {
+	base    uint64
+	pending []pendingInst
+	labels  map[string]int // label -> index into pending where it binds
+	err     error
+}
+
+type pendingInst struct {
+	in    isa.Inst
+	label string // branch target to resolve, "" if none
+	align uint64 // when non-zero: padding marker, in/label unused
+}
+
+// New returns a Builder assembling code at the given base address, which
+// must be 16-byte aligned.
+func New(base uint64) *Builder {
+	b := &Builder{base: base, labels: make(map[string]int)}
+	if base%isa.BundleBytes != 0 {
+		b.err = fmt.Errorf("asm: base %#x not bundle-aligned", base)
+	}
+	return b
+}
+
+// Label binds name to the next emitted instruction, forcing a bundle break.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("asm: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.pending)
+}
+
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Emit appends one instruction.
+func (b *Builder) Emit(in isa.Inst) {
+	b.pending = append(b.pending, pendingInst{in: in})
+}
+
+// Align pads with nop bundles until the next bundle address is a multiple
+// of n (a power of two). Loop bodies are aligned so that distinct hot
+// regions are far apart in the address space, as they are in real
+// binaries where each loop lives in its own function.
+func (b *Builder) Align(n uint64) {
+	if n == 0 {
+		return
+	}
+	if n%isa.BundleBytes != 0 || n&(n-1) != 0 {
+		b.setErr(fmt.Errorf("asm: bad alignment %d", n))
+		return
+	}
+	b.pending = append(b.pending, pendingInst{align: n})
+}
+
+// EmitBranch appends a branch whose Target resolves to label at Build time.
+func (b *Builder) EmitBranch(in isa.Inst, label string) {
+	if !isa.IsBranch(in.Op) {
+		b.setErr(fmt.Errorf("asm: EmitBranch with non-branch op %s", in.Op))
+		return
+	}
+	b.pending = append(b.pending, pendingInst{in: in, label: label})
+}
+
+// Convenience emitters. Register argument order mirrors the disassembly:
+// destination first.
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.Emit(isa.Nop) }
+
+// Add emits r1 = r2 + r3.
+func (b *Builder) Add(r1, r2, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpAdd, R1: r1, R2: r2, R3: r3})
+}
+
+// Sub emits r1 = r2 - r3.
+func (b *Builder) Sub(r1, r2, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpSub, R1: r1, R2: r2, R3: r3})
+}
+
+// AddI emits r1 = imm + r3.
+func (b *Builder) AddI(r1 isa.Reg, imm int64, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpAddI, R1: r1, Imm: imm, R3: r3})
+}
+
+// Mov emits r1 = r3.
+func (b *Builder) Mov(r1, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpMov, R1: r1, R3: r3})
+}
+
+// MovI emits r1 = imm (movl, occupying an MLX bundle).
+func (b *Builder) MovI(r1 isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: isa.OpMovI, R1: r1, Imm: imm})
+}
+
+// ShlAdd emits r1 = (r2 << count) + r3.
+func (b *Builder) ShlAdd(r1, r2 isa.Reg, count int64, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpShlAdd, R1: r1, R2: r2, Imm: count, R3: r3})
+}
+
+// Shl emits r1 = r2 << count.
+func (b *Builder) Shl(r1, r2 isa.Reg, count int64) {
+	b.Emit(isa.Inst{Op: isa.OpShl, R1: r1, R2: r2, Imm: count})
+}
+
+// Shr emits r1 = r2 >> count (logical).
+func (b *Builder) Shr(r1, r2 isa.Reg, count int64) {
+	b.Emit(isa.Inst{Op: isa.OpShr, R1: r1, R2: r2, Imm: count})
+}
+
+// Ld emits a load of size bytes: r1 = [r3], post-incrementing r3 by inc.
+func (b *Builder) Ld(size int, r1, r3 isa.Reg, inc int64) {
+	var op isa.Op
+	switch size {
+	case 1:
+		op = isa.OpLd1
+	case 2:
+		op = isa.OpLd2
+	case 4:
+		op = isa.OpLd4
+	case 8:
+		op = isa.OpLd8
+	default:
+		b.setErr(fmt.Errorf("asm: bad load size %d", size))
+		return
+	}
+	b.Emit(isa.Inst{Op: op, R1: r1, R3: r3, PostInc: inc})
+}
+
+// LdS emits a speculative non-faulting load r1 = [r3].
+func (b *Builder) LdS(r1, r3 isa.Reg, inc int64) {
+	b.Emit(isa.Inst{Op: isa.OpLdS, R1: r1, R3: r3, PostInc: inc})
+}
+
+// St emits a store of size bytes: [r3] = r2, post-incrementing r3 by inc.
+func (b *Builder) St(size int, r3, r2 isa.Reg, inc int64) {
+	var op isa.Op
+	switch size {
+	case 1:
+		op = isa.OpSt1
+	case 2:
+		op = isa.OpSt2
+	case 4:
+		op = isa.OpSt4
+	case 8:
+		op = isa.OpSt8
+	default:
+		b.setErr(fmt.Errorf("asm: bad store size %d", size))
+		return
+	}
+	b.Emit(isa.Inst{Op: op, R2: r2, R3: r3, PostInc: inc})
+}
+
+// Lfetch emits a prefetch of the line at [r3], post-incrementing by inc.
+func (b *Builder) Lfetch(r3 isa.Reg, inc int64) {
+	b.Emit(isa.Inst{Op: isa.OpLfetch, R3: r3, PostInc: inc})
+}
+
+// LdF emits f1 = [r3] (double).
+func (b *Builder) LdF(f1 isa.FReg, r3 isa.Reg, inc int64) {
+	b.Emit(isa.Inst{Op: isa.OpLdF, F1: f1, R3: r3, PostInc: inc})
+}
+
+// StF emits [r3] = f1 (double).
+func (b *Builder) StF(r3 isa.Reg, f1 isa.FReg, inc int64) {
+	b.Emit(isa.Inst{Op: isa.OpStF, F1: f1, R3: r3, PostInc: inc})
+}
+
+// Fma emits f1 = f2*f3 + f4.
+func (b *Builder) Fma(f1, f2, f3, f4 isa.FReg) {
+	b.Emit(isa.Inst{Op: isa.OpFma, F1: f1, F2: f2, F3: f3, F4: f4})
+}
+
+// FAdd emits f1 = f2 + f3.
+func (b *Builder) FAdd(f1, f2, f3 isa.FReg) {
+	b.Emit(isa.Inst{Op: isa.OpFAdd, F1: f1, F2: f2, F3: f3})
+}
+
+// FMul emits f1 = f2 * f3.
+func (b *Builder) FMul(f1, f2, f3 isa.FReg) {
+	b.Emit(isa.Inst{Op: isa.OpFMul, F1: f1, F2: f2, F3: f3})
+}
+
+// FSub emits f1 = f2 - f3.
+func (b *Builder) FSub(f1, f2, f3 isa.FReg) {
+	b.Emit(isa.Inst{Op: isa.OpFSub, F1: f1, F2: f2, F3: f3})
+}
+
+// GetF emits r1 = bits(f2).
+func (b *Builder) GetF(r1 isa.Reg, f2 isa.FReg) {
+	b.Emit(isa.Inst{Op: isa.OpGetF, R1: r1, F2: f2})
+}
+
+// SetF emits f1 = bits(r2).
+func (b *Builder) SetF(f1 isa.FReg, r2 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpSetF, F1: f1, R2: r2})
+}
+
+// FCvtFX emits r1 = int64(f2).
+func (b *Builder) FCvtFX(r1 isa.Reg, f2 isa.FReg) {
+	b.Emit(isa.Inst{Op: isa.OpFCvtFX, R1: r1, F2: f2})
+}
+
+// FCvtXF emits f1 = float64(r2).
+func (b *Builder) FCvtXF(f1 isa.FReg, r2 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpFCvtXF, F1: f1, R2: r2})
+}
+
+// Cmp emits p1, p2 = r2 REL r3.
+func (b *Builder) Cmp(rel isa.CmpRel, p1, p2 isa.PReg, r2, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpCmp, Rel: rel, P1: p1, P2: p2, R2: r2, R3: r3})
+}
+
+// CmpI emits p1, p2 = imm REL r3.
+func (b *Builder) CmpI(rel isa.CmpRel, p1, p2 isa.PReg, imm int64, r3 isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpCmpI, Rel: rel, P1: p1, P2: p2, Imm: imm, R3: r3})
+}
+
+// Br emits an unconditional branch to label.
+func (b *Builder) Br(label string) {
+	b.EmitBranch(isa.Inst{Op: isa.OpBr}, label)
+}
+
+// BrCond emits a branch to label taken when predicate qp is true.
+func (b *Builder) BrCond(qp isa.PReg, label string) {
+	b.EmitBranch(isa.Inst{Op: isa.OpBrCond, QP: qp}, label)
+}
+
+// BrCondSWP emits a software-pipelined loop back edge (see isa.Inst.SWPLoop).
+func (b *Builder) BrCondSWP(qp isa.PReg, label string) {
+	b.EmitBranch(isa.Inst{Op: isa.OpBrCond, QP: qp, SWPLoop: true}, label)
+}
+
+// BrCall emits a call to label with the return PC in breg.
+func (b *Builder) BrCall(breg isa.BReg, label string) {
+	b.EmitBranch(isa.Inst{Op: isa.OpBrCall, B: breg}, label)
+}
+
+// BrRet emits a return through breg.
+func (b *Builder) BrRet(breg isa.BReg) {
+	b.Emit(isa.Inst{Op: isa.OpBrRet, B: breg})
+}
+
+// Halt emits the machine-stop instruction.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Alloc emits a register-stack allocation marker.
+func (b *Builder) Alloc() { b.Emit(isa.Inst{Op: isa.OpAlloc}) }
+
+// Result is assembled code: bundles, the base address, and resolved labels.
+type Result struct {
+	Base    uint64
+	Bundles []isa.Bundle
+	Labels  map[string]uint64 // label -> bundle address
+}
+
+// AddrOf returns the resolved address of label.
+func (r *Result) AddrOf(label string) (uint64, bool) {
+	a, ok := r.Labels[label]
+	return a, ok
+}
+
+// Build packs the instruction stream into bundles and resolves labels.
+func (b *Builder) Build() (*Result, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Invert the label map: instruction index -> labels bound there.
+	labelAt := make(map[int][]string)
+	for name, idx := range b.labels {
+		labelAt[idx] = append(labelAt[idx], name)
+	}
+
+	res := &Result{Base: b.base, Labels: make(map[string]uint64)}
+	type fixup struct {
+		bundle, slot int
+		label        string
+	}
+	var fixups []fixup
+
+	cur := make([]pendingInst, 0, 3)
+	flush := func() error {
+		if len(cur) == 0 {
+			return nil
+		}
+		bundle, slotOf, err := packBundle(cur)
+		if err != nil {
+			return err
+		}
+		for i, p := range cur {
+			if p.label != "" {
+				fixups = append(fixups, fixup{bundle: len(res.Bundles), slot: slotOf[i], label: p.label})
+			}
+		}
+		res.Bundles = append(res.Bundles, bundle)
+		cur = cur[:0]
+		return nil
+	}
+
+	for i, p := range b.pending {
+		if names := labelAt[i]; len(names) > 0 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			addr := b.base + uint64(len(res.Bundles))*isa.BundleBytes
+			for _, n := range names {
+				res.Labels[n] = addr
+			}
+		}
+		if p.align != 0 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			for (b.base+uint64(len(res.Bundles))*isa.BundleBytes)%p.align != 0 {
+				res.Bundles = append(res.Bundles, isa.NopBundle())
+			}
+			continue
+		}
+		// movl needs slots 1-2 of an MLX bundle: it can only follow at
+		// most one prior instruction in the bundle.
+		if isa.UnitOf(p.in.Op) == isa.UnitLX && len(cur) > 1 {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		if !fitsWith(cur, p) {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		cur = append(cur, p)
+		if isa.IsBranch(p.in.Op) || isa.UnitOf(p.in.Op) == isa.UnitLX {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	// Labels bound past the last instruction point just after the code.
+	if names := labelAt[len(b.pending)]; len(names) > 0 {
+		addr := b.base + uint64(len(res.Bundles))*isa.BundleBytes
+		for _, n := range names {
+			res.Labels[n] = addr
+		}
+	}
+
+	for _, f := range fixups {
+		addr, ok := res.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		res.Bundles[f.bundle].Slots[f.slot].Target = addr
+	}
+	for i := range res.Bundles {
+		if err := res.Bundles[i].Validate(); err != nil {
+			return nil, fmt.Errorf("asm: bundle %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// fitsWith reports whether appending p to the in-progress bundle can still
+// be packed into some template.
+func fitsWith(cur []pendingInst, p pendingInst) bool {
+	if len(cur) >= 3 {
+		return false
+	}
+	trial := make([]pendingInst, len(cur)+1)
+	copy(trial, cur)
+	trial[len(cur)] = p
+	_, _, err := packBundle(trial)
+	return err == nil
+}
+
+// packBundle places up to three instructions into a bundle, padding with
+// nops, and returns the slot index of each input instruction.
+func packBundle(insts []pendingInst) (isa.Bundle, []int, error) {
+	if len(insts) > 3 {
+		return isa.Bundle{}, nil, fmt.Errorf("asm: %d instructions in one bundle", len(insts))
+	}
+	// movl case: must sit at slot 1 of MLX with an optional M/A op at slot 0.
+	for i, p := range insts {
+		if isa.UnitOf(p.in.Op) == isa.UnitLX {
+			if i > 1 || len(insts) > i+1 {
+				return isa.Bundle{}, nil, fmt.Errorf("asm: movl must end its bundle")
+			}
+			bundle := isa.Bundle{Tmpl: isa.TmplMLX}
+			slots := make([]int, len(insts))
+			if i == 1 {
+				first := insts[0].in
+				if !isa.SlotAccepts(isa.UnitM, isa.UnitOf(first.Op)) {
+					return isa.Bundle{}, nil, fmt.Errorf("asm: %s cannot precede movl in MLX", first.Op)
+				}
+				bundle.Slots[0] = first
+				slots[0] = 0
+			}
+			bundle.Slots[1] = p.in
+			slots[i] = 1
+			return bundle, slots, nil
+		}
+	}
+
+	// General case: preserve program order but allow nop padding —
+	// e.g. a bundle-leading FP op must sit in slot 1 of MFI, since
+	// IA-64 has no F-first template. Greedily assign each instruction
+	// the earliest acceptable slot of each candidate template.
+	tmpl, slots, ok := isa.AssignSlots(unitsOf(insts))
+	if !ok {
+		return isa.Bundle{}, nil, fmt.Errorf("asm: no template for units %v", unitsOf(insts))
+	}
+	bundle := isa.Bundle{Tmpl: tmpl}
+	for i, p := range insts {
+		bundle.Slots[slots[i]] = p.in
+	}
+	return bundle, slots, nil
+}
+
+func unitsOf(insts []pendingInst) []isa.Unit {
+	us := make([]isa.Unit, len(insts))
+	for i, p := range insts {
+		us[i] = isa.UnitOf(p.in.Op)
+	}
+	return us
+}

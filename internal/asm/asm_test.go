@@ -1,0 +1,223 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsStartBundles(t *testing.T) {
+	b := New(0x1000)
+	b.AddI(4, 1, 4)
+	b.AddI(5, 1, 5)
+	b.Label("loop")
+	b.AddI(6, 1, 6)
+	b.CmpI(isa.CmpLt, 1, 2, 100, 6)
+	b.BrCond(1, "loop")
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := r.AddrOf("loop")
+	if !ok {
+		t.Fatal("label missing")
+	}
+	if addr != 0x1010 {
+		t.Fatalf("loop at %#x, want 0x1010", addr)
+	}
+	// The branch's target must be resolved.
+	found := false
+	for _, bd := range r.Bundles {
+		for _, in := range bd.Slots {
+			if in.Op == isa.OpBrCond {
+				found = true
+				if in.Target != addr {
+					t.Fatalf("branch target %#x, want %#x", in.Target, addr)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("branch not emitted")
+	}
+}
+
+func TestBranchEndsBundle(t *testing.T) {
+	b := New(0)
+	b.Label("top")
+	b.AddI(4, 1, 4)
+	b.Br("top")
+	b.AddI(5, 1, 5)
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// add+br fit one bundle; the trailing add must start a new bundle.
+	if len(r.Bundles) != 2 {
+		t.Fatalf("bundles = %d, want 2", len(r.Bundles))
+	}
+	if !isa.IsBranch(r.Bundles[0].Slots[1].Op) && !isa.IsBranch(r.Bundles[0].Slots[2].Op) {
+		t.Fatalf("first bundle has no branch: %v", r.Bundles[0])
+	}
+}
+
+func TestMovlGetsMLX(t *testing.T) {
+	b := New(0)
+	b.MovI(4, 1<<40)
+	b.MovI(5, 2<<40)
+	b.AddI(6, 1, 6)
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Bundles[0].Tmpl != isa.TmplMLX || r.Bundles[1].Tmpl != isa.TmplMLX {
+		t.Fatalf("templates = %v %v", r.Bundles[0].Tmpl, r.Bundles[1].Tmpl)
+	}
+}
+
+func TestTwoLoadsShareBundle(t *testing.T) {
+	b := New(0)
+	b.Ld(8, 4, 10, 0)
+	b.Ld(8, 5, 11, 0)
+	b.AddI(6, 1, 6)
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bundles) != 1 || r.Bundles[0].Tmpl != isa.TmplMMI {
+		t.Fatalf("got %d bundles, first %v", len(r.Bundles), r.Bundles[0])
+	}
+}
+
+func TestThreeMemOpsSplit(t *testing.T) {
+	b := New(0)
+	b.Ld(8, 4, 10, 0)
+	b.Ld(8, 5, 11, 0)
+	b.Ld(8, 6, 12, 0)
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bundles) != 2 {
+		t.Fatalf("bundles = %d, want 2 (no MMM template)", len(r.Bundles))
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := New(0)
+	b.Br("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := New(0)
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+}
+
+func TestUnalignedBaseFails(t *testing.T) {
+	b := New(8)
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+}
+
+func TestAllBundlesValid(t *testing.T) {
+	b := New(0)
+	b.MovI(10, 0x10000)
+	b.Label("loop")
+	b.LdF(2, 10, 8)
+	b.Fma(3, 2, 1, 3)
+	b.StF(11, 3, 8)
+	b.Lfetch(12, 64)
+	b.AddI(4, -1, 4)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 4)
+	b.BrCond(1, "loop")
+	b.Halt()
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bd := range r.Bundles {
+		if err := bd.Validate(); err != nil {
+			t.Errorf("bundle %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestLabelAtEnd(t *testing.T) {
+	b := New(0)
+	b.Nop()
+	b.Label("end")
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, ok := r.AddrOf("end"); !ok || a != uint64(len(r.Bundles))*isa.BundleBytes {
+		t.Fatalf("end label = %#x, %v", a, ok)
+	}
+}
+
+func TestAlignPadsWithNops(t *testing.T) {
+	b := New(0)
+	b.Nop()
+	b.Align(64) // 4 bundles
+	b.Label("aligned")
+	b.AddI(4, 1, 4)
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := r.AddrOf("aligned")
+	if !ok || addr != 64 {
+		t.Fatalf("aligned label at %#x, want 0x40", addr)
+	}
+	// Padding bundles are pure nops.
+	for i := 1; i < 4; i++ {
+		for _, in := range r.Bundles[i].Slots {
+			if in.Op != isa.OpNop {
+				t.Fatalf("padding bundle %d contains %v", i, in)
+			}
+		}
+	}
+}
+
+func TestAlignNoOpWhenAlreadyAligned(t *testing.T) {
+	b := New(0)
+	b.Align(64)
+	b.Label("start")
+	b.Nop()
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := r.AddrOf("start"); a != 0 {
+		t.Fatalf("start at %#x", a)
+	}
+	if len(r.Bundles) != 1 {
+		t.Fatalf("bundles = %d", len(r.Bundles))
+	}
+}
+
+func TestAlignRejectsBadValues(t *testing.T) {
+	b := New(0)
+	b.Align(48) // not a power of two
+	b.Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("bad alignment accepted")
+	}
+	b2 := New(0)
+	b2.Align(8) // smaller than a bundle
+	b2.Nop()
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("sub-bundle alignment accepted")
+	}
+}

@@ -1,0 +1,911 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// OptLevel selects the compilation level.
+type OptLevel uint8
+
+const (
+	// O2 performs no static data prefetching (ORC's default below O3).
+	O2 OptLevel = iota
+	// O3 enables Mowry-style static prefetching for analyzable loops.
+	O3
+)
+
+func (o OptLevel) String() string {
+	if o == O2 {
+		return "O2"
+	}
+	return "O3"
+}
+
+// Options are the compilation knobs the paper's experiments sweep.
+type Options struct {
+	Level OptLevel
+
+	// SWP enables the software-pipelined schedule for qualifying inner
+	// loops. The paper's ADORE runs disable it ("our dynamic
+	// optimization currently does not handle software-pipelined loops").
+	SWP bool
+
+	// ReserveRegs removes r27-r30 and p6 from the allocator, handing
+	// them to the runtime optimizer.
+	ReserveRegs bool
+
+	// PrefetchLoops, when non-nil, restricts O3 prefetching to the loop
+	// IDs present in the map — the profile-guided mode of Table 1.
+	PrefetchLoops map[int]bool
+
+	// MemLatency is the miss latency the static prefetch distance
+	// computation assumes (cycles).
+	MemLatency int
+
+	// CodeBase is the address of the first code bundle.
+	CodeBase uint64
+
+	// LoopAlign pads each loop nest to this boundary, spreading hot
+	// regions across the address space as separate functions would be
+	// in a real binary. Zero disables padding.
+	LoopAlign uint64
+}
+
+// DefaultOptions compiles at O2 in the "restricted" configuration used for
+// runtime prefetching (no SWP, registers reserved).
+func DefaultOptions() Options {
+	return Options{Level: O2, SWP: false, ReserveRegs: true, MemLatency: 160, CodeBase: 0x1000, LoopAlign: 1024}
+}
+
+// BuildResult is the compiler output plus the statistics Table 1 reports.
+type BuildResult struct {
+	Image  *program.Image
+	Layout *Layout
+
+	LoopsTotal         int
+	LoopsPrefetchable  int // loops O3 would schedule for prefetching
+	LoopsPrefetched    int // loops actually prefetched under the options
+	PrefetchesInserted int
+}
+
+const (
+	regPhase    = isa.Reg(8)
+	regOuterCnt = isa.Reg(9)
+	regInnerCnt = isa.Reg(10)
+
+	predInner  = isa.PReg(1)
+	predInner2 = isa.PReg(2)
+	predOuter  = isa.PReg(3)
+	predOuter2 = isa.PReg(4)
+	predPhase  = isa.PReg(14)
+	predPhase2 = isa.PReg(15)
+)
+
+// ctx is the per-build code generation state.
+type ctx struct {
+	k      *Kernel
+	opts   Options
+	b      *asm.Builder
+	layout *Layout
+	res    *BuildResult
+	loopID int
+
+	// per-loop endpoints recorded for program.LoopInfo resolution
+	loopLabels []loopLabels
+}
+
+type loopLabels struct {
+	id           int
+	name         string
+	inner, end   string
+	prefetchable bool
+	prefetched   bool
+}
+
+// Build compiles the kernel under the given options.
+func Build(k *Kernel, opts Options) (*BuildResult, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MemLatency <= 0 {
+		opts.MemLatency = 160
+	}
+	if opts.CodeBase == 0 {
+		opts.CodeBase = 0x1000
+	}
+	c := &ctx{
+		k:      k,
+		opts:   opts,
+		b:      asm.New(opts.CodeBase),
+		layout: layoutArrays(k.Arrays),
+		res:    &BuildResult{},
+	}
+	c.res.Layout = c.layout
+
+	for pi := range k.Phases {
+		if err := c.genPhase(pi, &k.Phases[pi]); err != nil {
+			return nil, err
+		}
+	}
+	c.b.Halt()
+
+	out, err := c.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	seg := &program.Segment{Name: k.Name, Base: out.Base, Bundles: out.Bundles}
+	img := program.NewImage(k.Name, seg, out.Base)
+	for name, base := range c.layout.Base {
+		img.Symbols["array:"+name] = base
+	}
+	for _, ll := range c.loopLabels {
+		inner, ok1 := out.AddrOf(ll.inner)
+		end, ok2 := out.AddrOf(ll.end)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("compiler: loop %q labels unresolved", ll.name)
+		}
+		img.Loops = append(img.Loops, program.LoopInfo{
+			ID:           ll.id,
+			Name:         ll.name,
+			Head:         inner,
+			BodyStart:    inner,
+			BodyEnd:      end,
+			Prefetchable: ll.prefetchable,
+			Prefetched:   ll.prefetched,
+		})
+	}
+	img.InitData = initData(k.Arrays, c.layout)
+	c.res.Image = img
+	return c.res, nil
+}
+
+// genPhase emits one phase: a repeat-counted sequence of loops.
+func (c *ctx) genPhase(pi int, p *Phase) error {
+	head := fmt.Sprintf("ph%d_head", pi)
+	c.b.MovI(regPhase, p.Repeat)
+	c.b.Label(head)
+	for _, l := range p.Loops {
+		if err := c.genLoop(l); err != nil {
+			return fmt.Errorf("phase %q: %w", p.Name, err)
+		}
+	}
+	c.b.AddI(regPhase, -1, regPhase)
+	c.b.CmpI(isa.CmpLt, predPhase, predPhase2, 0, regPhase)
+	c.b.BrCond(predPhase, head)
+	return nil
+}
+
+// regAlloc hands out loop-local registers.
+type regAlloc struct {
+	free []isa.Reg
+	fp   isa.FReg
+}
+
+func newRegAlloc(reserve bool) *regAlloc {
+	ra := &regAlloc{fp: 2}
+	for r := isa.Reg(11); r <= 63; r++ {
+		if r == regOuterCnt || r == regInnerCnt || r == regPhase {
+			continue
+		}
+		if reserve && r >= isa.ReservedGRFirst && r <= isa.ReservedGRLast {
+			continue
+		}
+		ra.free = append(ra.free, r)
+	}
+	return ra
+}
+
+func (ra *regAlloc) take() (isa.Reg, error) {
+	if len(ra.free) == 0 {
+		return 0, fmt.Errorf("compiler: out of integer registers (spilling not implemented)")
+	}
+	r := ra.free[0]
+	ra.free = ra.free[1:]
+	return r, nil
+}
+
+func (ra *regAlloc) takeF() (isa.FReg, error) {
+	if ra.fp >= 120 {
+		return 0, fmt.Errorf("compiler: out of FP registers")
+	}
+	f := ra.fp
+	ra.fp++
+	return f, nil
+}
+
+// loopGen carries the register assignments of one loop.
+type loopGen struct {
+	c    *ctx
+	l    *Loop
+	ra   *regAlloc
+	id   int
+	ints map[string]isa.Reg
+	fps  map[string]isa.FReg
+
+	cursor    []isa.Reg // per body stmt: affine address cursor (0 = none)
+	outerBase []isa.Reg // per body stmt: outer-iteration base (0 = none)
+	scratch   []isa.Reg // per body stmt: scratch address register
+	arrayBase map[string]isa.Reg
+
+	pfCursor []isa.Reg // per body stmt: static prefetch cursor
+	pfDist   []int64
+
+	// unroll: the loop body is emitted twice per back edge (both
+	// pipelined and plain schedules — ORC unrolls these loops at O2
+	// regardless, so the SWP comparison isolates latency hiding).
+	unroll  bool
+	swp     bool
+	shadow  map[string]isa.FReg // SWP second buffer for float load dsts
+	shadowI map[string]isa.Reg  // SWP second buffer for int load dsts
+}
+
+func (g *loopGen) intReg(name string) (isa.Reg, error) {
+	if r, ok := g.ints[name]; ok {
+		return r, nil
+	}
+	r, err := g.ra.take()
+	if err != nil {
+		return 0, err
+	}
+	g.ints[name] = r
+	return r, nil
+}
+
+func (g *loopGen) fpReg(name string) (isa.FReg, error) {
+	if f, ok := g.fps[name]; ok {
+		return f, nil
+	}
+	f, err := g.ra.takeF()
+	if err != nil {
+		return 0, err
+	}
+	g.fps[name] = f
+	return f, nil
+}
+
+// genLoop emits one loop nest.
+func (c *ctx) genLoop(l *Loop) error {
+	id := c.loopID
+	c.loopID++
+	g := &loopGen{
+		c:         c,
+		l:         l,
+		ra:        newRegAlloc(c.opts.ReserveRegs),
+		id:        id,
+		ints:      make(map[string]isa.Reg),
+		fps:       make(map[string]isa.FReg),
+		cursor:    make([]isa.Reg, len(l.Body)),
+		outerBase: make([]isa.Reg, len(l.Body)),
+		scratch:   make([]isa.Reg, len(l.Body)),
+		pfCursor:  make([]isa.Reg, len(l.Body)),
+		pfDist:    make([]int64, len(l.Body)),
+		arrayBase: make(map[string]isa.Reg),
+	}
+	c.res.LoopsTotal++
+
+	// Decide static prefetching for this loop.
+	prefetchable := !l.Ambiguous && g.hasAffineRef()
+	if prefetchable {
+		c.res.LoopsPrefetchable++
+	}
+	doPrefetch := c.opts.Level == O3 && prefetchable
+	if doPrefetch && c.opts.PrefetchLoops != nil && !c.opts.PrefetchLoops[id] {
+		doPrefetch = false
+	}
+	if doPrefetch {
+		c.res.LoopsPrefetched++
+	}
+
+	g.unroll = g.swpQualifies()
+	g.swp = c.opts.SWP && g.unroll
+
+	innerLbl := fmt.Sprintf("L%d_inner", id)
+	outerLbl := fmt.Sprintf("L%d_outer", id)
+	endLbl := fmt.Sprintf("L%d_end", id)
+	c.loopLabels = append(c.loopLabels, loopLabels{
+		id: id, name: l.Name, inner: innerLbl, end: endLbl,
+		prefetchable: prefetchable, prefetched: doPrefetch,
+	})
+
+	b := c.b
+	if c.opts.LoopAlign > 0 {
+		b.Align(c.opts.LoopAlign)
+	}
+	multiOuter := l.OuterTrip > 1
+
+	// ---- preheader: per-phase-iteration setup ----
+	if multiOuter {
+		b.MovI(regOuterCnt, l.OuterTrip)
+	}
+	for i := range l.Body {
+		s := &l.Body[i]
+		if s.Ref == nil {
+			continue
+		}
+		switch s.Ref.Kind {
+		case RefAffine:
+			cur, err := g.ra.take()
+			if err != nil {
+				return err
+			}
+			g.cursor[i] = cur
+			if multiOuter {
+				ob, err := g.ra.take()
+				if err != nil {
+					return err
+				}
+				g.outerBase[i] = ob
+				b.MovI(ob, int64(c.layout.Base[s.Ref.Array])+s.Ref.Offset)
+			}
+		case RefIndirect:
+			if _, ok := g.arrayBase[s.Ref.Array]; !ok {
+				r, err := g.ra.take()
+				if err != nil {
+					return err
+				}
+				g.arrayBase[s.Ref.Array] = r
+				b.MovI(r, int64(c.layout.Base[s.Ref.Array]))
+			}
+			sc, err := g.ra.take()
+			if err != nil {
+				return err
+			}
+			g.scratch[i] = sc
+		case RefPointer:
+			if s.Ref.Offset != 0 {
+				sc, err := g.ra.take()
+				if err != nil {
+					return err
+				}
+				g.scratch[i] = sc
+			}
+		}
+		if doPrefetch && s.Ref.Kind == RefAffine && s.Ref.InnerStride != 0 {
+			pf, err := g.ra.take()
+			if err != nil {
+				return err
+			}
+			g.pfCursor[i] = pf
+			g.pfDist[i] = g.prefetchDistance(s.Ref.InnerStride)
+		}
+	}
+
+	if multiOuter {
+		b.Label(outerLbl)
+	}
+
+	// ---- outer head: reset cursors, counters, carried temps ----
+	innerTrip := l.InnerTrip
+	if g.unroll {
+		innerTrip = l.InnerTrip / 2
+	}
+	b.MovI(regInnerCnt, innerTrip)
+	for i := range l.Body {
+		s := &l.Body[i]
+		if g.cursor[i] == 0 {
+			continue
+		}
+		if multiOuter {
+			b.Mov(g.cursor[i], g.outerBase[i])
+		} else {
+			b.MovI(g.cursor[i], int64(c.layout.Base[s.Ref.Array])+s.Ref.Offset)
+		}
+		if g.pfCursor[i] != 0 {
+			b.AddI(g.pfCursor[i], g.pfDist[i], g.cursor[i])
+		}
+	}
+	for _, init := range l.Inits {
+		r, err := g.intReg(init.Temp)
+		if err != nil {
+			return err
+		}
+		if init.IsImm {
+			b.MovI(r, init.Imm)
+		} else {
+			b.MovI(r, int64(c.layout.Base[init.Array])+init.Offset)
+		}
+	}
+	for _, ft := range l.FloatTemps {
+		f, err := g.fpReg(ft)
+		if err != nil {
+			return err
+		}
+		b.SetF(f, 0) // bits(r0) = +0.0
+	}
+
+	// ---- SWP prologue: preload two iterations ----
+	if g.swp {
+		if err := g.emitSWPPrologue(); err != nil {
+			return err
+		}
+	}
+
+	// ---- inner loop ----
+	b.Label(innerLbl)
+	switch {
+	case g.swp:
+		if err := g.emitBody(true, false); err != nil { // compute+reload half A
+			return err
+		}
+		if doPrefetch {
+			g.emitPrefetches()
+		}
+		if err := g.emitBody(true, true); err != nil { // half B
+			return err
+		}
+		if doPrefetch {
+			g.emitPrefetches()
+		}
+	case g.unroll:
+		for half := 0; half < 2; half++ {
+			if err := g.emitBody(false, false); err != nil {
+				return err
+			}
+			if doPrefetch {
+				g.emitPrefetches()
+			}
+		}
+	default:
+		if err := g.emitBody(false, false); err != nil {
+			return err
+		}
+		if doPrefetch {
+			g.emitPrefetches()
+		}
+	}
+	b.AddI(regInnerCnt, -1, regInnerCnt)
+	b.CmpI(isa.CmpLt, predInner, predInner2, 0, regInnerCnt)
+	if g.swp {
+		b.BrCondSWP(predInner, innerLbl)
+	} else {
+		b.BrCond(predInner, innerLbl)
+	}
+
+	// ---- outer latch ----
+	if multiOuter {
+		for i := range l.Body {
+			if g.outerBase[i] != 0 && l.Body[i].Ref.OuterStride != 0 {
+				b.AddI(g.outerBase[i], l.Body[i].Ref.OuterStride, g.outerBase[i])
+			}
+		}
+		b.AddI(regOuterCnt, -1, regOuterCnt)
+		b.CmpI(isa.CmpLt, predOuter, predOuter2, 0, regOuterCnt)
+		b.BrCond(predOuter, outerLbl)
+	}
+	b.Label(endLbl)
+	return nil
+}
+
+// hasAffineRef reports whether the loop contains at least one strided
+// affine reference (what the static prefetcher can analyze).
+func (g *loopGen) hasAffineRef() bool {
+	for i := range g.l.Body {
+		s := &g.l.Body[i]
+		if s.Ref != nil && s.Ref.Kind == RefAffine && s.Ref.InnerStride != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// prefetchDistance computes the byte distance for a static prefetch cursor:
+// Mowry's "latency / shortest-path cycles" iteration count times the
+// stride.
+func (g *loopGen) prefetchDistance(stride int64) int64 {
+	bodyInsts := len(g.l.Body) + 3
+	estCycles := int64(bodyInsts+3) / 4
+	if estCycles < 2 {
+		estCycles = 2
+	}
+	iters := (int64(g.c.opts.MemLatency) + estCycles - 1) / estCycles
+	if iters < 1 {
+		iters = 1
+	}
+	if iters > 64 {
+		iters = 64
+	}
+	return iters * stride
+}
+
+// emitPrefetches appends the loop's static lfetch instructions (one per
+// prefetched reference, with the stride folded into the post-increment).
+func (g *loopGen) emitPrefetches() {
+	for i := range g.l.Body {
+		if g.pfCursor[i] != 0 {
+			g.c.b.Lfetch(g.pfCursor[i], g.l.Body[i].Ref.InnerStride)
+			g.c.res.PrefetchesInserted++
+		}
+	}
+}
+
+// swpQualifies reports whether the software-pipelined schedule applies:
+// even trip count, loads only from affine references, and no load
+// destination that is loop-carried.
+func (g *loopGen) swpQualifies() bool {
+	if g.l.NoSWP || g.l.InnerTrip%2 != 0 {
+		return false
+	}
+	carried := map[string]bool{}
+	for _, in := range g.l.Inits {
+		carried[in.Temp] = true
+	}
+	hasLoad := false
+	defined := map[string]bool{}
+	for i := range g.l.Body {
+		s := &g.l.Body[i]
+		switch s.Kind {
+		case SLoadInt, SLoadFloat:
+			if s.Ref.Kind != RefAffine {
+				return false
+			}
+			if carried[s.Dst] {
+				return false
+			}
+			// Used before defined in body order means loop-carried.
+			if !defined[s.Dst] && usedBefore(g.l.Body[:i], s.Dst) {
+				return false
+			}
+			hasLoad = true
+		case SStoreInt, SStoreFloat:
+			if s.Ref.Kind != RefAffine {
+				return false
+			}
+		}
+		if s.Dst != "" {
+			defined[s.Dst] = true
+		}
+	}
+	return hasLoad
+}
+
+func usedBefore(stmts []Stmt, temp string) bool {
+	for i := range stmts {
+		s := &stmts[i]
+		if s.A == temp || s.B == temp || s.C == temp ||
+			(s.Ref != nil && (s.Ref.IndexTemp == temp || s.Ref.PtrTemp == temp)) {
+			return true
+		}
+	}
+	return false
+}
+
+// emitSWPPrologue preloads the first two iterations into the primary and
+// shadow buffers.
+func (g *loopGen) emitSWPPrologue() error {
+	g.shadow = make(map[string]isa.FReg)
+	g.shadowI = make(map[string]isa.Reg)
+	for i := range g.l.Body {
+		s := &g.l.Body[i]
+		switch s.Kind {
+		case SLoadFloat:
+			if _, ok := g.shadow[s.Dst]; !ok {
+				f, err := g.ra.takeF()
+				if err != nil {
+					return err
+				}
+				g.shadow[s.Dst] = f
+			}
+		case SLoadInt:
+			if _, ok := g.shadowI[s.Dst]; !ok {
+				r, err := g.ra.take()
+				if err != nil {
+					return err
+				}
+				g.shadowI[s.Dst] = r
+			}
+		}
+	}
+	// Iteration 0 into primaries, iteration 1 into shadows.
+	for pass := 0; pass < 2; pass++ {
+		for i := range g.l.Body {
+			s := &g.l.Body[i]
+			if s.Kind != SLoadFloat && s.Kind != SLoadInt {
+				continue
+			}
+			if err := g.emitLoad(s, i, pass == 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// emitBody lowers the loop body once. Under SWP (swp true) loads are
+// deferred to after the computes and target the half's buffer set; the
+// computes read the buffer set loaded two iterations ago.
+func (g *loopGen) emitBody(swp, shadowHalf bool) error {
+	if !swp {
+		for i := range g.l.Body {
+			if err := g.emitStmt(&g.l.Body[i], i, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range g.l.Body {
+		s := &g.l.Body[i]
+		if s.Kind == SLoadFloat || s.Kind == SLoadInt {
+			continue // reload happens after the computes
+		}
+		if err := g.emitStmt(s, i, shadowHalf); err != nil {
+			return err
+		}
+	}
+	for i := range g.l.Body {
+		s := &g.l.Body[i]
+		if s.Kind == SLoadFloat || s.Kind == SLoadInt {
+			if err := g.emitLoad(s, i, shadowHalf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// readInt returns the register holding temp for a read in the given half.
+func (g *loopGen) readInt(temp string, shadowHalf bool) (isa.Reg, error) {
+	if shadowHalf {
+		if r, ok := g.shadowI[temp]; ok {
+			return r, nil
+		}
+	}
+	return g.intReg(temp)
+}
+
+func (g *loopGen) readFp(temp string, shadowHalf bool) (isa.FReg, error) {
+	if shadowHalf {
+		if f, ok := g.shadow[temp]; ok {
+			return f, nil
+		}
+	}
+	return g.fpReg(temp)
+}
+
+// refAddr emits any address computation for a non-affine ref and returns
+// the register to use as the access base plus the post-increment to apply
+// (affine refs fold their stride into the access).
+func (g *loopGen) refAddr(s *Stmt, idx int, shadowHalf bool) (isa.Reg, int64, error) {
+	r := s.Ref
+	switch r.Kind {
+	case RefAffine:
+		return g.cursor[idx], r.InnerStride, nil
+	case RefIndirect:
+		idxReg, err := g.readInt(r.IndexTemp, shadowHalf)
+		if err != nil {
+			return 0, 0, err
+		}
+		base := g.arrayBase[r.Array]
+		scr := g.scratch[idx]
+		switch r.Scale {
+		case 1:
+			g.c.b.Add(scr, idxReg, base)
+		case 2:
+			g.c.b.ShlAdd(scr, idxReg, 1, base)
+		case 4:
+			g.c.b.ShlAdd(scr, idxReg, 2, base)
+		case 8:
+			g.c.b.ShlAdd(scr, idxReg, 3, base)
+		default:
+			return 0, 0, fmt.Errorf("compiler: unsupported indirect scale %d", r.Scale)
+		}
+		if r.Offset != 0 {
+			g.c.b.AddI(scr, r.Offset, scr)
+		}
+		return scr, 0, nil
+	case RefPointer:
+		ptr, err := g.readInt(r.PtrTemp, shadowHalf)
+		if err != nil {
+			return 0, 0, err
+		}
+		if r.Offset == 0 {
+			return ptr, 0, nil
+		}
+		scr := g.scratch[idx]
+		g.c.b.AddI(scr, r.Offset, ptr)
+		return scr, 0, nil
+	}
+	return 0, 0, fmt.Errorf("compiler: bad ref kind %d", r.Kind)
+}
+
+// emitLoad lowers a load statement; shadowHalf selects the SWP buffer set
+// for the destination.
+func (g *loopGen) emitLoad(s *Stmt, idx int, shadowHalf bool) error {
+	base, inc, err := g.refAddr(s, idx, shadowHalf)
+	if err != nil {
+		return err
+	}
+	if s.Kind == SLoadFloat {
+		dst, err := g.fpReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		if shadowHalf {
+			if f, ok := g.shadow[s.Dst]; ok {
+				dst = f
+			}
+		}
+		g.c.b.LdF(dst, base, inc)
+		return nil
+	}
+	size := s.Size
+	if size == 0 {
+		size = 8
+	}
+	dst, err := g.intReg(s.Dst)
+	if err != nil {
+		return err
+	}
+	if shadowHalf {
+		if r, ok := g.shadowI[s.Dst]; ok {
+			dst = r
+		}
+	}
+	g.c.b.Ld(size, dst, base, inc)
+	return nil
+}
+
+// emitStmt lowers one statement (loads included when not under SWP).
+func (g *loopGen) emitStmt(s *Stmt, idx int, shadowHalf bool) error {
+	b := g.c.b
+	switch s.Kind {
+	case SLoadInt, SLoadFloat:
+		return g.emitLoad(s, idx, shadowHalf)
+
+	case SStoreInt:
+		base, inc, err := g.refAddr(s, idx, shadowHalf)
+		if err != nil {
+			return err
+		}
+		src, err := g.readInt(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		size := s.Size
+		if size == 0 {
+			size = 8
+		}
+		b.St(size, base, src, inc)
+	case SStoreFloat:
+		base, inc, err := g.refAddr(s, idx, shadowHalf)
+		if err != nil {
+			return err
+		}
+		src, err := g.readFp(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		b.StF(base, src, inc)
+
+	case SAddImm:
+		a, err := g.readInt(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.intReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.AddI(d, s.Imm, a)
+	case SAdd:
+		a, err := g.readInt(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		bb, err := g.readInt(s.B, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.intReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.Add(d, a, bb)
+	case SAnd, SXor:
+		a, err := g.readInt(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		bb, err := g.readInt(s.B, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.intReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		if s.Kind == SAnd {
+			b.Emit(isa.Inst{Op: isa.OpAnd, R1: d, R2: a, R3: bb})
+		} else {
+			b.Emit(isa.Inst{Op: isa.OpXor, R1: d, R2: a, R3: bb})
+		}
+	case SShl:
+		a, err := g.readInt(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.intReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.Shl(d, a, s.Imm)
+
+	case SFAdd, SFMul, SFSub:
+		a, err := g.readFp(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		bb, err := g.readFp(s.B, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.fpReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		switch s.Kind {
+		case SFAdd:
+			b.FAdd(d, a, bb)
+		case SFMul:
+			b.FMul(d, a, bb)
+		default:
+			b.FSub(d, a, bb)
+		}
+	case SFMA:
+		a, err := g.readFp(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		bb, err := g.readFp(s.B, shadowHalf)
+		if err != nil {
+			return err
+		}
+		cc, err := g.readFp(s.C, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.fpReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.Fma(d, a, bb, cc)
+
+	case SCvtFI:
+		a, err := g.readFp(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.intReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.FCvtFX(d, a)
+	case SCvtIF:
+		a, err := g.readInt(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.fpReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.FCvtXF(d, a)
+	case SGetSig:
+		a, err := g.readFp(s.A, shadowHalf)
+		if err != nil {
+			return err
+		}
+		d, err := g.intReg(s.Dst)
+		if err != nil {
+			return err
+		}
+		b.GetF(d, a)
+
+	default:
+		return fmt.Errorf("compiler: unknown stmt kind %d", s.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/program"
+)
+
+// Stats aggregates what the dynamic optimizer did during a run; the
+// pattern counters are exactly the rows of the paper's Table 2.
+type Stats struct {
+	DirectPrefetches   int
+	IndirectPrefetches int
+	PointerPrefetches  int
+	PhasesOptimized    int // stable phases that received prefetching
+
+	PhasesDetected  int
+	PhaseChanges    int
+	WindowsObserved int
+	TracesSelected  int
+	TracesPatched   int
+	Unpatches       int
+	// Stride-profiling extension counters.
+	StrideProfiled      int // instrumentation experiments started
+	StrideFound         int // experiments that yielded a prefetchable stride
+	StrideProfileFailed int // experiments with no dominant stride
+	// Phase-table extension counters.
+	TableHits   int
+	TableMisses int
+	// FirstPatchCycle records when the first trace went live (0 = never)
+	// — the detection-latency metric the phase-table extension improves.
+	FirstPatchCycle  uint64
+	SkipLowMiss      int
+	SkipInPool       int
+	SkipOptimized    int
+	SkipStaticLfetch int
+	AnalysisFailures int
+}
+
+// TotalPrefetches returns the number of prefetch sequences inserted.
+func (s Stats) TotalPrefetches() int {
+	return s.DirectPrefetches + s.IndirectPrefetches + s.PointerPrefetches
+}
+
+// Controller is the dynopt thread: it owns the UEB, the phase detector,
+// the trace selector/optimizer and the patcher, and is driven by PMU
+// buffer-overflow deliveries plus a periodic poll (the paper's 100 ms
+// hibernation loop). Its compute runs on the second (simulated) processor
+// and is not charged to the monitored program; only patch installation
+// charges PatchCharge cycles.
+type Controller struct {
+	cfg  Config
+	code *program.CodeSpace
+	pmu  *pmu.PMU
+
+	ueb  *UEB
+	det  *PhaseDetector
+	pool *TracePool
+	opt  *Optimizer
+
+	newWindows []WindowMetrics
+	patches    []*PatchRecord
+	optimized  []float64 // PC-center signatures of handled phases
+	blacklist  []float64
+
+	// Stride-profiling extension state.
+	mem   *memsys.Memory
+	instr []*instrRecord
+
+	// OnWindow, when set, receives every profile window's metrics — the
+	// hook the harness uses to record the Fig. 8/9 time series.
+	OnWindow func(WindowMetrics)
+
+	// OnOptimize, when set, observes every trace optimization attempt
+	// (tooling and tests; not used by the pipeline itself).
+	OnOptimize func(t *Trace, loads []DelinquentLoad, res OptimizeResult)
+
+	Stats Stats
+}
+
+// NewController wires a controller to the code space it will patch and the
+// PMU it samples from. Call Attach to connect it to a CPU.
+func NewController(cfg Config, code *program.CodeSpace, p *pmu.PMU) (*Controller, error) {
+	pool, err := NewTracePool(cfg, code)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:  cfg,
+		code: code,
+		pmu:  p,
+		ueb:  NewUEB(cfg.W),
+		det:  NewPhaseDetector(cfg),
+		pool: pool,
+		opt:  NewOptimizer(cfg),
+	}, nil
+}
+
+// Attach installs the signal handler and the poll hook on the CPU and
+// starts sampling — the dyn_open sequence of §2.2.
+func (c *Controller) Attach(m *cpu.CPU) {
+	c.pmu.SetHandler(c.onOverflow)
+	m.AddPollHook(c.cfg.PollInterval, c.poll)
+	c.mem = m.Mem // instrumentation buffers live in program memory
+	c.pmu.Start(m.Now())
+}
+
+// onOverflow is the signal handler: it copies the System Sample Buffer
+// into the User Event Buffer. Its cycle cost is charged by the PMU itself
+// (HandlerCyclesPerSample).
+func (c *Controller) onOverflow(samples []pmu.Sample) {
+	w := c.ueb.AddWindow(samples)
+	c.Stats.WindowsObserved++
+	c.newWindows = append(c.newWindows, w)
+	if c.OnWindow != nil {
+		c.OnWindow(w)
+	}
+}
+
+// poll is the dynopt thread's periodic wake-up: it feeds any new profile
+// windows to the phase detector and reacts to phase events. The returned
+// charge bills patch installations to the monitored thread.
+func (c *Controller) poll(now uint64) uint64 {
+	var charge uint64
+	for _, w := range c.newWindows {
+		ev, info := c.det.Observe(w)
+		switch ev {
+		case PhaseStable:
+			charge += c.onStablePhase(info)
+		case PhaseChanged:
+			c.Stats.PhaseChanges++
+		}
+	}
+	c.newWindows = c.newWindows[:0]
+	charge += c.pollInstrumentation()
+	c.Stats.TableHits = c.det.TableHits
+	c.Stats.TableMisses = c.det.TableMisses
+	if c.Stats.FirstPatchCycle == 0 && c.Stats.TracesPatched > 0 {
+		c.Stats.FirstPatchCycle = now
+	}
+	return charge
+}
+
+// sigMatches reports whether a phase signature was already handled.
+func sigMatches(list []float64, sig, tol float64) bool {
+	for _, s := range list {
+		if math.Abs(s-sig) <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// onStablePhase runs trace selection and optimization for a newly stable
+// phase, per §2.3-§3.
+func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
+	c.Stats.PhasesDetected++
+	tol := c.cfg.PCDev
+
+	// A phase executing inside the trace pool was already optimized:
+	// skip re-optimization but monitor profitability ("we may continue
+	// to monitor the execution of the optimized trace to detect and fix
+	// nonprofitable ones").
+	if c.pool.Contains(uint64(info.PCCenter)) {
+		c.Stats.SkipInPool++
+		return c.checkProfitability(info)
+	}
+	if sigMatches(c.blacklist, info.PCCenter, tol) {
+		return 0
+	}
+	if sigMatches(c.optimized, info.PCCenter, tol) {
+		c.Stats.SkipOptimized++
+		return 0
+	}
+	// Ignore phases without meaningful data-cache miss rates — either by
+	// the DPI counter or, more sharply, by the rate of DEAR-qualifying
+	// (>= 8 cycle) events prefetching could actually remove.
+	if info.DPI < c.cfg.MinDPI || info.DearPerK < c.cfg.MinDearPerK {
+		c.Stats.SkipLowMiss++
+		c.optimized = append(c.optimized, info.PCCenter)
+		return 0
+	}
+
+	// Trace selection reads the whole UEB for path-profile coverage;
+	// delinquent-load identification uses only the windows that
+	// established the stable phase, so stale startup misses cannot
+	// justify prefetches for code that now hits in cache ("use
+	// performance samples to locate the most recent delinquent loads").
+	samples := c.ueb.Samples()
+	recent := samples
+	if len(info.Windows) > 0 {
+		recent = c.ueb.SamplesSince(info.Windows[0].Seq)
+	}
+	sel := NewTraceSelector(c.cfg, c.code)
+	traces := sel.Select(samples)
+	c.Stats.TracesSelected += len(traces)
+
+	var charge uint64
+	anyInserted := false
+	for _, t := range traces {
+		if !t.IsLoop {
+			continue
+		}
+		if c.isPatched(t.Start) {
+			// This loop was already optimized in an earlier phase.
+			continue
+		}
+		loads := FindDelinquentLoads(t, recent, c.cfg)
+		if len(loads) == 0 {
+			continue
+		}
+		events := 0
+		for _, dl := range loads {
+			events += dl.Count
+		}
+		if events < c.cfg.MinDearEvents {
+			continue // not enough evidence of frequent misses
+		}
+		res := c.opt.Optimize(t, loads, info.CPI)
+		if c.OnOptimize != nil {
+			c.OnOptimize(t, loads, res)
+		}
+		c.Stats.DirectPrefetches += res.Direct
+		c.Stats.IndirectPrefetches += res.Indirect
+		c.Stats.PointerPrefetches += res.Pointer
+		c.Stats.AnalysisFailures += res.Failures
+		c.Stats.SkipStaticLfetch += res.Skipped
+
+		// §6 extension: if slice analysis failed on some loads, add
+		// address-recording instrumentation to the same trace.
+		instr := c.addInstrumentation(t, res, info)
+
+		if (res.Total() == 0 && instr == nil) || c.cfg.DisableInsertion {
+			continue
+		}
+		addr, err := c.pool.Install(t)
+		if err != nil {
+			continue // pool full: stop patching, keep running
+		}
+		rec, err := applyPatch(c.code, t.Start, addr, info.CPI)
+		if err != nil {
+			continue
+		}
+		rec.TraceEnd = c.pool.seg.Base + uint64(c.pool.next)*16
+		c.patches = append(c.patches, rec)
+		c.Stats.TracesPatched++
+		charge += c.cfg.PatchCharge
+		if instr != nil {
+			instr.patch = rec
+			c.instr = append(c.instr, instr)
+		}
+		if res.Total() > 0 {
+			anyInserted = true
+		}
+	}
+	if anyInserted {
+		c.Stats.PhasesOptimized++
+	}
+	c.optimized = append(c.optimized, info.PCCenter)
+	return charge
+}
+
+// isPatched reports whether a patch is already installed at entry.
+func (c *Controller) isPatched(entry uint64) bool {
+	for _, rec := range c.patches {
+		if rec.Active && rec.Entry == entry {
+			return true
+		}
+	}
+	return false
+}
+
+// checkProfitability unpatches traces whose phase now runs slower than
+// before patching.
+func (c *Controller) checkProfitability(info *PhaseInfo) uint64 {
+	pc := uint64(info.PCCenter)
+	for _, rec := range c.patches {
+		if !rec.Active || pc < rec.TraceAddr || pc >= rec.TraceEnd {
+			continue
+		}
+		if info.CPI > rec.PrePatch*c.cfg.UnpatchSlowdown {
+			if err := undoPatch(c.code, rec); err == nil {
+				c.Stats.Unpatches++
+				c.blacklist = append(c.blacklist, info.PCCenter)
+				return c.cfg.PatchCharge
+			}
+		}
+	}
+	return 0
+}
+
+// Patches returns the installed patch records (active and undone).
+func (c *Controller) Patches() []*PatchRecord { return c.patches }
+
+// Pool returns the trace pool, for inspection.
+func (c *Controller) Pool() *TracePool { return c.pool }
+
+// Detector exposes the phase detector, for inspection.
+func (c *Controller) Detector() *PhaseDetector { return c.det }

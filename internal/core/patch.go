@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// TracePool is the shared-memory block dyn_open allocates for optimized
+// traces. It is a bump allocator over a dedicated code segment.
+type TracePool struct {
+	seg  *program.Segment
+	next int
+}
+
+// NewTracePool creates the pool segment and registers it with the code
+// space.
+func NewTracePool(cfg Config, code *program.CodeSpace) (*TracePool, error) {
+	seg := &program.Segment{
+		Name:    "trace-pool",
+		Base:    cfg.TracePoolBase,
+		Bundles: make([]isa.Bundle, cfg.TracePoolBundles),
+	}
+	// Unused pool space halts if ever reached (it never should be).
+	for i := range seg.Bundles {
+		seg.Bundles[i] = isa.Bundle{Tmpl: isa.TmplBBB, Slots: [3]isa.Inst{{Op: isa.OpHalt}, isa.Nop, isa.Nop}}
+	}
+	if err := code.AddSegment(seg); err != nil {
+		return nil, err
+	}
+	return &TracePool{seg: seg}, nil
+}
+
+// Contains reports whether addr lies inside the pool.
+func (p *TracePool) Contains(addr uint64) bool { return p.seg.Contains(addr) }
+
+// Used reports the number of allocated bundles.
+func (p *TracePool) Used() int { return p.next }
+
+// Install writes a finished trace into the pool: the back edge is
+// re-targeted to the in-pool loop head and an exit-jump bundle is appended
+// so the loop's fall-through returns to the original code. It returns the
+// trace's entry address.
+func (p *TracePool) Install(t *Trace) (uint64, error) {
+	need := len(t.Bundles) + 1
+	if p.next+need > len(p.seg.Bundles) {
+		return 0, fmt.Errorf("core: trace pool full (%d bundles used)", p.next)
+	}
+	base := p.seg.Base + uint64(p.next)*isa.BundleBytes
+
+	bundles := make([]isa.Bundle, len(t.Bundles))
+	copy(bundles, t.Bundles)
+	if t.IsLoop {
+		// Retarget the back edge into the pool.
+		loopHeadAddr := base + uint64(t.LoopHead)*isa.BundleBytes
+		fixed := false
+		bd := &bundles[t.BackEdge]
+		for s := 0; s < 3; s++ {
+			in := &bd.Slots[s]
+			if (in.Op == isa.OpBrCond || in.Op == isa.OpBr) && in.Target == t.Start {
+				in.Target = loopHeadAddr
+				fixed = true
+			}
+		}
+		if !fixed {
+			return 0, fmt.Errorf("core: loop trace back edge not found in bundle %d", t.BackEdge)
+		}
+	}
+	copy(p.seg.Bundles[p.next:], bundles)
+
+	// Exit bundle: fall-through of the last trace bundle returns to the
+	// original successor.
+	exitTo := t.Orig[t.BackEdge] + isa.BundleBytes
+	if !t.IsLoop {
+		exitTo = t.Orig[len(t.Orig)-1] + isa.BundleBytes
+	}
+	p.seg.Bundles[p.next+len(bundles)] = isa.BranchBundle(exitTo)
+	p.next += need
+	return base, nil
+}
+
+// PatchRecord remembers an installed entry patch so it can be undone.
+type PatchRecord struct {
+	Entry     uint64 // original code address whose bundle was replaced
+	TraceAddr uint64
+	TraceEnd  uint64 // first pool address past the installed trace
+	Saved     isa.Bundle
+	Active    bool
+	PrePatch  float64 // phase CPI before patching, for profitability checks
+}
+
+// applyPatch replaces the first bundle of the trace's original code region
+// with a branch into the trace pool, saving the original bundle for
+// unpatching ("the replaced bundle is not simply overwritten; it is saved").
+func applyPatch(code *program.CodeSpace, entry, traceAddr uint64, preCPI float64) (*PatchRecord, error) {
+	orig, ok := code.Fetch(entry)
+	if !ok {
+		return nil, fmt.Errorf("core: patch target %#x unmapped", entry)
+	}
+	rec := &PatchRecord{Entry: entry, TraceAddr: traceAddr, Saved: *orig, Active: true, PrePatch: preCPI}
+	if err := code.Write(entry, isa.BranchBundle(traceAddr)); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// undoPatch writes the saved bundle back.
+func undoPatch(code *program.CodeSpace, rec *PatchRecord) error {
+	if !rec.Active {
+		return nil
+	}
+	if err := code.Write(rec.Entry, rec.Saved); err != nil {
+		return err
+	}
+	rec.Active = false
+	return nil
+}

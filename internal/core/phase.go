@@ -1,0 +1,268 @@
+package core
+
+import "math"
+
+// PhaseEvent is what the detector reports to the controller.
+type PhaseEvent int
+
+const (
+	// PhaseNone: nothing new this poll.
+	PhaseNone PhaseEvent = iota
+	// PhaseStable: a new stable phase was detected and is eligible for
+	// optimization.
+	PhaseStable
+	// PhaseChanged: the previously stable phase ended.
+	PhaseChanged
+)
+
+// PhaseInfo describes a detected stable phase.
+type PhaseInfo struct {
+	PCCenter float64
+	CPI      float64
+	DPI      float64
+	DearPerK float64         // DEAR events per 1000 retired instructions
+	Windows  []WindowMetrics // the windows that established stability
+}
+
+// dearPerK computes DEAR events per 1000 instructions over windows.
+func dearPerK(ws []WindowMetrics) float64 {
+	var ev, ret float64
+	for _, w := range ws {
+		ev += float64(w.DearEvents)
+		ret += float64(w.Retired)
+	}
+	if ret == 0 {
+		return 0
+	}
+	return ev / ret * 1000
+}
+
+// PhaseDetector implements the coarse-grain phase detection of §2.3: a
+// stable phase is StableWindows consecutive profile windows with low
+// standard deviations of CPI, DPI and PC-center. When no stable phase
+// appears for WindowDoubleAfter windows, the logical window size doubles
+// (adjacent raw windows are merged) in case the window is too small to
+// accommodate a large phase.
+type PhaseDetector struct {
+	cfg Config
+
+	history []WindowMetrics // logical windows
+	pending []WindowMetrics // raw windows awaiting aggregation
+	agg     int             // raw windows per logical window (1, 2, 4, ...)
+
+	inStable     bool
+	sinceStable  int // logical windows since the last stable detection
+	lastSig      float64
+	windowsSeen  int
+	DoubleEvents int
+
+	// table accumulates window-signature occurrences (the PhaseTable
+	// extension): unlike the consecutive-window rule, occurrences count
+	// cumulatively, so phases that alternate faster than StableWindows
+	// are still recognized once their total residency is long enough
+	// (Dhodapkar/Smith-style working-set signatures).
+	table       []tableEntry
+	TableHits   int
+	TableMisses int
+}
+
+type tableEntry struct {
+	pcCenter float64
+	cpiSum   float64
+	dpiSum   float64
+	count    int
+	fired    bool
+}
+
+// NewPhaseDetector returns a detector with the given configuration.
+func NewPhaseDetector(cfg Config) *PhaseDetector {
+	return &PhaseDetector{cfg: cfg, agg: 1}
+}
+
+// Aggregation reports the current raw-windows-per-logical-window factor.
+func (d *PhaseDetector) Aggregation() int { return d.agg }
+
+// InStable reports whether the detector currently considers execution
+// inside a stable phase.
+func (d *PhaseDetector) InStable() bool { return d.inStable }
+
+// Observe ingests one raw profile window and reports any phase event.
+func (d *PhaseDetector) Observe(w WindowMetrics) (PhaseEvent, *PhaseInfo) {
+	d.windowsSeen++
+	d.pending = append(d.pending, w)
+	if len(d.pending) < d.agg {
+		return PhaseNone, nil
+	}
+	logical := mergeWindows(d.pending)
+	d.pending = d.pending[:0]
+	d.history = append(d.history, logical)
+	if len(d.history) > d.cfg.StableWindows {
+		d.history = d.history[len(d.history)-d.cfg.StableWindows:]
+	}
+
+	// PhaseTable path: count this window's signature occurrence; when a
+	// signature has accumulated StableWindows occurrences — consecutive
+	// or not — its phase is declared stable. This is what catches
+	// programs whose phases alternate faster than the consecutive rule
+	// can confirm.
+	if d.cfg.PhaseTable {
+		if info := d.tableObserve(logical); info != nil {
+			d.sinceStable = 0
+			d.inStable = true
+			d.lastSig = info.PCCenter
+			return PhaseStable, info
+		}
+	}
+
+	if len(d.history) == d.cfg.StableWindows && d.isStable() {
+		info := &PhaseInfo{
+			PCCenter: meanOf(d.history, func(m WindowMetrics) float64 { return m.PCCenter }),
+			CPI:      meanOf(d.history, func(m WindowMetrics) float64 { return m.CPI }),
+			DPI:      meanOf(d.history, func(m WindowMetrics) float64 { return m.DPI }),
+			DearPerK: dearPerK(d.history),
+			Windows:  append([]WindowMetrics(nil), d.history...),
+		}
+		d.sinceStable = 0
+		if d.inStable && math.Abs(info.PCCenter-d.lastSig) <= d.cfg.PCDev*2 {
+			// Still the same phase: no new event.
+			return PhaseNone, nil
+		}
+		d.inStable = true
+		d.lastSig = info.PCCenter
+		d.remember(info)
+		return PhaseStable, info
+	}
+
+	d.sinceStable++
+	ev := PhaseNone
+	if d.inStable {
+		d.inStable = false
+		ev = PhaseChanged
+	}
+	if d.cfg.WindowDoubleAfter > 0 && d.sinceStable >= d.cfg.WindowDoubleAfter && d.agg < 8 {
+		d.agg *= 2
+		d.sinceStable = 0
+		d.history = d.history[:0]
+		d.DoubleEvents++
+	}
+	return ev, nil
+}
+
+// tableObserve folds one window into the signature table and reports a
+// newly confirmed phase the first time its cumulative occurrence count
+// reaches StableWindows.
+func (d *PhaseDetector) tableObserve(w WindowMetrics) *PhaseInfo {
+	var e *tableEntry
+	for i := range d.table {
+		if math.Abs(d.table[i].pcCenter-w.PCCenter) <= d.cfg.PCDev {
+			e = &d.table[i]
+			break
+		}
+	}
+	if e == nil {
+		d.table = append(d.table, tableEntry{pcCenter: w.PCCenter})
+		e = &d.table[len(d.table)-1]
+		d.TableMisses++
+	} else {
+		d.TableHits++
+	}
+	e.count++
+	e.cpiSum += w.CPI
+	e.dpiSum += w.DPI
+	// Drift the center toward recent windows.
+	e.pcCenter += (w.PCCenter - e.pcCenter) / float64(e.count)
+	if e.fired || e.count < d.cfg.StableWindows {
+		return nil
+	}
+	e.fired = true
+	return &PhaseInfo{
+		PCCenter: e.pcCenter,
+		CPI:      e.cpiSum / float64(e.count),
+		DPI:      e.dpiSum / float64(e.count),
+		DearPerK: dearPerK([]WindowMetrics{w}),
+		Windows:  []WindowMetrics{w},
+	}
+}
+
+// remember marks a consecutively-confirmed phase as fired in the table so
+// the occurrence path does not re-announce it.
+func (d *PhaseDetector) remember(info *PhaseInfo) {
+	if !d.cfg.PhaseTable {
+		return
+	}
+	for i := range d.table {
+		if math.Abs(d.table[i].pcCenter-info.PCCenter) <= d.cfg.PCDev {
+			d.table[i].fired = true
+			return
+		}
+	}
+	d.table = append(d.table, tableEntry{pcCenter: info.PCCenter, cpiSum: info.CPI, dpiSum: info.DPI, count: 1, fired: true})
+}
+
+// isStable applies the three deviation thresholds over the history.
+func (d *PhaseDetector) isStable() bool {
+	cpiM, cpiSD := meanStddev(d.history, func(m WindowMetrics) float64 { return m.CPI })
+	dpiM, dpiSD := meanStddev(d.history, func(m WindowMetrics) float64 { return m.DPI })
+	_, pcSD := meanStddev(d.history, func(m WindowMetrics) float64 { return m.PCCenter })
+	if cpiM <= 0 {
+		return false
+	}
+	if cpiSD/cpiM > d.cfg.CPIDev {
+		return false
+	}
+	// DPI deviation is relative when misses are significant; a phase
+	// with near-zero misses is stable regardless of its DPI jitter.
+	if dpiM > d.cfg.MinDPI && dpiSD/dpiM > d.cfg.DPIDev {
+		return false
+	}
+	return pcSD <= d.cfg.PCDev
+}
+
+func mergeWindows(ws []WindowMetrics) WindowMetrics {
+	if len(ws) == 1 {
+		return ws[0]
+	}
+	out := ws[0]
+	out.DearEvents = 0
+	var cyc, ret, miss float64
+	var pcSum float64
+	for _, w := range ws {
+		dRet := float64(w.Retired)
+		cyc += w.CPI * dRet
+		miss += w.DPI * dRet
+		ret += dRet
+		pcSum += w.PCCenter
+		out.DearEvents += w.DearEvents
+		out.EndCycle = w.EndCycle
+	}
+	if ret > 0 {
+		out.CPI = cyc / ret
+		out.DPI = miss / ret
+		out.Retired = uint64(ret)
+	}
+	out.PCCenter = pcSum / float64(len(ws))
+	return out
+}
+
+func meanOf(ws []WindowMetrics, f func(WindowMetrics) float64) float64 {
+	m, _ := meanStddev(ws, f)
+	return m
+}
+
+func meanStddev(ws []WindowMetrics, f func(WindowMetrics) float64) (mean, sd float64) {
+	if len(ws) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, w := range ws {
+		sum += f(w)
+	}
+	mean = sum / float64(len(ws))
+	var ss float64
+	for _, w := range ws {
+		d := f(w) - mean
+		ss += d * d
+	}
+	sd = math.Sqrt(ss / float64(len(ws)))
+	return mean, sd
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pmu"
+)
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.StableWindows = 3
+	cfg.WindowDoubleAfter = 6
+	return cfg
+}
+
+func win(seq int, cpi, dpi, pc float64) WindowMetrics {
+	return WindowMetrics{Seq: seq, CPI: cpi, DPI: dpi, PCCenter: pc, Retired: 1000}
+}
+
+func TestPhaseDetectorFindsStablePhase(t *testing.T) {
+	d := NewPhaseDetector(testCfg())
+	var got *PhaseInfo
+	for i := 0; i < 5; i++ {
+		ev, info := d.Observe(win(i, 2.0, 0.01, 0x2000))
+		if ev == PhaseStable {
+			got = info
+		}
+	}
+	if got == nil {
+		t.Fatal("no stable phase over identical windows")
+	}
+	if got.CPI != 2.0 || got.DPI != 0.01 {
+		t.Fatalf("phase info = %+v", got)
+	}
+	if !d.InStable() {
+		t.Fatal("detector not in stable state")
+	}
+}
+
+func TestPhaseDetectorNoRepeatEventForSamePhase(t *testing.T) {
+	d := NewPhaseDetector(testCfg())
+	events := 0
+	for i := 0; i < 20; i++ {
+		ev, _ := d.Observe(win(i, 2.0, 0.01, 0x2000))
+		if ev == PhaseStable {
+			events++
+		}
+	}
+	if events != 1 {
+		t.Fatalf("stable events = %d, want 1", events)
+	}
+}
+
+func TestPhaseDetectorDetectsChange(t *testing.T) {
+	d := NewPhaseDetector(testCfg())
+	for i := 0; i < 4; i++ {
+		d.Observe(win(i, 2.0, 0.01, 0x2000))
+	}
+	if !d.InStable() {
+		t.Fatal("setup failed")
+	}
+	// A very different window breaks stability.
+	ev, _ := d.Observe(win(5, 8.0, 0.08, 0x9000))
+	if ev != PhaseChanged {
+		t.Fatalf("event = %v, want PhaseChanged", ev)
+	}
+	// The new phase stabilizes and fires its own event.
+	var stable bool
+	for i := 6; i < 12; i++ {
+		e, _ := d.Observe(win(i, 8.0, 0.08, 0x9000))
+		if e == PhaseStable {
+			stable = true
+		}
+	}
+	if !stable {
+		t.Fatal("second phase never stabilized")
+	}
+}
+
+func TestPhaseDetectorHighDeviationNoPhase(t *testing.T) {
+	d := NewPhaseDetector(testCfg())
+	cpis := []float64{1, 5, 2, 9, 1, 6, 3, 8}
+	for i, c := range cpis {
+		ev, _ := d.Observe(win(i, c, 0.01, float64(0x2000+i*65536)))
+		if ev == PhaseStable {
+			t.Fatal("noisy windows reported stable")
+		}
+	}
+}
+
+func TestPhaseDetectorWindowDoubling(t *testing.T) {
+	cfg := testCfg()
+	d := NewPhaseDetector(cfg)
+	// Alternating windows never stabilize at aggregation 1; after
+	// WindowDoubleAfter windows the detector doubles.
+	for i := 0; i < cfg.WindowDoubleAfter+2; i++ {
+		cpi := 2.0
+		if i%2 == 1 {
+			cpi = 6.0
+		}
+		d.Observe(win(i, cpi, 0.01, 0x2000))
+	}
+	if d.Aggregation() < 2 {
+		t.Fatalf("aggregation = %d, want >= 2", d.Aggregation())
+	}
+	if d.DoubleEvents == 0 {
+		t.Fatal("no doubling events recorded")
+	}
+}
+
+func TestUEBWindowMetricsFromCounters(t *testing.T) {
+	u := NewUEB(4)
+	mk := func(idx int, cyc, ret, miss uint64, pc uint64) pmu.Sample {
+		return pmu.Sample{Index: uint64(idx), PC: pc, Cycles: cyc, Retired: ret, DMiss: miss}
+	}
+	// First window: counters 0->1000 cycles, 0->500 insts, 0->5 misses.
+	w1 := u.AddWindow([]pmu.Sample{
+		mk(0, 100, 50, 1, 0x2000),
+		mk(1, 500, 250, 3, 0x2010),
+		mk(2, 1000, 500, 5, 0x2020),
+	})
+	if w1.CPI < 1.9 || w1.CPI > 2.3 {
+		t.Fatalf("w1 CPI = %v", w1.CPI)
+	}
+	// Second window continues accumulative counters; deltas are taken
+	// against the previous window's last sample.
+	w2 := u.AddWindow([]pmu.Sample{
+		mk(3, 2000, 1000, 10, 0x2000),
+		mk(4, 3000, 1500, 15, 0x2010),
+	})
+	wantCPI := float64(3000-1000) / float64(1500-500)
+	if w2.CPI != wantCPI {
+		t.Fatalf("w2 CPI = %v, want %v", w2.CPI, wantCPI)
+	}
+	wantDPI := float64(15-5) / float64(1500-500)
+	if w2.DPI != wantDPI {
+		t.Fatalf("w2 DPI = %v, want %v", w2.DPI, wantDPI)
+	}
+}
+
+func TestUEBEvictsOldWindows(t *testing.T) {
+	u := NewUEB(2)
+	for i := 0; i < 5; i++ {
+		u.AddWindow([]pmu.Sample{{Index: uint64(i), PC: 0x1000, Cycles: uint64(i * 1000), Retired: uint64(i * 100)}})
+	}
+	if len(u.Windows()) != 2 {
+		t.Fatalf("windows = %d, want 2", len(u.Windows()))
+	}
+	if u.Seq() != 5 {
+		t.Fatalf("seq = %d", u.Seq())
+	}
+	ws := u.Windows()
+	if ws[0].Seq != 3 || ws[1].Seq != 4 {
+		t.Fatalf("kept wrong windows: %v %v", ws[0].Seq, ws[1].Seq)
+	}
+}
+
+func TestPCCenterOutlierRemoval(t *testing.T) {
+	samples := make([]pmu.Sample, 0, 40)
+	for i := 0; i < 38; i++ {
+		samples = append(samples, pmu.Sample{PC: 0x2000 + uint64(i%4)*16})
+	}
+	// Two far outliers (e.g. a library call's PCs).
+	samples = append(samples, pmu.Sample{PC: 0x900000}, pmu.Sample{PC: 0x910000})
+	center, dev := pcCenter(samples)
+	if center < 0x2000-64 || center > 0x2000+256 {
+		t.Fatalf("center = %#x, outliers not removed", uint64(center))
+	}
+	if dev > 64 {
+		t.Fatalf("dev = %v after outlier removal", dev)
+	}
+}
+
+func TestTraceSelectionFromBTB(t *testing.T) {
+	// Synthetic samples describing a hot loop at 0x2000 whose back edge
+	// at 0x2020+2 jumps to 0x2000 (taken 95%).
+	var samples []pmu.Sample
+	for i := 0; i < 100; i++ {
+		s := pmu.Sample{PC: 0x2010, NBTB: 1}
+		s.BTB[0] = pmu.BranchRec{Src: 0x2022, Dst: 0x2000, Taken: i%20 != 0}
+		samples = append(samples, s)
+	}
+	prof := buildPathProfile(samples)
+	bias, ok := prof.bias(0x2022)
+	if !ok || bias < 0.9 {
+		t.Fatalf("bias = %v, %v", bias, ok)
+	}
+	hot := prof.hotTargets()
+	if len(hot) != 1 || hot[0] != 0x2000 {
+		t.Fatalf("hot targets = %v", hot)
+	}
+}
+
+// The PhaseTable extension recognizes phases whose visits alternate faster
+// than StableWindows consecutive windows — the §6 "rapid phase changes"
+// improvement. The stock detector never fires on a strict a/b/a/b window
+// alternation (even window doubling only merges the pair); the table
+// accumulates occurrences per signature and fires both.
+func TestPhaseTableCatchesAlternation(t *testing.T) {
+	cfg := testCfg()
+	cfg.WindowDoubleAfter = 0 // isolate the mechanism from doubling
+
+	stock := NewPhaseDetector(cfg)
+	cfg2 := cfg
+	cfg2.PhaseTable = true
+	table := NewPhaseDetector(cfg2)
+
+	window := func(i int) WindowMetrics {
+		if i%2 == 0 {
+			return win(i, 2.0, 0.02, 0x2000)
+		}
+		return win(i, 6.0, 0.05, 0x9000)
+	}
+	stockFires, tableFires := 0, 0
+	var tableSigs []float64
+	for i := 0; i < 12; i++ {
+		if ev, _ := stock.Observe(window(i)); ev == PhaseStable {
+			stockFires++
+		}
+		if ev, info := table.Observe(window(i)); ev == PhaseStable {
+			tableFires++
+			tableSigs = append(tableSigs, info.PCCenter)
+		}
+	}
+	if stockFires != 0 {
+		t.Fatalf("stock detector fired %d times on strict alternation", stockFires)
+	}
+	if tableFires != 2 {
+		t.Fatalf("table fired %d times, want 2 (one per phase)", tableFires)
+	}
+	near := func(sig, want float64) bool { return sig > want-512 && sig < want+512 }
+	if !near(tableSigs[0], 0x2000) || !near(tableSigs[1], 0x9000) {
+		t.Fatalf("table signatures = %v", tableSigs)
+	}
+	if table.TableHits == 0 {
+		t.Fatal("no table hits recorded")
+	}
+}
+
+// A phase confirmed by the consecutive rule must not be re-announced by
+// the occurrence path.
+func TestPhaseTableNoDoubleFire(t *testing.T) {
+	cfg := testCfg()
+	cfg.PhaseTable = true
+	d := NewPhaseDetector(cfg)
+	fires := 0
+	for i := 0; i < 20; i++ {
+		if ev, _ := d.Observe(win(i, 2.0, 0.02, 0x2000)); ev == PhaseStable {
+			fires++
+		}
+	}
+	if fires != 1 {
+		t.Fatalf("steady phase fired %d times with table enabled, want 1", fires)
+	}
+}

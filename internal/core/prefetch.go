@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/pmu"
+)
+
+// DelinquentLoad aggregates the DEAR events attributed to one load
+// instruction inside a selected trace.
+type DelinquentLoad struct {
+	Bundle, Slot int    // trace coordinates
+	PC           uint64 // original program counter
+	Count        int
+	TotalLatency uint64
+	AvgLatency   float64
+}
+
+// FindDelinquentLoads maps the DEAR records of the sampled miss events onto
+// a trace and ranks the loads by their share of total miss latency,
+// keeping the top cfg.MaxDelinquentLoads ("prefetching in ADORE is applied
+// to at most the top three miss instructions in each loop-type trace").
+func FindDelinquentLoads(t *Trace, samples []pmu.Sample, cfg Config) []DelinquentLoad {
+	byAddr := make(map[uint64]int, len(t.Orig))
+	for i, a := range t.Orig {
+		if a != 0 {
+			byAddr[a] = i
+		}
+	}
+	agg := make(map[uint64]*DelinquentLoad)
+	var total uint64
+	for i := range samples {
+		d := samples[i].DEAR
+		if !d.Valid {
+			continue
+		}
+		bundleAddr := d.PC &^ uint64(isa.BundleBytes-1)
+		bi, ok := byAddr[bundleAddr]
+		if !ok {
+			continue
+		}
+		slot := int(d.PC & uint64(isa.BundleBytes-1))
+		if slot > 2 || !isa.IsLoad(t.Bundles[bi].Slots[slot].Op) {
+			continue
+		}
+		dl := agg[d.PC]
+		if dl == nil {
+			dl = &DelinquentLoad{Bundle: bi, Slot: slot, PC: d.PC}
+			agg[d.PC] = dl
+		}
+		dl.Count++
+		dl.TotalLatency += uint64(d.Latency)
+		total += uint64(d.Latency)
+	}
+	out := make([]DelinquentLoad, 0, len(agg))
+	for _, dl := range agg {
+		dl.AvgLatency = float64(dl.TotalLatency) / float64(dl.Count)
+		if total > 0 && float64(dl.TotalLatency) < cfg.MinLatencyShare*float64(total) {
+			continue
+		}
+		out = append(out, *dl)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalLatency != out[j].TotalLatency {
+			return out[i].TotalLatency > out[j].TotalLatency
+		}
+		return out[i].PC < out[j].PC
+	})
+	if len(out) > cfg.MaxDelinquentLoads {
+		out = out[:cfg.MaxDelinquentLoads]
+	}
+	return out
+}
+
+// FailedLoad describes a delinquent load whose reference pattern could not
+// be classified — the candidates for the stride-profiling instrumentation
+// extension.
+type FailedLoad struct {
+	PC         uint64
+	AddrReg    isa.Reg
+	AvgLatency float64
+}
+
+// OptimizeResult reports what the runtime prefetcher inserted into a trace.
+type OptimizeResult struct {
+	Direct   int
+	Indirect int
+	Pointer  int
+	Failures int // analysis or scheduling failures
+	Skipped  int // direct loads skipped because static lfetch already present
+
+	// Unknown lists loads that failed classification (pattern unknown),
+	// as opposed to scheduling or budget failures.
+	Unknown []FailedLoad
+
+	// RegsUsed counts the reserved registers consumed, so extensions can
+	// tell whether r29/r30 remain free.
+	RegsUsed int
+}
+
+// Total returns the number of prefetch sequences inserted.
+func (r OptimizeResult) Total() int { return r.Direct + r.Indirect + r.Pointer }
+
+// Optimizer implements §3: runtime prefetch generation for a loop trace.
+type Optimizer struct {
+	cfg Config
+}
+
+// NewOptimizer returns an optimizer with the given configuration.
+func NewOptimizer(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
+
+// Optimize analyzes the delinquent loads of a loop trace and splices in
+// prefetch code, using the reserved registers r27-r30. phaseCPI feeds the
+// prefetch-distance computation (distance = avg latency / loop body
+// cycles). The trace is mutated in place.
+func (o *Optimizer) Optimize(t *Trace, loads []DelinquentLoad, phaseCPI float64) OptimizeResult {
+	var res OptimizeResult
+	if !t.IsLoop || len(loads) == 0 {
+		return res
+	}
+	b := flatten(t)
+	bodyCycles := phaseCPI * float64(b.countFrom(t.LoopHead))
+	if bodyCycles < 1 {
+		bodyCycles = 1
+	}
+	hasStatic := t.ContainsLfetch()
+
+	ed := &editor{t: t, naive: o.cfg.NaiveSchedule}
+	reserved := []isa.Reg{isa.ReservedGRFirst, isa.ReservedGRFirst + 1, isa.ReservedGRFirst + 2, isa.ReservedGRLast}
+
+	for _, dl := range loads {
+		// Re-derive the load's trace coordinates from its original PC:
+		// earlier insertions shift bundle indices, but Orig entries of
+		// original bundles are stable.
+		pos := -1
+		bundleAddr := dl.PC &^ uint64(isa.BundleBytes-1)
+		slot := int(dl.PC & uint64(isa.BundleBytes-1))
+		for bi, a := range t.Orig {
+			if a == bundleAddr {
+				pos = b.find(bi, slot)
+				break
+			}
+		}
+		if pos < 0 {
+			res.Failures++
+			continue
+		}
+		an := b.classify(pos)
+		load := b.insts[pos].in
+		isFP := load.Op == isa.OpLdF
+
+		switch an.Pattern {
+		case PatternDirect:
+			if hasStatic {
+				// O3 binaries already prefetch analyzable strided
+				// references; do not double-prefetch them.
+				res.Skipped++
+				continue
+			}
+			if len(reserved) < 1 {
+				res.Failures++
+				continue
+			}
+			rp := reserved[0]
+			dist := o.distanceBytes(dl.AvgLatency, bodyCycles, an.Stride, isFP)
+			if dist == 0 {
+				res.Failures++
+				continue
+			}
+			if !ed.emitDirect(b, an, rp, dist) {
+				res.Failures++
+				continue
+			}
+			reserved = reserved[1:]
+			res.RegsUsed++
+			res.Direct++
+
+		case PatternIndirect:
+			if len(reserved) < 3 {
+				res.Failures++
+				continue
+			}
+			d1 := o.distanceBytes(dl.AvgLatency, bodyCycles, an.FeederStride, false)
+			if d1 == 0 {
+				res.Failures++
+				continue
+			}
+			d2 := 2 * d1 // level-1 prefetch runs further ahead (Fig. 6B)
+			if !ed.emitIndirect(b, an, reserved[0], reserved[1], reserved[2], d1, d2) {
+				res.Failures++
+				continue
+			}
+			reserved = reserved[3:]
+			res.RegsUsed += 3
+			res.Indirect++
+
+		case PatternPointer:
+			if len(reserved) < 1 {
+				res.Failures++
+				continue
+			}
+			if !ed.emitPointer(b, an, reserved[0], o.cfg.IterAheadLog2) {
+				res.Failures++
+				continue
+			}
+			reserved = reserved[1:]
+			res.RegsUsed++
+			res.Pointer++
+
+		default:
+			res.Failures++
+			res.Unknown = append(res.Unknown, FailedLoad{
+				PC: dl.PC, AddrReg: load.R3, AvgLatency: dl.AvgLatency,
+			})
+		}
+		// Editing invalidates flattened positions: re-flatten for the
+		// next load's analysis.
+		b = flatten(t)
+	}
+	return res
+}
+
+// distanceBytes computes the prefetch distance: ceil(avg latency / loop
+// body cycles) iterations, times the stride, with small integer strides
+// aligned up to the L1D line size (§3.3: "for small strides in integer
+// programs, prefetch distances are aligned to L1D cache line size (not for
+// FP operations since they bypass L1 cache)").
+func (o *Optimizer) distanceBytes(avgLat, bodyCycles float64, stride int64, isFP bool) int64 {
+	if stride == 0 {
+		return 0
+	}
+	// A 50% margin over the paper's exact formula keeps the fill ahead of
+	// the demand stream under bus-queueing jitter; the exact distance
+	// arrives just-in-time on average and therefore late half the time.
+	iters := int64(1.5*avgLat/bodyCycles) + 2
+	if iters < 1 {
+		iters = 1
+	}
+	if o.cfg.MaxPrefetchIters > 0 && iters > o.cfg.MaxPrefetchIters {
+		iters = o.cfg.MaxPrefetchIters
+	}
+	dist := iters * stride
+	if o.cfg.NoLineAlign {
+		return dist
+	}
+	const line = 64
+	if !isFP && stride > 0 && stride < line {
+		dist = (dist + line - 1) / line * line
+	}
+	if !isFP && stride < 0 && stride > -line {
+		dist = -((-dist + line - 1) / line * line)
+	}
+	return dist
+}
+
+// countFrom counts non-nop instructions at or after the loop-head bundle.
+func (b *body) countFrom(loopHead int) int {
+	n := 0
+	for i := range b.insts {
+		if b.insts[i].bundle >= loopHead {
+			n++
+		}
+	}
+	if n == 0 {
+		n = len(b.insts)
+	}
+	return n
+}

@@ -1,0 +1,309 @@
+package core
+
+import "repro/internal/isa"
+
+// editor splices prefetch code into a trace: prologue instructions go into
+// new bundles ahead of the loop head (executed once on trace entry), body
+// instructions are scheduled into otherwise wasted empty slots (§3.5) and
+// only force a new bundle when no compatible slot exists.
+type editor struct {
+	t     *Trace
+	naive bool // ablation: never reuse free slots, always add bundles
+}
+
+// emitDirect implements Fig. 6A: initialize a prefetch cursor ahead of the
+// load's address register, then a single lfetch whose post-increment both
+// prefetches and advances the stride (the §3.4 redundancy optimization).
+func (ed *editor) emitDirect(b *body, an Analysis, rp isa.Reg, distBytes int64) bool {
+	ed.prologue([]isa.Inst{
+		{Op: isa.OpAddI, R1: rp, Imm: distBytes, R3: an.AddrReg},
+	})
+	_, _, ok := ed.place(isa.Inst{Op: isa.OpLfetch, R3: rp, PostInc: an.Stride},
+		ed.t.LoopHead, 0, true)
+	return ok
+}
+
+// emitIndirect implements Fig. 6B: a speculative copy of the feeder load
+// runs d1 bytes ahead through rCur into rVal, the transform chain is
+// replayed in place on rVal to recompute the future second-level address,
+// and a second cursor rL1 prefetches the first level d2 bytes ahead.
+// (The paper's example uses a fourth register for the transform result;
+// a linear chain can overwrite the ld.s destination instead, leaving one
+// more reserved register for other delinquent loads.)
+func (ed *editor) emitIndirect(b *body, an Analysis, rCur, rVal, rL1 isa.Reg, d1, d2 int64) bool {
+	rT := rVal
+	feederInst := b.insts[an.FeederPos].in
+	ed.prologue([]isa.Inst{
+		{Op: isa.OpAddI, R1: rCur, Imm: d1, R3: an.FeederAddrReg},
+		{Op: isa.OpAddI, R1: rL1, Imm: d2, R3: an.FeederAddrReg},
+	})
+	// The prologue shifted bundle indices: re-locate the feeder.
+	nb := flatten(ed.t)
+	fpos := findInst(nb, feederInst)
+	if fpos < 0 {
+		return false
+	}
+	feeder := nb.insts[fpos]
+	if feeder.in.Op == isa.OpLdF {
+		return false // float-valued feeders cannot index integer slices
+	}
+	// The advanced feeder copy must keep the feeder's access size (the
+	// paper's ld4.s in Fig. 6B) or the recomputed index is garbage.
+	specLoad := feeder.in
+	specLoad.QP = 0
+	specLoad.R1 = rVal
+	specLoad.R3 = rCur
+	specLoad.PostInc = an.FeederStride
+	specLoad.Spec = true
+	seq := []isa.Inst{specLoad}
+	// Replay the transform chain with substituted registers: the feeder's
+	// destination becomes rVal, every intermediate destination becomes rT.
+	sub := map[isa.Reg]isa.Reg{an.FeederDstReg: rVal}
+	for _, tr := range an.Transform {
+		in := tr
+		d, ok := in.RegDef()
+		if !ok {
+			return false
+		}
+		in.R1 = rT
+		in.R2 = subst(sub, in.R2)
+		in.R3 = subst(sub, in.R3)
+		sub[d] = rT
+		seq = append(seq, in)
+	}
+	if an.TransformDelta != 0 {
+		last := rT
+		if len(an.Transform) == 0 {
+			last = rVal
+		}
+		seq = append(seq, isa.Inst{Op: isa.OpAddI, R1: rT, Imm: an.TransformDelta, R3: last})
+	}
+	target := rT
+	if len(an.Transform) == 0 && an.TransformDelta == 0 {
+		target = rVal
+	}
+	seq = append(seq,
+		isa.Inst{Op: isa.OpLfetch, R3: target},
+		isa.Inst{Op: isa.OpLfetch, R3: rL1, PostInc: an.FeederStride},
+	)
+
+	// Keep the sequence after the feeder's position so per-iteration
+	// advancement stays aligned with the loop's own cursor.
+	minB, minS := feeder.bundle, feeder.slot+1
+	for _, in := range seq {
+		bi, si, ok := ed.place(in, minB, minS, false)
+		if !ok {
+			return false
+		}
+		minB, minS = bi, si+1
+	}
+	return true
+}
+
+func subst(m map[isa.Reg]isa.Reg, r isa.Reg) isa.Reg {
+	if n, ok := m[r]; ok {
+		return n
+	}
+	return r
+}
+
+// emitPointer implements Fig. 6C: remember the induction pointer at the
+// loop top, and after it advances compute the per-iteration delta, amplify
+// it by 2^iterLog2 iterations, and prefetch the projected future node.
+func (ed *editor) emitPointer(b *body, an Analysis, rp isa.Reg, iterLog2 int64) bool {
+	upd := b.insts[an.UpdatePos]
+	// Copy must execute before the update; prefer a free slot in the
+	// bundles ahead of it, else a fresh bundle at the loop head.
+	copyInst := isa.Inst{Op: isa.OpAddI, R1: rp, Imm: 0, R3: an.InductionReg}
+	if !ed.placeBefore(copyInst, upd.bundle, upd.slot) {
+		return false
+	}
+	// Editing above may have shifted bundle indices; re-flatten and
+	// relocate the update instruction.
+	nb := flatten(ed.t)
+	updPos := findInst(nb, upd.in)
+	if updPos < 0 {
+		return false
+	}
+	upd2 := nb.insts[updPos]
+	seq := []isa.Inst{
+		{Op: isa.OpSub, R1: rp, R2: an.InductionReg, R3: rp},
+		{Op: isa.OpShlAdd, R1: rp, R2: rp, Imm: iterLog2, R3: an.InductionReg},
+		{Op: isa.OpLfetch, R3: rp},
+	}
+	minB, minS := upd2.bundle, upd2.slot+1
+	for _, in := range seq {
+		bi, si, ok := ed.place(in, minB, minS, false)
+		if !ok {
+			return false
+		}
+		minB, minS = bi, si+1
+	}
+	return true
+}
+
+// findInst locates an instruction identical to in (prefetch code never
+// duplicates original instructions exactly, and original loop bodies do not
+// repeat the same fully-specified instruction in a way that matters here).
+func findInst(b *body, in isa.Inst) int {
+	for i := range b.insts {
+		if b.insts[i].in == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// prologue prepends instructions ahead of the loop head, packed into new
+// bundles. The trace entry runs them once before falling into the loop.
+func (ed *editor) prologue(insts []isa.Inst) {
+	var bundles []isa.Bundle
+	i := 0
+	for i < len(insts) {
+		n := len(insts) - i
+		if n > 3 {
+			n = 3
+		}
+		for {
+			units := make([]isa.Unit, n)
+			for j := 0; j < n; j++ {
+				units[j] = isa.UnitOf(insts[i+j].Op)
+			}
+			tmpl, slots, ok := isa.AssignSlots(units)
+			if ok {
+				var bd isa.Bundle
+				bd.Tmpl = tmpl
+				for j := 0; j < n; j++ {
+					bd.Slots[slots[j]] = insts[i+j]
+				}
+				bundles = append(bundles, bd)
+				i += n
+				break
+			}
+			n--
+			if n == 0 {
+				// A single instruction always fits some template.
+				panic("core: unplaceable prologue instruction")
+			}
+		}
+	}
+	ed.insertBundles(ed.t.LoopHead, bundles)
+	ed.t.LoopHead += len(bundles)
+	ed.t.BackEdge += len(bundles)
+}
+
+// insertBundles splices bundles at index k.
+func (ed *editor) insertBundles(k int, bs []isa.Bundle) {
+	t := ed.t
+	t.Bundles = append(t.Bundles[:k], append(append([]isa.Bundle{}, bs...), t.Bundles[k:]...)...)
+	origs := make([]uint64, len(bs))
+	t.Orig = append(t.Orig[:k], append(origs, t.Orig[k:]...)...)
+}
+
+// freeSlotFrom finds a nop slot in bd at or after startSlot that accepts
+// unit u, refusing to pass a branch in either direction.
+func freeSlotFrom(bd *isa.Bundle, u isa.Unit, startSlot int) int {
+	units := bd.Tmpl.SlotUnits()
+	for i := 0; i < 3; i++ {
+		if isa.IsBranch(bd.Slots[i].Op) {
+			return -1
+		}
+		if i < startSlot {
+			continue
+		}
+		if bd.Slots[i].Op == isa.OpNop && isa.SlotAccepts(units[i], u) && units[i] != isa.UnitLX {
+			return i
+		}
+	}
+	return -1
+}
+
+// place schedules in at the first free compatible slot at or after
+// (minBundle, minSlot), inserting a fresh bundle before the back edge when
+// no slot exists. Sequence placements pass allowBackEdge=false so that
+// later members of the sequence never run out of room behind the branch.
+// Returns the placement.
+func (ed *editor) place(in isa.Inst, minBundle, minSlot int, allowBackEdge bool) (int, int, bool) {
+	t := ed.t
+	u := isa.UnitOf(in.Op)
+	limit := t.BackEdge
+	if !allowBackEdge {
+		limit = t.BackEdge - 1
+	}
+	if !ed.naive {
+		for bi := minBundle; bi <= limit && bi < len(t.Bundles); bi++ {
+			start := 0
+			if bi == minBundle {
+				start = minSlot
+			}
+			if s := freeSlotFrom(&t.Bundles[bi], u, start); s >= 0 {
+				t.Bundles[bi].Slots[s] = in
+				return bi, s, true
+			}
+		}
+	}
+	// New bundle: insert after the constraint point but before the
+	// back-edge bundle.
+	k := minBundle + 1
+	if minSlot == 0 {
+		k = minBundle
+	}
+	if k > t.BackEdge {
+		k = t.BackEdge
+	}
+	if k < minBundle || (k == minBundle && minSlot > 0) {
+		// The constraint point lies at or beyond the back edge: there
+		// is nowhere inside the loop to put the instruction after it.
+		return 0, 0, false
+	}
+	tmpl, slots, ok := isa.AssignSlots([]isa.Unit{u})
+	if !ok {
+		return 0, 0, false
+	}
+	var bd isa.Bundle
+	bd.Tmpl = tmpl
+	bd.Slots[slots[0]] = in
+	ed.insertBundles(k, []isa.Bundle{bd})
+	t.BackEdge++
+	if k < t.LoopHead {
+		// Body placements insert at or after the loop head; a bundle
+		// at exactly LoopHead extends the loop downward and must stay
+		// inside it.
+		t.LoopHead++
+	}
+	return k, slots[0], true
+}
+
+// placeBefore schedules in strictly before (maxBundle, maxSlot), falling
+// back to a fresh bundle at the loop head.
+func (ed *editor) placeBefore(in isa.Inst, maxBundle, maxSlot int) bool {
+	t := ed.t
+	u := isa.UnitOf(in.Op)
+	for bi := t.LoopHead; bi <= maxBundle && bi < len(t.Bundles); bi++ {
+		limit := 3
+		if bi == maxBundle {
+			limit = maxSlot
+		}
+		units := t.Bundles[bi].Tmpl.SlotUnits()
+		for s := 0; s < limit; s++ {
+			if isa.IsBranch(t.Bundles[bi].Slots[s].Op) {
+				break
+			}
+			if t.Bundles[bi].Slots[s].Op == isa.OpNop &&
+				isa.SlotAccepts(units[s], u) && units[s] != isa.UnitLX {
+				t.Bundles[bi].Slots[s] = in
+				return true
+			}
+		}
+	}
+	tmpl, slots, ok := isa.AssignSlots([]isa.Unit{u})
+	if !ok {
+		return false
+	}
+	var bd isa.Bundle
+	bd.Tmpl = tmpl
+	bd.Slots[slots[0]] = in
+	ed.insertBundles(t.LoopHead, []isa.Bundle{bd})
+	t.BackEdge++
+	return true
+}

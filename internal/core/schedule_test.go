@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// twoBundleLoop builds a loop trace with a free M slot in the first bundle
+// and a free I slot in the latch.
+func twoBundleLoop() *Trace {
+	t := &Trace{Start: 0x1000, IsLoop: true, LoopHead: 0, BackEdge: 1}
+	t.append(0x1000, isa.Bundle{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{
+		{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+		isa.Nop, // free M slot
+		{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10},
+	}})
+	t.append(0x1010, isa.Bundle{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{
+		{Op: isa.OpCmpI, Rel: isa.CmpLt, P1: 1, P2: 2, Imm: 0, R3: 10},
+		isa.Nop, // free I slot
+		{Op: isa.OpBrCond, QP: 1, Target: 0x1000},
+	}})
+	return t
+}
+
+func TestPlaceReusesFreeSlot(t *testing.T) {
+	tr := twoBundleLoop()
+	ed := &editor{t: tr}
+	lf := isa.Inst{Op: isa.OpLfetch, R3: 27, PostInc: 8}
+	bi, si, ok := ed.place(lf, 0, 0, true)
+	if !ok || bi != 0 || si != 1 {
+		t.Fatalf("placed at (%d,%d,%v), want (0,1)", bi, si, ok)
+	}
+	if len(tr.Bundles) != 2 {
+		t.Fatal("new bundle inserted despite free slot")
+	}
+	if tr.Bundles[0].Slots[1] != lf {
+		t.Fatal("slot not written")
+	}
+}
+
+func TestPlaceRespectsUnitTyping(t *testing.T) {
+	tr := twoBundleLoop()
+	ed := &editor{t: tr}
+	// An A-type op fits the free I slot in the latch when back-edge reuse
+	// is allowed...
+	add := isa.Inst{Op: isa.OpAddI, R1: 28, Imm: 4, R3: 28}
+	bi, si, ok := ed.place(add, 1, 0, true)
+	if !ok || bi != 1 || si != 1 {
+		t.Fatalf("A-type placement = (%d,%d,%v)", bi, si, ok)
+	}
+	// ...but an lfetch (M unit) cannot use an I slot: a fresh bundle is
+	// inserted before the back edge.
+	tr2 := twoBundleLoop()
+	tr2.Bundles[0].Slots[1] = isa.Inst{Op: isa.OpLd8, R1: 21, R3: 15} // fill the M slot
+	ed2 := &editor{t: tr2}
+	lf := isa.Inst{Op: isa.OpLfetch, R3: 27}
+	bi, _, ok = ed2.place(lf, 0, 0, false)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if len(tr2.Bundles) != 3 {
+		t.Fatalf("bundles = %d, want 3 (new bundle)", len(tr2.Bundles))
+	}
+	if tr2.BackEdge != 2 {
+		t.Fatalf("back edge not shifted: %d", tr2.BackEdge)
+	}
+	if bi >= tr2.BackEdge {
+		t.Fatal("instruction placed at or after back edge")
+	}
+}
+
+func TestPlaceOrderingConstraint(t *testing.T) {
+	tr := twoBundleLoop()
+	ed := &editor{t: tr}
+	// Constraint (0,2) means after slot 1: the free M slot at (0,1) is
+	// not allowed.
+	lf := isa.Inst{Op: isa.OpLfetch, R3: 27}
+	bi, si, ok := ed.place(lf, 0, 2, false)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if bi == 0 && si <= 1 {
+		t.Fatalf("ordering violated: placed at (%d,%d)", bi, si)
+	}
+}
+
+func TestNaiveScheduleAlwaysInsertsBundles(t *testing.T) {
+	tr := twoBundleLoop()
+	ed := &editor{t: tr, naive: true}
+	lf := isa.Inst{Op: isa.OpLfetch, R3: 27, PostInc: 8}
+	_, _, ok := ed.place(lf, 0, 0, true)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if len(tr.Bundles) != 3 {
+		t.Fatalf("naive schedule reused a slot: %d bundles", len(tr.Bundles))
+	}
+}
+
+func TestPrologueShiftsLoopHeadAndBackEdge(t *testing.T) {
+	tr := twoBundleLoop()
+	ed := &editor{t: tr}
+	ed.prologue([]isa.Inst{
+		{Op: isa.OpAddI, R1: 27, Imm: 128, R3: 14},
+		{Op: isa.OpAddI, R1: 28, Imm: 256, R3: 14},
+	})
+	if tr.LoopHead != 1 || tr.BackEdge != 2 {
+		t.Fatalf("head/backEdge = %d/%d, want 1/2", tr.LoopHead, tr.BackEdge)
+	}
+	if len(tr.Bundles) != 3 {
+		t.Fatalf("bundles = %d", len(tr.Bundles))
+	}
+	// Both adds packed into one bundle.
+	n := 0
+	for _, in := range tr.Bundles[0].Slots {
+		if in.Op == isa.OpAddI {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Fatalf("prologue adds in first bundle = %d", n)
+	}
+	// Synthesized bundles have no original address.
+	if tr.Orig[0] != 0 {
+		t.Fatalf("prologue bundle has orig %#x", tr.Orig[0])
+	}
+}
+
+func TestPlaceBeforeFallsBackToLoopHead(t *testing.T) {
+	tr := twoBundleLoop()
+	// Fill every slot before the constraint.
+	tr.Bundles[0].Slots[1] = isa.Inst{Op: isa.OpLd8, R1: 21, R3: 15}
+	ed := &editor{t: tr}
+	cp := isa.Inst{Op: isa.OpAddI, R1: 28, Imm: 0, R3: 11}
+	if !ed.placeBefore(cp, 0, 0) {
+		t.Fatal("placeBefore failed")
+	}
+	// A new bundle at the loop head, still inside the loop.
+	if len(tr.Bundles) != 3 || tr.LoopHead != 0 || tr.BackEdge != 2 {
+		t.Fatalf("layout after placeBefore: %d bundles, head %d, backEdge %d",
+			len(tr.Bundles), tr.LoopHead, tr.BackEdge)
+	}
+	found := false
+	for _, in := range tr.Bundles[0].Slots {
+		if in == cp {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("copy not at loop head")
+	}
+}
+
+func TestEmittedTracesStayValid(t *testing.T) {
+	// After a full optimization pass, every bundle still validates.
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd4, R1: 20, R3: 16, PostInc: 4},
+		{Op: isa.OpAdd, R1: 15, R2: 25, R3: 20},
+		{Op: isa.OpLd8, R1: 17, R3: 15},
+		{Op: isa.OpLd8, R1: 21, R3: 14, PostInc: 8},
+	})
+	b := flatten(tr)
+	var loads []DelinquentLoad
+	for _, fi := range b.insts {
+		if isa.IsLoad(fi.in.Op) {
+			loads = append(loads, DelinquentLoad{
+				Bundle: fi.bundle, Slot: fi.slot,
+				PC:    tr.Orig[fi.bundle] + uint64(fi.slot),
+				Count: 10, TotalLatency: 1500, AvgLatency: 150,
+			})
+		}
+	}
+	res := NewOptimizer(DefaultConfig()).Optimize(tr, loads, 2.0)
+	if res.Total() == 0 {
+		t.Fatalf("nothing inserted: %+v", res)
+	}
+	for i, bd := range tr.Bundles {
+		if err := bd.Validate(); err != nil {
+			t.Errorf("bundle %d invalid after optimization: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import "repro/internal/isa"
+
+// Pattern is the paper's data reference pattern taxonomy (Fig. 5).
+type Pattern uint8
+
+const (
+	PatternUnknown  Pattern = iota
+	PatternDirect           // single-level strided array reference
+	PatternIndirect         // multi-level access: a strided load feeds the address
+	PatternPointer          // pointer-chasing: the address advances through memory
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatternDirect:
+		return "direct"
+	case PatternIndirect:
+		return "indirect"
+	case PatternPointer:
+		return "pointer-chasing"
+	}
+	return "unknown"
+}
+
+// flatInst is one instruction of a flattened loop trace.
+type flatInst struct {
+	pos    int
+	bundle int
+	slot   int
+	in     isa.Inst
+}
+
+// body is the flattened instruction view of a loop trace, the structure
+// over which dependence slices are extracted.
+type body struct {
+	insts []flatInst
+}
+
+// flatten lists the non-nop instructions of a trace in execution order.
+func flatten(t *Trace) *body {
+	b := &body{}
+	for bi := range t.Bundles {
+		for si := 0; si < 3; si++ {
+			in := t.Bundles[bi].Slots[si]
+			if in.Op == isa.OpNop {
+				continue
+			}
+			b.insts = append(b.insts, flatInst{
+				pos: len(b.insts), bundle: bi, slot: si, in: in,
+			})
+		}
+	}
+	return b
+}
+
+// find returns the body position of the instruction at the given original
+// trace coordinates, or -1.
+func (b *body) find(bundle, slot int) int {
+	for i := range b.insts {
+		if b.insts[i].bundle == bundle && b.insts[i].slot == slot {
+			return i
+		}
+	}
+	return -1
+}
+
+// selfUpdate reports whether in is a pure induction step of r: a
+// post-increment on r or an immediate add r = imm, r. These accumulate a
+// constant per iteration without redefining the register's lineage.
+func selfUpdate(in *isa.Inst, r isa.Reg) (int64, bool) {
+	if pr, ok := in.PostIncDef(); ok && pr == r {
+		if d, dok := in.RegDef(); dok && d == r {
+			// r = [r], inc — the destination overwrites the lineage.
+			return 0, false
+		}
+		return in.PostInc, true
+	}
+	if in.Op == isa.OpAddI && in.R1 == r && in.R3 == r {
+		return in.Imm, true
+	}
+	return 0, false
+}
+
+// defines reports whether in writes r (result or post-increment).
+func defines(in *isa.Inst, r isa.Reg) bool {
+	if d, ok := in.RegDef(); ok && d == r {
+		return true
+	}
+	if d, ok := in.PostIncDef(); ok && d == r {
+		return true
+	}
+	return false
+}
+
+// walkAddr walks backwards from position from (exclusive), wrapping around
+// the loop at most once, following register r's lineage. Pure induction
+// steps accumulate into delta; the walk stops at the first generating
+// definition (anything else that writes r).
+//
+// Returns (nil, delta) when r is only ever self-updated — a pure induction
+// register whose per-iteration stride is delta — or (def, delta) where
+// delta is the self-update contribution between def and the start point.
+func (b *body) walkAddr(from int, r isa.Reg) (def *flatInst, delta int64) {
+	n := len(b.insts)
+	for step := 1; step <= n; step++ {
+		i := ((from-step)%n + n) % n
+		in := &b.insts[i].in
+		if !defines(in, r) {
+			continue
+		}
+		if d, ok := selfUpdate(in, r); ok {
+			delta += d
+			continue
+		}
+		return &b.insts[i], delta
+	}
+	return nil, delta
+}
+
+// poison reports ops the slicer refuses to trace through — the paper's
+// "complex address calculation patterns (e.g. function call or fp-int
+// conversion), causing the dynamic optimizer to fail".
+func poison(op isa.Op) bool {
+	switch op {
+	case isa.OpGetF, isa.OpFCvtFX, isa.OpBrCall, isa.OpBrRet, isa.OpSetF, isa.OpFCvtXF:
+		return true
+	}
+	return false
+}
+
+// aType reports the transform ops the slicer can replay with substituted
+// registers when recomputing a future indirect address.
+func aType(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpAddI, isa.OpShlAdd, isa.OpMov,
+		isa.OpShl, isa.OpSxt4, isa.OpZxt4, isa.OpAnd:
+		return true
+	}
+	return false
+}
+
+// Analysis is the classification of one delinquent load.
+type Analysis struct {
+	Pattern Pattern
+	Pos     int // body position of the delinquent load
+
+	// PatternDirect
+	Stride  int64
+	AddrReg isa.Reg
+
+	// PatternIndirect
+	FeederPos      int        // body position of the feeding load
+	FeederStride   int64      // stride of the feeder's address register
+	FeederAddrReg  isa.Reg    // the feeder's cursor register
+	FeederDstReg   isa.Reg    // register the transform chain consumes
+	Transform      []isa.Inst // ops from feeder value to address, forward order
+	TransformDelta int64      // accumulated immediate adjustments
+
+	// PatternPointer
+	InductionReg isa.Reg
+	UpdatePos    int // body position after which the induction reg is final
+}
+
+// classify determines the reference pattern of the load at body position
+// pos, per §3.2 of the paper.
+func (b *body) classify(pos int) Analysis {
+	load := &b.insts[pos].in
+	rA := load.R3
+	res := Analysis{Pattern: PatternUnknown, Pos: pos, AddrReg: rA}
+	if rA == 0 {
+		return res
+	}
+
+	def, delta := b.walkAddr(pos, rA)
+	if def == nil {
+		if delta != 0 {
+			res.Pattern = PatternDirect
+			res.Stride = delta
+		}
+		return res
+	}
+
+	switch {
+	case isa.IsLoad(def.in.Op):
+		// rA itself comes from memory: a strided feeder makes this a
+		// table-indirection; anything else is a linked-structure
+		// advance (pointer chasing).
+		fdef, fstride := b.walkAddr(def.pos, def.in.R3)
+		if fdef == nil && fstride != 0 {
+			res.Pattern = PatternIndirect
+			res.FeederPos = def.pos
+			res.FeederStride = fstride
+			res.FeederAddrReg = def.in.R3
+			res.FeederDstReg = rA
+			res.TransformDelta = delta
+			return res
+		}
+		res.Pattern = PatternPointer
+		res.InductionReg = rA
+		res.UpdatePos = def.pos
+		return res
+
+	case poison(def.in.Op):
+		return res
+
+	case aType(def.in.Op):
+		return b.chainClassify(pos, rA, def, delta, 0)
+	}
+	return res
+}
+
+// chainClassify follows an address produced by an arithmetic transform
+// chain: it inspects the transform's inputs to find a strided feeder load
+// (indirect), a pure strided recompute (direct), or a recurrence through
+// memory (pointer chasing).
+func (b *body) chainClassify(pos int, rA isa.Reg, def *flatInst, accDelta int64, depth int) Analysis {
+	res := Analysis{Pattern: PatternUnknown, Pos: pos, AddrReg: rA}
+	if depth > 2 {
+		return res
+	}
+	transform := []isa.Inst{def.in}
+	var strideSum int64
+	var feeder *flatInst
+	var feederStride int64
+	var feederDst isa.Reg
+
+	var uses []isa.Reg
+	uses = def.in.RegUses(uses)
+	seen := map[isa.Reg]bool{}
+	for _, u := range uses {
+		if u == 0 || seen[u] {
+			continue
+		}
+		seen[u] = true
+		udef, udelta := b.walkAddr(def.pos, u)
+		if udef == nil {
+			strideSum += udelta
+			continue
+		}
+		switch {
+		case isa.IsLoad(udef.in.Op):
+			fdef, fstride := b.walkAddr(udef.pos, udef.in.R3)
+			if fdef == nil && fstride != 0 {
+				if feeder != nil {
+					return res // two feeders: give up
+				}
+				feeder = udef
+				feederStride = fstride
+				feederDst = u
+				continue
+			}
+			// The input recurs through memory: pointer chasing on
+			// the original address register.
+			res.Pattern = PatternPointer
+			res.InductionReg = rA
+			res.UpdatePos = def.pos
+			return res
+		case poison(udef.in.Op):
+			return res
+		case aType(udef.in.Op):
+			// One more transform level: classify through it.
+			sub := b.chainClassify(pos, rA, udef, 0, depth+1)
+			switch sub.Pattern {
+			case PatternIndirect:
+				if feeder != nil {
+					return res
+				}
+				feeder = &b.insts[sub.FeederPos]
+				feederStride = sub.FeederStride
+				feederDst = sub.FeederDstReg
+				transform = append(sub.Transform, transform...)
+				strideSum += sub.TransformDelta
+			case PatternDirect:
+				strideSum += sub.Stride
+			case PatternPointer:
+				return sub
+			default:
+				return res
+			}
+		default:
+			return res
+		}
+	}
+
+	if feeder != nil {
+		res.Pattern = PatternIndirect
+		res.FeederPos = feeder.pos
+		res.FeederStride = feederStride
+		res.FeederAddrReg = feeder.in.R3
+		res.FeederDstReg = feederDst
+		res.Transform = transform
+		res.TransformDelta = accDelta + strideSum
+		return res
+	}
+	if strideSum+accDelta != 0 {
+		res.Pattern = PatternDirect
+		res.Stride = strideSum + accDelta
+		return res
+	}
+	return res
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pmu"
+)
+
+type dearSpec struct {
+	lat uint32
+	n   int
+}
+
+// makeDearSamples fabricates PMU samples carrying DEAR events,
+// deterministically ordered by PC.
+func makeDearSamples(specs map[uint64]dearSpec) []pmu.Sample {
+	pcs := make([]uint64, 0, len(specs))
+	for pc := range specs {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	var out []pmu.Sample
+	for _, pc := range pcs {
+		s := specs[pc]
+		for i := 0; i < s.n; i++ {
+			out = append(out, pmu.Sample{
+				PC:   pc,
+				DEAR: pmu.DearRec{PC: pc, Addr: 0x100000 + pc, Latency: s.lat, Valid: true},
+			})
+		}
+	}
+	return out
+}
+
+// traceFromInsts packs instructions greedily into template-valid bundles
+// and appends a back-edge branch bundle.
+func traceFromInsts(insts []isa.Inst) *Trace {
+	t := &Trace{Start: 0x1000, IsLoop: true}
+	addr := uint64(0x1000)
+	flush := func(group []isa.Inst) {
+		units := make([]isa.Unit, len(group))
+		for i, in := range group {
+			units[i] = isa.UnitOf(in.Op)
+		}
+		tmpl, slots, ok := isa.AssignSlots(units)
+		if !ok {
+			panic("traceFromInsts: unpackable group")
+		}
+		var bd isa.Bundle
+		bd.Tmpl = tmpl
+		for i, in := range group {
+			bd.Slots[slots[i]] = in
+		}
+		t.append(addr, bd)
+		addr += isa.BundleBytes
+	}
+	var cur []isa.Inst
+	fits := func(group []isa.Inst) bool {
+		units := make([]isa.Unit, len(group))
+		for i, in := range group {
+			units[i] = isa.UnitOf(in.Op)
+		}
+		_, _, ok := isa.AssignSlots(units)
+		return ok
+	}
+	for _, in := range insts {
+		if len(cur) == 3 || !fits(append(append([]isa.Inst{}, cur...), in)) {
+			flush(cur)
+			cur = nil
+		}
+		cur = append(cur, in)
+	}
+	if len(cur) > 0 {
+		flush(cur)
+	}
+	t.append(addr, isa.Bundle{
+		Tmpl:  isa.TmplMIB,
+		Slots: [3]isa.Inst{isa.Nop, isa.Nop, {Op: isa.OpBrCond, QP: 1, Target: 0x1000}},
+	})
+	t.LoopHead = 0
+	t.BackEdge = len(t.Bundles) - 1
+	return t
+}
+
+// loadCoords returns the (bundle, slot, pc) of the idx'th instruction in
+// flattened order — the robust way to build DelinquentLoad entries.
+func loadCoords(t *testing.T, tr *Trace, instIdx int) (int, int, uint64) {
+	t.Helper()
+	b := flatten(tr)
+	if instIdx >= len(b.insts) {
+		t.Fatalf("inst index %d out of range", instIdx)
+	}
+	fi := b.insts[instIdx]
+	return fi.bundle, fi.slot, tr.Orig[fi.bundle] + uint64(fi.slot)
+}
+
+// classifyLoad flattens the trace and classifies the load at the given
+// instruction index.
+func classifyLoad(t *testing.T, tr *Trace, instIdx int) Analysis {
+	t.Helper()
+	b := flatten(tr)
+	if instIdx >= len(b.insts) || !isa.IsLoad(b.insts[instIdx].in.Op) {
+		t.Fatalf("inst %d is not a load", instIdx)
+	}
+	return b.classify(instIdx)
+}
+
+// Fig. 5A of the paper: direct array reference. r14 is incremented by 4
+// three times per iteration ("So the stride is 4 + 4 + 4 = 12").
+func TestClassifyDirectFig5A(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpAddI, R1: 14, Imm: 4, R3: 14},
+		{Op: isa.OpSt4, R2: 20, R3: 14, PostInc: 4},
+		{Op: isa.OpLd4, R1: 20, R3: 14},
+		{Op: isa.OpAddI, R1: 14, Imm: 4, R3: 14},
+	})
+	an := classifyLoad(t, tr, 2)
+	if an.Pattern != PatternDirect {
+		t.Fatalf("pattern = %v, want direct", an.Pattern)
+	}
+	if an.Stride != 12 {
+		t.Fatalf("stride = %d, want 12", an.Stride)
+	}
+	if an.AddrReg != 14 {
+		t.Fatalf("addr reg = r%d", an.AddrReg)
+	}
+}
+
+// Fig. 5B: indirect array reference c = b[a[k++] - 1].
+func TestClassifyIndirectFig5B(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd4, R1: 20, R3: 16, PostInc: 4},
+		{Op: isa.OpAdd, R1: 15, R2: 25, R3: 20},
+		{Op: isa.OpAddI, R1: 15, Imm: -1, R3: 15},
+		{Op: isa.OpLd1, R1: 15, R3: 15},
+	})
+	an := classifyLoad(t, tr, 3)
+	if an.Pattern != PatternIndirect {
+		t.Fatalf("pattern = %v, want indirect", an.Pattern)
+	}
+	if an.FeederStride != 4 {
+		t.Fatalf("feeder stride = %d, want 4", an.FeederStride)
+	}
+	if an.FeederAddrReg != 16 {
+		t.Fatalf("feeder addr reg = r%d, want r16", an.FeederAddrReg)
+	}
+	if an.FeederDstReg != 20 {
+		t.Fatalf("feeder dst = r%d, want r20", an.FeederDstReg)
+	}
+	if len(an.Transform) != 1 || an.Transform[0].Op != isa.OpAdd {
+		t.Fatalf("transform = %v", an.Transform)
+	}
+	if an.TransformDelta != -1 {
+		t.Fatalf("transform delta = %d, want -1", an.TransformDelta)
+	}
+}
+
+// Fig. 5C: pointer chasing in 181.mcf — tail = arcin->tail; arcin =
+// tail->mark. "r11 is the pointer critical to the data traversal."
+func TestClassifyPointerFig5C(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpAddI, R1: 11, Imm: 104, R3: 34},
+		{Op: isa.OpLd8, R1: 11, R3: 11},
+		{Op: isa.OpLd8, R1: 34, R3: 11},
+	})
+	an := classifyLoad(t, tr, 2)
+	if an.Pattern != PatternPointer {
+		t.Fatalf("pattern = %v, want pointer-chasing", an.Pattern)
+	}
+	if an.InductionReg != 11 {
+		t.Fatalf("induction reg = r%d, want r11", an.InductionReg)
+	}
+	upd := flatten(tr).insts[an.UpdatePos].in
+	if upd.Op != isa.OpLd8 || upd.R1 != 11 {
+		t.Fatalf("update inst = %v", upd)
+	}
+}
+
+// Address computed through an fp-int conversion defeats the slicer (the
+// paper's vpr/lucas/gap failure mode).
+func TestClassifyFPConversionFails(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLdF, F1: 4, R3: 16, PostInc: 8},
+		{Op: isa.OpFCvtFX, R1: 15, F2: 4},
+		{Op: isa.OpAdd, R1: 17, R2: 15, R3: 25},
+		{Op: isa.OpLd8, R1: 18, R3: 17},
+	})
+	an := classifyLoad(t, tr, 3)
+	if an.Pattern != PatternUnknown {
+		t.Fatalf("pattern = %v, want unknown", an.Pattern)
+	}
+}
+
+// An invariant address register (never advanced) is not prefetchable.
+func TestClassifyInvariantAddress(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd8, R1: 20, R3: 16},
+		{Op: isa.OpAddI, R1: 21, Imm: 1, R3: 21},
+	})
+	an := classifyLoad(t, tr, 0)
+	if an.Pattern != PatternUnknown {
+		t.Fatalf("pattern = %v, want unknown for invariant address", an.Pattern)
+	}
+}
+
+// Recompute-style direct reference: address = base + index where the index
+// register is a pure induction.
+func TestClassifyRecomputedDirect(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpAddI, R1: 20, Imm: 8, R3: 20}, // idx += 8
+		{Op: isa.OpAdd, R1: 15, R2: 20, R3: 25},  // addr = idx + base
+		{Op: isa.OpLd8, R1: 18, R3: 15},
+	})
+	an := classifyLoad(t, tr, 2)
+	if an.Pattern != PatternDirect || an.Stride != 8 {
+		t.Fatalf("pattern = %v stride %d, want direct 8", an.Pattern, an.Stride)
+	}
+}
+
+func TestOptimizeEmitsFig6Shapes(t *testing.T) {
+	cfg := DefaultConfig()
+	opt := NewOptimizer(cfg)
+
+	// Direct (Fig. 6A): one lfetch with the stride folded into the
+	// post-increment, plus one prologue add.
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd4, R1: 20, R3: 14, PostInc: 12},
+		{Op: isa.OpAddI, R1: 21, Imm: 1, R3: 21},
+	})
+	loads := []DelinquentLoad{{Bundle: 0, Slot: 0, PC: tr.Orig[0], Count: 50, TotalLatency: 8000, AvgLatency: 160}}
+	res := opt.Optimize(tr, loads, 2.0)
+	if res.Direct != 1 || res.Total() != 1 {
+		t.Fatalf("direct result = %+v", res)
+	}
+	var lf, prologueAdds int
+	for bi, bd := range tr.Bundles {
+		for _, in := range bd.Slots {
+			if in.Op == isa.OpLfetch {
+				lf++
+				if in.PostInc != 12 {
+					t.Fatalf("lfetch post-inc = %d, want 12 (merged stride advance)", in.PostInc)
+				}
+				if in.R3 < isa.ReservedGRFirst || in.R3 > isa.ReservedGRLast {
+					t.Fatalf("lfetch uses non-reserved r%d", in.R3)
+				}
+				if bi < tr.LoopHead {
+					t.Fatal("lfetch placed in prologue")
+				}
+			}
+			if in.Op == isa.OpAddI && in.R1 >= isa.ReservedGRFirst && in.R1 <= isa.ReservedGRLast && bi < tr.LoopHead {
+				prologueAdds++
+				if in.Imm <= 0 || in.Imm%64 != 0 {
+					t.Fatalf("direct prefetch distance %d not L1D-line aligned", in.Imm)
+				}
+			}
+		}
+	}
+	if lf != 1 || prologueAdds != 1 {
+		t.Fatalf("lfetch=%d prologue adds=%d", lf, prologueAdds)
+	}
+
+	// Pointer (Fig. 6C): copy at loop top, sub + shladd + lfetch after
+	// the pointer update.
+	trP := traceFromInsts([]isa.Inst{
+		{Op: isa.OpAddI, R1: 11, Imm: 104, R3: 34},
+		{Op: isa.OpLd8, R1: 11, R3: 11},
+		{Op: isa.OpLd8, R1: 34, R3: 11},
+	})
+	pb, ps, ppc := loadCoords(t, trP, 2)
+	loadsP := []DelinquentLoad{{Bundle: pb, Slot: ps, PC: ppc, Count: 50, TotalLatency: 9000, AvgLatency: 180}}
+	resP := opt.Optimize(trP, loadsP, 3.0)
+	if resP.Pointer != 1 {
+		t.Fatalf("pointer result = %+v", resP)
+	}
+	var subs, shladds, lfs int
+	for _, bd := range trP.Bundles {
+		for _, in := range bd.Slots {
+			switch in.Op {
+			case isa.OpSub:
+				subs++
+			case isa.OpShlAdd:
+				shladds++
+				if in.Imm != cfg.IterAheadLog2 {
+					t.Fatalf("shladd amplification %d, want %d", in.Imm, cfg.IterAheadLog2)
+				}
+			case isa.OpLfetch:
+				lfs++
+			}
+		}
+	}
+	if subs != 1 || shladds != 1 || lfs != 1 {
+		t.Fatalf("pointer shape: sub=%d shladd=%d lfetch=%d", subs, shladds, lfs)
+	}
+
+	// Indirect (Fig. 6B): ld.s + replayed transform + two lfetch.
+	trI := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd4, R1: 20, R3: 16, PostInc: 4},
+		{Op: isa.OpAdd, R1: 15, R2: 25, R3: 20},
+		{Op: isa.OpAddI, R1: 15, Imm: -1, R3: 15},
+		{Op: isa.OpLd1, R1: 15, R3: 15},
+	})
+	ib, is, ipc := loadCoords(t, trI, 3)
+	loadsI := []DelinquentLoad{{Bundle: ib, Slot: is, PC: ipc, Count: 40, TotalLatency: 7000, AvgLatency: 175}}
+	resI := opt.Optimize(trI, loadsI, 2.5)
+	if resI.Indirect != 1 {
+		t.Fatalf("indirect result = %+v", resI)
+	}
+	var ldS, lfsI int
+	for _, bd := range trI.Bundles {
+		for _, in := range bd.Slots {
+			switch {
+			case in.Spec && isa.IsLoad(in.Op):
+				ldS++
+				if in.Op != isa.OpLd4 {
+					t.Fatalf("speculative load op = %s, want ld4 (feeder size preserved)", in.Op)
+				}
+				if in.PostInc != 4 {
+					t.Fatalf("ld.s post-inc = %d, want feeder stride 4", in.PostInc)
+				}
+			case in.Op == isa.OpLfetch:
+				lfsI++
+			}
+		}
+	}
+	if ldS != 1 || lfsI != 2 {
+		t.Fatalf("indirect shape: ld.s=%d lfetch=%d", ldS, lfsI)
+	}
+}
+
+func TestOptimizeRespectsRegisterBudget(t *testing.T) {
+	// Five direct delinquent loads: only four reserved registers exist,
+	// and the top-3 cap applies first.
+	var insts []isa.Inst
+	for i := 0; i < 5; i++ {
+		insts = append(insts, isa.Inst{Op: isa.OpLd8, R1: isa.Reg(40 + i), R3: isa.Reg(50 + i), PostInc: 8})
+	}
+	tr := traceFromInsts(insts)
+	cfg := DefaultConfig()
+	var loads []DelinquentLoad
+	b := flatten(tr)
+	for i := 0; i < 5; i++ {
+		fi := b.insts[i]
+		loads = append(loads, DelinquentLoad{
+			Bundle: fi.bundle, Slot: fi.slot,
+			PC:    tr.Orig[fi.bundle] + uint64(fi.slot),
+			Count: 10, TotalLatency: uint64(1000 - i), AvgLatency: 100,
+		})
+	}
+	if len(loads) > cfg.MaxDelinquentLoads {
+		loads = loads[:cfg.MaxDelinquentLoads]
+	}
+	res := NewOptimizer(cfg).Optimize(tr, loads, 2.0)
+	if res.Direct != 3 {
+		t.Fatalf("direct prefetches = %d, want 3 (top-3 cap)", res.Direct)
+	}
+}
+
+func TestOptimizeSkipsDirectWhenStaticLfetchPresent(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+		{Op: isa.OpLfetch, R3: 26, PostInc: 8}, // compiler-generated
+	})
+	b := flatten(tr)
+	fi := b.insts[0]
+	loads := []DelinquentLoad{{Bundle: fi.bundle, Slot: fi.slot, PC: tr.Orig[0], Count: 10, TotalLatency: 1000, AvgLatency: 100}}
+	res := NewOptimizer(DefaultConfig()).Optimize(tr, loads, 2.0)
+	if res.Direct != 0 || res.Skipped != 1 {
+		t.Fatalf("result = %+v, want skip", res)
+	}
+}
+
+func TestFindDelinquentLoadsRanksAndCaps(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+		{Op: isa.OpLd8, R1: 21, R3: 15, PostInc: 8},
+		{Op: isa.OpLd8, R1: 22, R3: 16, PostInc: 8},
+		{Op: isa.OpLd8, R1: 23, R3: 17, PostInc: 8},
+	})
+	cfg := DefaultConfig()
+	_, _, pc0 := loadCoords(t, tr, 0)
+	_, _, pc1 := loadCoords(t, tr, 1)
+	_, _, pc2 := loadCoords(t, tr, 2)
+	_, _, pc3 := loadCoords(t, tr, 3)
+	ps := makeDearSamples(map[uint64]dearSpec{
+		pc0: {lat: 200, n: 50}, // hottest
+		pc1: {lat: 150, n: 30},
+		pc2: {lat: 100, n: 20},
+		pc3: {lat: 50, n: 2}, // below MinLatencyShare
+	})
+	loads := FindDelinquentLoads(tr, ps, cfg)
+	if len(loads) != 3 {
+		t.Fatalf("delinquent loads = %d, want 3", len(loads))
+	}
+	if loads[0].PC != pc0 || loads[0].TotalLatency != 200*50 {
+		t.Fatalf("top load = %+v", loads[0])
+	}
+	for i := 1; i < len(loads); i++ {
+		if loads[i].TotalLatency > loads[i-1].TotalLatency {
+			t.Fatal("loads not sorted by latency")
+		}
+	}
+}

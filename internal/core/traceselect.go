@@ -1,0 +1,273 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/pmu"
+	"repro/internal/program"
+)
+
+// Trace is a single-entry multi-exit instruction sequence selected from the
+// running binary. For loop traces, Bundles[LoopHead..BackEdge] form the
+// loop body and the back-edge branch re-targets into the trace itself when
+// the trace is installed.
+type Trace struct {
+	Start   uint64       // original entry address (the bundle ADORE patches)
+	Bundles []isa.Bundle // copies of the original bundles (mutated by the optimizer)
+	Orig    []uint64     // original address of each trace bundle
+
+	IsLoop   bool
+	LoopHead int // trace bundle index the back edge returns to (0 before prologue insertion)
+	BackEdge int // trace bundle index holding the back-edge branch
+
+	// SWP marks traces whose back edge is a software-pipelined loop
+	// branch; ADORE refuses to optimize them.
+	SWP bool
+}
+
+// InstCount returns the number of non-nop instructions in the trace.
+func (t *Trace) InstCount() int {
+	n := 0
+	for _, b := range t.Bundles {
+		for _, in := range b.Slots {
+			if in.Op != isa.OpNop {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ContainsLfetch reports whether the trace already has compiler-generated
+// prefetches (O3 binaries); used to avoid duplicating static prefetching.
+func (t *Trace) ContainsLfetch() bool {
+	for _, b := range t.Bundles {
+		for _, in := range b.Slots {
+			if in.Op == isa.OpLfetch {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// branchStat accumulates BTB outcomes per branch PC.
+type branchStat struct {
+	taken int
+	total int
+}
+
+// pathProfile is what trace selection derives from the UEB's BTB records:
+// per-branch bias and per-target reference counts. The 4-outcome BTB
+// sequences give fractions of a path profile, as in §2.4.
+type pathProfile struct {
+	branches map[uint64]*branchStat
+	targets  map[uint64]int
+}
+
+// buildPathProfile digests the samples' branch trace buffers.
+func buildPathProfile(samples []pmu.Sample) *pathProfile {
+	p := &pathProfile{
+		branches: make(map[uint64]*branchStat),
+		targets:  make(map[uint64]int),
+	}
+	for i := range samples {
+		s := &samples[i]
+		for j := 0; j < s.NBTB; j++ {
+			rec := s.BTB[j]
+			st := p.branches[rec.Src]
+			if st == nil {
+				st = &branchStat{}
+				p.branches[rec.Src] = st
+			}
+			st.total++
+			if rec.Taken {
+				st.taken++
+				p.targets[rec.Dst]++
+			}
+		}
+	}
+	return p
+}
+
+// bias returns the taken fraction of the branch at pc, with ok=false when
+// the branch was never observed.
+func (p *pathProfile) bias(pc uint64) (float64, bool) {
+	st := p.branches[pc]
+	if st == nil || st.total == 0 {
+		return 0, false
+	}
+	return float64(st.taken) / float64(st.total), true
+}
+
+// hotTargets returns observed branch targets sorted by reference count,
+// hottest first.
+func (p *pathProfile) hotTargets() []uint64 {
+	out := make([]uint64, 0, len(p.targets))
+	for t := range p.targets {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if p.targets[out[i]] != p.targets[out[j]] {
+			return p.targets[out[i]] > p.targets[out[j]]
+		}
+		return out[i] < out[j] // deterministic tie-break
+	})
+	return out
+}
+
+// TraceSelector builds traces from sampled path profiles (§2.4).
+type TraceSelector struct {
+	cfg  Config
+	code *program.CodeSpace
+}
+
+// NewTraceSelector returns a selector reading bundles from code.
+func NewTraceSelector(cfg Config, code *program.CodeSpace) *TraceSelector {
+	return &TraceSelector{cfg: cfg, code: code}
+}
+
+// Select builds up to MaxTraces traces from the samples, hottest targets
+// first. Targets already covered by an earlier trace, and targets inside
+// the trace pool, are skipped.
+func (s *TraceSelector) Select(samples []pmu.Sample) []*Trace {
+	prof := buildPathProfile(samples)
+	var traces []*Trace
+	covered := make(map[uint64]bool)
+	for _, target := range prof.hotTargets() {
+		if len(traces) >= s.cfg.MaxTraces {
+			break
+		}
+		if covered[target] || s.inTracePool(target) {
+			continue
+		}
+		t := s.grow(target, prof)
+		if t == nil || len(t.Bundles) == 0 {
+			continue
+		}
+		for _, a := range t.Orig {
+			covered[a] = true
+		}
+		traces = append(traces, t)
+	}
+	return traces
+}
+
+func (s *TraceSelector) inTracePool(addr uint64) bool {
+	return addr >= s.cfg.TracePoolBase &&
+		addr < s.cfg.TracePoolBase+uint64(s.cfg.TracePoolBundles)*isa.BundleBytes
+}
+
+// grow builds one trace starting at start, following the hottest path until
+// a stop point: a function return, a back edge that makes the trace a loop,
+// or a balanced conditional branch (§2.4). A taken branch in slot 0 or 1
+// breaks the bundle: the remaining fall-through slots are discarded
+// (replaced by nops) and the trace continues at the target.
+func (s *TraceSelector) grow(start uint64, prof *pathProfile) *Trace {
+	t := &Trace{Start: start}
+	addr := start
+	for len(t.Bundles) < s.cfg.MaxTraceBundles {
+		b, ok := s.code.Fetch(addr)
+		if !ok {
+			break
+		}
+		bundle := *b // copy
+		stop := false
+		redirected := false
+		for slot := 0; slot < 3; slot++ {
+			in := bundle.Slots[slot]
+			if !isa.IsBranch(in.Op) {
+				continue
+			}
+			switch in.Op {
+			case isa.OpBrRet, isa.OpBrCall, isa.OpHalt:
+				// Returns and calls end the trace at this bundle.
+				stop = true
+			case isa.OpBr:
+				// Unconditional: continue at the target, breaking
+				// the bundle if mid-slot.
+				if in.SWPLoop {
+					t.SWP = true
+				}
+				next := in.Target
+				if next == start {
+					t.markLoop(len(t.Bundles), slot)
+					stop = true
+					break
+				}
+				clearSlotsAfter(&bundle, slot)
+				t.append(addr, bundle)
+				addr = next
+				redirected = true
+			case isa.OpBrCond:
+				if in.SWPLoop {
+					t.SWP = true
+				}
+				bias, known := prof.bias(addr + uint64(slot))
+				switch {
+				case in.Target == start && known && bias >= s.cfg.BranchBias:
+					// Back edge: the trace becomes a loop.
+					t.markLoop(len(t.Bundles), slot)
+					stop = true
+				case known && bias >= s.cfg.BranchBias:
+					// Strongly taken: follow the target.
+					clearSlotsAfter(&bundle, slot)
+					t.append(addr, bundle)
+					addr = in.Target
+					redirected = true
+				case known && bias <= 1-s.cfg.BranchBias:
+					// Strongly not-taken: fall through past the
+					// branch (the branch stays as a trace exit).
+				default:
+					// Balanced or unobserved: stop point.
+					stop = true
+				}
+			}
+			if stop || redirected {
+				break
+			}
+		}
+		if redirected {
+			continue
+		}
+		t.append(addr, bundle)
+		if stop {
+			break
+		}
+		addr += isa.BundleBytes
+	}
+	if t.SWP && !s.cfg.OptimizeSWPLoops {
+		// Software-pipelined loops use rotating registers the paper's
+		// optimizer cannot handle; discard the trace. The
+		// OptimizeSWPLoops extension keeps it: the simulated SWP
+		// renames statically, so slices stay analyzable.
+		return nil
+	}
+	return t
+}
+
+// append adds a bundle (deduplicating the final back-edge append).
+func (t *Trace) append(addr uint64, b isa.Bundle) {
+	t.Bundles = append(t.Bundles, b)
+	t.Orig = append(t.Orig, addr)
+}
+
+// markLoop finalizes a loop trace whose back edge sits in the bundle being
+// scanned; the bundle itself still needs to be appended by the caller path,
+// so record indices relative to the appended position.
+func (t *Trace) markLoop(bundleIdx, slot int) {
+	t.IsLoop = true
+	t.LoopHead = 0
+	t.BackEdge = bundleIdx
+	_ = slot
+}
+
+// clearSlotsAfter replaces the slots after the taken branch with nops —
+// "break the current bundle ... discarding the remaining instruction in the
+// fall-through path".
+func clearSlotsAfter(b *isa.Bundle, slot int) {
+	for i := slot + 1; i < 3; i++ {
+		b.Slots[i] = isa.Nop
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pmu"
+	"repro/internal/program"
+)
+
+// codeWith builds a code space from bundles at base 0x1000.
+func codeWith(t *testing.T, bundles []isa.Bundle) *program.CodeSpace {
+	t.Helper()
+	cs := program.NewCodeSpace()
+	if err := cs.AddSegment(&program.Segment{Name: "main", Base: 0x1000, Bundles: bundles}); err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+// btbSamples fabricates samples whose BTB reports one branch outcome
+// repeatedly: takenOf times taken out of total.
+func btbSamples(src, dst uint64, taken, total int) []pmu.Sample {
+	var out []pmu.Sample
+	for i := 0; i < total; i++ {
+		s := pmu.Sample{PC: dst, NBTB: 1}
+		s.BTB[0] = pmu.BranchRec{Src: src, Dst: dst, Taken: i < taken}
+		out = append(out, s)
+	}
+	return out
+}
+
+func loopBundles() []isa.Bundle {
+	// 0x1000: body bundle; 0x1010: latch with back edge to 0x1000.
+	return []isa.Bundle{
+		{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{
+			{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+			{Op: isa.OpAdd, R1: 21, R2: 21, R3: 20},
+			{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10},
+		}},
+		{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{
+			{Op: isa.OpCmpI, Rel: isa.CmpLt, P1: 1, P2: 2, Imm: 0, R3: 10},
+			isa.Nop,
+			{Op: isa.OpBrCond, QP: 1, Target: 0x1000},
+		}},
+		{Tmpl: isa.TmplMII}, // fall-through after loop
+	}
+}
+
+func TestSelectLoopTrace(t *testing.T) {
+	cs := codeWith(t, loopBundles())
+	sel := NewTraceSelector(DefaultConfig(), cs)
+	traces := sel.Select(btbSamples(0x1012, 0x1000, 95, 100))
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if !tr.IsLoop {
+		t.Fatal("loop not detected")
+	}
+	if tr.Start != 0x1000 || tr.BackEdge != 1 || len(tr.Bundles) != 2 {
+		t.Fatalf("trace = start %#x backEdge %d bundles %d", tr.Start, tr.BackEdge, len(tr.Bundles))
+	}
+}
+
+func TestBalancedBranchStopsTrace(t *testing.T) {
+	// A 50/50 branch is a stop point: the trace ends at its bundle.
+	bundles := []isa.Bundle{
+		{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{{Op: isa.OpAddI, R1: 20, Imm: 1, R3: 20}, isa.Nop, isa.Nop}},
+		{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{isa.Nop, isa.Nop, {Op: isa.OpBrCond, QP: 1, Target: 0x1040}}},
+		{Tmpl: isa.TmplMII},
+		{Tmpl: isa.TmplMII},
+		{Tmpl: isa.TmplBBB, Slots: [3]isa.Inst{{Op: isa.OpHalt}, isa.Nop, isa.Nop}},
+	}
+	cs := codeWith(t, bundles)
+	samples := btbSamples(0x1012, 0x1040, 50, 100)
+	// Also make 0x1000 a hot target so a trace starts there.
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i].BTB[0] = pmu.BranchRec{Src: 0x1080, Dst: 0x1000, Taken: true}
+		}
+	}
+	sel := NewTraceSelector(DefaultConfig(), cs)
+	traces := sel.Select(samples)
+	for _, tr := range traces {
+		if tr.Start == 0x1000 {
+			if len(tr.Bundles) != 2 {
+				t.Fatalf("balanced branch did not stop trace: %d bundles", len(tr.Bundles))
+			}
+			return
+		}
+	}
+	t.Fatal("no trace from 0x1000")
+}
+
+func TestStronglyTakenBranchBreaksBundle(t *testing.T) {
+	// Branch in slot 1 of the second bundle, 95% taken to 0x1040:
+	// the slot after the branch must be discarded and the trace continue
+	// at the target ("break the current bundle ... discarding the
+	// remaining instruction in the fall-through path").
+	bundles := []isa.Bundle{
+		{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{{Op: isa.OpAddI, R1: 20, Imm: 1, R3: 20}, isa.Nop, isa.Nop}},
+		{Tmpl: isa.TmplMBB, Slots: [3]isa.Inst{
+			{Op: isa.OpLd8, R1: 21, R3: 14},
+			{Op: isa.OpBrCond, QP: 1, Target: 0x1040},
+			isa.Nop,
+		}},
+		{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{{Op: isa.OpAddI, R1: 22, Imm: 9, R3: 22}, isa.Nop, isa.Nop}}, // fall-through, must not appear
+		{Tmpl: isa.TmplMII},
+		{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{{Op: isa.OpAddI, R1: 23, Imm: 3, R3: 23}, isa.Nop, isa.Nop}},
+		{Tmpl: isa.TmplBBB, Slots: [3]isa.Inst{{Op: isa.OpHalt}, isa.Nop, isa.Nop}},
+	}
+	cs := codeWith(t, bundles)
+	samples := btbSamples(0x1011, 0x1040, 95, 100)
+	for i := range samples {
+		if i%3 == 0 {
+			samples[i].BTB[0] = pmu.BranchRec{Src: 0x1090, Dst: 0x1000, Taken: true}
+		}
+	}
+	sel := NewTraceSelector(DefaultConfig(), cs)
+	traces := sel.Select(samples)
+	var tr *Trace
+	for _, c := range traces {
+		if c.Start == 0x1000 {
+			tr = c
+		}
+	}
+	if tr == nil {
+		t.Fatal("no trace from 0x1000")
+	}
+	// Trace: bundle 0, broken bundle 1, then continues at 0x1040.
+	for _, b := range tr.Bundles {
+		for _, in := range b.Slots {
+			if in.Op == isa.OpAddI && in.Imm == 9 {
+				t.Fatal("fall-through instruction leaked into trace")
+			}
+		}
+	}
+	found := false
+	for i, a := range tr.Orig {
+		if a == 0x1040 {
+			found = true
+			if i != 2 {
+				t.Fatalf("target bundle at index %d, want 2", i)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("trace did not continue at branch target")
+	}
+}
+
+func TestSWPLoopTraceDiscarded(t *testing.T) {
+	bundles := loopBundles()
+	bundles[1].Slots[2].SWPLoop = true
+	cs := codeWith(t, bundles)
+	sel := NewTraceSelector(DefaultConfig(), cs)
+	traces := sel.Select(btbSamples(0x1012, 0x1000, 95, 100))
+	if len(traces) != 0 {
+		t.Fatalf("software-pipelined loop selected: %d traces", len(traces))
+	}
+}
+
+func TestReturnStopsTrace(t *testing.T) {
+	bundles := []isa.Bundle{
+		{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{{Op: isa.OpAddI, R1: 20, Imm: 1, R3: 20}, isa.Nop, isa.Nop}},
+		{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{isa.Nop, isa.Nop, {Op: isa.OpBrRet, B: 1}}},
+		{Tmpl: isa.TmplMII},
+	}
+	cs := codeWith(t, bundles)
+	sel := NewTraceSelector(DefaultConfig(), cs)
+	traces := sel.Select(btbSamples(0x1080, 0x1000, 100, 100))
+	if len(traces) != 1 || len(traces[0].Bundles) != 2 || traces[0].IsLoop {
+		t.Fatalf("return did not stop trace: %+v", traces[0])
+	}
+}
+
+func TestCoveredTargetsNotReselected(t *testing.T) {
+	cs := codeWith(t, loopBundles())
+	sel := NewTraceSelector(DefaultConfig(), cs)
+	// Two hot targets: the loop head and the latch bundle (inside the
+	// first trace).
+	samples := btbSamples(0x1012, 0x1000, 95, 100)
+	samples = append(samples, btbSamples(0x1012, 0x1010, 95, 50)...)
+	traces := sel.Select(samples)
+	if len(traces) != 1 {
+		t.Fatalf("covered target re-selected: %d traces", len(traces))
+	}
+}
+
+func TestTraceMaxBundlesBound(t *testing.T) {
+	// Straight-line code with no branches: growth must stop at the cap.
+	bundles := make([]isa.Bundle, 300)
+	for i := range bundles {
+		bundles[i] = isa.Bundle{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{{Op: isa.OpAddI, R1: 20, Imm: 1, R3: 20}, isa.Nop, isa.Nop}}
+	}
+	bundles[299] = isa.Bundle{Tmpl: isa.TmplBBB, Slots: [3]isa.Inst{{Op: isa.OpHalt}, isa.Nop, isa.Nop}}
+	cs := codeWith(t, bundles)
+	cfg := DefaultConfig()
+	cfg.MaxTraceBundles = 32
+	sel := NewTraceSelector(cfg, cs)
+	traces := sel.Select(btbSamples(0x2200, 0x1000, 100, 100))
+	if len(traces) != 1 || len(traces[0].Bundles) > 32 {
+		t.Fatalf("trace growth unbounded: %d bundles", len(traces[0].Bundles))
+	}
+}
+
+func TestPoolTargetsSkipped(t *testing.T) {
+	cfg := DefaultConfig()
+	cs := codeWith(t, loopBundles())
+	sel := NewTraceSelector(cfg, cs)
+	traces := sel.Select(btbSamples(cfg.TracePoolBase+0x20, cfg.TracePoolBase, 95, 100))
+	if len(traces) != 0 {
+		t.Fatal("trace selected inside the trace pool")
+	}
+}
+
+func TestTraceInstCountAndLfetch(t *testing.T) {
+	tr := traceFromInsts([]isa.Inst{
+		{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+		{Op: isa.OpLfetch, R3: 26, PostInc: 8},
+		{Op: isa.OpAdd, R1: 21, R2: 21, R3: 20},
+	})
+	if !tr.ContainsLfetch() {
+		t.Fatal("lfetch not found")
+	}
+	if got := tr.InstCount(); got != 4 { // 3 + back-edge branch
+		t.Fatalf("InstCount = %d, want 4", got)
+	}
+}

@@ -1,0 +1,607 @@
+// Package cpu simulates an in-order EPIC core in the style of the
+// Itanium 2: it executes the internal/isa instruction set with sequential
+// semantics and accounts cycles with a separate issue model — up to two
+// bundles per cycle, per-port structural limits, scoreboarded load-use
+// stalls, static backward-taken/forward-not-taken branch prediction, and an
+// instruction-cache front end.
+//
+// Separating function from timing keeps the interpreter simple and the
+// timing assumptions explicit; DESIGN.md §1 lists what is and is not
+// modelled.
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/program"
+)
+
+// Config sets the core's issue resources and penalties. The defaults
+// approximate Itanium 2's front end for the purposes of this reproduction.
+type Config struct {
+	IssueBundles      int // bundles issued per cycle (Itanium 2: 2)
+	LoadPorts         int // loads + lfetches per cycle (2)
+	StorePorts        int // stores per cycle (2)
+	FPUnits           int // floating-point ops per cycle (2)
+	BranchUnits       int // branches per cycle (3)
+	MispredictPenalty int // cycles lost on a mispredicted branch
+	TakenBubble       int // front-end bubble on a correctly predicted taken branch
+	FPLatency         int // FP op result latency (fma: 4)
+	ModelICache       bool
+}
+
+// DefaultConfig returns the standard core model.
+func DefaultConfig() Config {
+	return Config{
+		IssueBundles:      2,
+		LoadPorts:         2,
+		StorePorts:        2,
+		FPUnits:           2,
+		BranchUnits:       3,
+		MispredictPenalty: 6,
+		TakenBubble:       1,
+		FPLatency:         4,
+		ModelICache:       true,
+	}
+}
+
+// PollHook is host code invoked periodically at bundle boundaries — the
+// mechanism by which the ADORE dynopt "thread" gets control. The hook runs
+// on the (simulated) second processor: its own work is free, but any cycles
+// it wants charged to the monitored thread (e.g. for stopping it during
+// patching) are returned.
+type PollHook func(now uint64) (charge uint64)
+
+type pollEntry struct {
+	interval uint64
+	next     uint64
+	fn       PollHook
+}
+
+// Stats summarizes one run.
+type Stats struct {
+	Cycles        uint64
+	Retired       uint64
+	Loads         uint64
+	Stores        uint64
+	Prefetches    uint64
+	Branches      uint64
+	Mispredicts   uint64
+	LoadStalls    uint64 // cycles lost waiting for operand results
+	ICacheStalls  uint64
+	SampleCharges uint64 // cycles charged for PMU overflow handling
+}
+
+// CPI returns cycles per retired instruction.
+func (s Stats) CPI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Retired)
+}
+
+// CPU is one simulated core plus its architectural state.
+type CPU struct {
+	cfg Config
+
+	GR [isa.NumGR]uint64
+	FR [isa.NumFR]float64
+	PR [isa.NumPR]bool
+	BR [isa.NumBR]uint64
+
+	Code *program.CodeSpace
+	Mem  *memsys.Memory
+	Hier *memsys.Hierarchy
+	PMU  *pmu.PMU
+
+	pc     uint64
+	halted bool
+
+	cycle   uint64
+	grReady [isa.NumGR]uint64
+	frReady [isa.NumFR]uint64
+
+	// per-cycle issue accounting
+	bundlesUsed int
+	loadsUsed   int
+	storesUsed  int
+	fpUsed      int
+	brUsed      int
+
+	lastFetchLine uint64
+	hooks         []pollEntry
+
+	Stats Stats
+}
+
+// New wires a CPU to its code space, memory, hierarchy and PMU. hier and p
+// may be nil (no timing detail / no monitoring) for unit tests.
+func New(cfg Config, code *program.CodeSpace, mem *memsys.Memory, hier *memsys.Hierarchy, p *pmu.PMU) *CPU {
+	c := &CPU{cfg: cfg, Code: code, Mem: mem, Hier: hier, PMU: p}
+	c.FR[1] = 1.0
+	c.lastFetchLine = ^uint64(0)
+	return c
+}
+
+// SetPC sets the next fetch address.
+func (c *CPU) SetPC(pc uint64) { c.pc = pc }
+
+// PC returns the current fetch address.
+func (c *CPU) PC() uint64 { return c.pc }
+
+// Now returns the current cycle count.
+func (c *CPU) Now() uint64 { return c.cycle }
+
+// Halted reports whether the program has executed halt (or returned from
+// its outermost frame).
+func (c *CPU) Halted() bool { return c.halted }
+
+// AddPollHook registers fn to run every interval cycles, at bundle
+// boundaries.
+func (c *CPU) AddPollHook(interval uint64, fn PollHook) {
+	c.hooks = append(c.hooks, pollEntry{interval: interval, next: c.cycle + interval, fn: fn})
+}
+
+// advanceCycle moves time forward to at least target and resets the issue
+// window when the cycle changes.
+func (c *CPU) advanceCycle(target uint64) {
+	if target <= c.cycle {
+		return
+	}
+	c.cycle = target
+	c.bundlesUsed = 0
+	c.loadsUsed = 0
+	c.storesUsed = 0
+	c.fpUsed = 0
+	c.brUsed = 0
+}
+
+// nextCycle bumps time by one cycle and opens a fresh issue window.
+func (c *CPU) nextCycle() { c.advanceCycle(c.cycle + 1) }
+
+// chargeBundle accounts the issue of one more bundle in this cycle.
+func (c *CPU) chargeBundle() {
+	if c.bundlesUsed >= c.cfg.IssueBundles {
+		c.nextCycle()
+	}
+	c.bundlesUsed++
+}
+
+// Run executes until halt or until maxInstructions retire (0 = unlimited).
+func (c *CPU) Run(maxInstructions uint64) (Stats, error) {
+	for !c.halted {
+		if maxInstructions > 0 && c.Stats.Retired >= maxInstructions {
+			break
+		}
+		if err := c.step(); err != nil {
+			return c.Stats, err
+		}
+	}
+	c.Stats.Cycles = c.cycle
+	return c.Stats, nil
+}
+
+// step fetches and executes one bundle (or the tail of one, after a branch
+// into a mid-bundle slot).
+func (c *CPU) step() error {
+	// Poll hooks fire at bundle boundaries.
+	for i := range c.hooks {
+		h := &c.hooks[i]
+		if c.cycle >= h.next {
+			if charge := h.fn(c.cycle); charge > 0 {
+				c.advanceCycle(c.cycle + charge)
+			}
+			for h.next <= c.cycle {
+				h.next += h.interval
+			}
+		}
+	}
+
+	bundleAddr := c.pc &^ uint64(isa.BundleBytes-1)
+	slot := int(c.pc & uint64(isa.BundleBytes-1))
+	if slot > 2 {
+		return fmt.Errorf("cpu: bad slot in pc %#x", c.pc)
+	}
+	b, ok := c.Code.Fetch(bundleAddr)
+	if !ok {
+		return fmt.Errorf("cpu: fetch from unmapped address %#x", bundleAddr)
+	}
+
+	// Instruction cache: charge when fetch moves to a new I-line.
+	if c.cfg.ModelICache && c.Hier != nil {
+		line := bundleAddr / uint64(c.Hier.L1I.LineSize())
+		if line != c.lastFetchLine {
+			c.lastFetchLine = line
+			r := c.Hier.Access(c.cycle, bundleAddr, memsys.KindInst)
+			if r.Latency > 0 {
+				c.Stats.ICacheStalls += r.Latency
+				c.advanceCycle(c.cycle + r.Latency)
+			}
+		}
+	}
+
+	c.chargeBundle()
+	for s := slot; s < 3; s++ {
+		redirect, err := c.execute(bundleAddr+uint64(s), &b.Slots[s])
+		if err != nil {
+			return err
+		}
+		if c.halted || redirect {
+			return nil
+		}
+	}
+	c.pc = bundleAddr + isa.BundleBytes
+	return nil
+}
+
+// wait stalls until general register r is ready.
+func (c *CPU) wait(r isa.Reg) {
+	if t := c.grReady[r]; t > c.cycle {
+		c.Stats.LoadStalls += t - c.cycle
+		c.advanceCycle(t)
+	}
+}
+
+// waitF stalls until floating register r is ready.
+func (c *CPU) waitF(r isa.FReg) {
+	if t := c.frReady[r]; t > c.cycle {
+		c.Stats.LoadStalls += t - c.cycle
+		c.advanceCycle(t)
+	}
+}
+
+// reservePort blocks until the given port class has a free slot this cycle
+// and claims it. The counters are fields reset by advanceCycle, so the loop
+// terminates after at most one cycle bump.
+func (c *CPU) reservePort(used *int, limit int) {
+	for *used >= limit {
+		c.nextCycle()
+	}
+	*used++
+}
+
+func (c *CPU) writeGR(r isa.Reg, v uint64, readyAt uint64) {
+	if r == 0 {
+		return
+	}
+	c.GR[r] = v
+	c.grReady[r] = readyAt
+}
+
+func (c *CPU) writeFR(r isa.FReg, v float64, readyAt uint64) {
+	if r <= 1 {
+		return
+	}
+	c.FR[r] = v
+	c.frReady[r] = readyAt
+}
+
+// execute runs one instruction at pc, returning whether control was
+// redirected.
+func (c *CPU) execute(pc uint64, in *isa.Inst) (bool, error) {
+	// Conditional branches handle their own predicate so that not-taken
+	// outcomes still reach the PMU's branch trace buffer.
+	if in.Op == isa.OpBrCond {
+		return c.execBrCond(pc, in)
+	}
+	// Any other predicated-off instruction occupies its slot and retires
+	// with no effect and no stalls.
+	if in.QP != 0 && !c.PR[in.QP] {
+		c.retire(pc)
+		return false, nil
+	}
+
+	fpLat := uint64(c.cfg.FPLatency)
+	switch in.Op {
+	case isa.OpNop, isa.OpAlloc:
+		// no effect
+
+	case isa.OpAdd:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R2]+c.GR[in.R3], c.cycle+1)
+	case isa.OpSub:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R2]-c.GR[in.R3], c.cycle+1)
+	case isa.OpAddI:
+		c.wait(in.R3)
+		c.writeGR(in.R1, uint64(in.Imm)+c.GR[in.R3], c.cycle+1)
+	case isa.OpAnd:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R2]&c.GR[in.R3], c.cycle+1)
+	case isa.OpOr:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R2]|c.GR[in.R3], c.cycle+1)
+	case isa.OpXor:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R2]^c.GR[in.R3], c.cycle+1)
+	case isa.OpShlAdd:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R2]<<uint(in.Imm)+c.GR[in.R3], c.cycle+1)
+	case isa.OpMov:
+		c.wait(in.R3)
+		c.writeGR(in.R1, c.GR[in.R3], c.cycle+1)
+	case isa.OpMovI:
+		c.writeGR(in.R1, uint64(in.Imm), c.cycle+1)
+	case isa.OpShl:
+		c.wait(in.R2)
+		c.writeGR(in.R1, c.GR[in.R2]<<uint(in.Imm), c.cycle+1)
+	case isa.OpShr:
+		c.wait(in.R2)
+		c.writeGR(in.R1, c.GR[in.R2]>>uint(in.Imm), c.cycle+1)
+	case isa.OpSxt4:
+		c.wait(in.R3)
+		c.writeGR(in.R1, uint64(int64(int32(uint32(c.GR[in.R3])))), c.cycle+1)
+	case isa.OpZxt4:
+		c.wait(in.R3)
+		c.writeGR(in.R1, uint64(uint32(c.GR[in.R3])), c.cycle+1)
+
+	case isa.OpCmp:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		v := compare(in.Rel, c.GR[in.R2], c.GR[in.R3])
+		c.setPred(in.P1, v)
+		c.setPred(in.P2, !v)
+	case isa.OpCmpI:
+		c.wait(in.R3)
+		v := compare(in.Rel, uint64(in.Imm), c.GR[in.R3])
+		c.setPred(in.P1, v)
+		c.setPred(in.P2, !v)
+
+	case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8, isa.OpLdS:
+		c.wait(in.R3)
+		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+		addr := c.GR[in.R3]
+		v := c.Mem.ReadN(addr, isa.AccessBytes(in.Op))
+		lat := uint64(1)
+		if c.Hier != nil {
+			r := c.Hier.Access(c.cycle, addr, memsys.KindLoad)
+			lat = r.Latency
+			if r.Level != memsys.LevelL1 && c.PMU != nil {
+				c.PMU.OnLoadMiss(pc, addr, uint32(lat))
+			}
+		}
+		c.writeGR(in.R1, v, c.cycle+lat)
+		c.postInc(in)
+		c.Stats.Loads++
+
+	case isa.OpLdF:
+		c.wait(in.R3)
+		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+		addr := c.GR[in.R3]
+		v := c.Mem.ReadFloat(addr)
+		lat := uint64(1)
+		if c.Hier != nil {
+			r := c.Hier.Access(c.cycle, addr, memsys.KindLoadFP)
+			lat = r.Latency
+			// FP loads bypass L1; only count events slower than an
+			// L2 hit as data-cache misses.
+			if c.PMU != nil && lat > uint64(c.Hier.Config().L2.HitLat) {
+				c.PMU.OnLoadMiss(pc, addr, uint32(lat))
+			}
+		}
+		c.writeFR(in.F1, v, c.cycle+lat)
+		c.postInc(in)
+		c.Stats.Loads++
+
+	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
+		c.wait(in.R2)
+		c.wait(in.R3)
+		c.reservePort(&c.storesUsed, c.cfg.StorePorts)
+		addr := c.GR[in.R3]
+		c.Mem.WriteN(addr, isa.AccessBytes(in.Op), c.GR[in.R2])
+		if c.Hier != nil {
+			c.Hier.Access(c.cycle, addr, memsys.KindStore)
+		}
+		c.postInc(in)
+		c.Stats.Stores++
+
+	case isa.OpStF:
+		c.waitF(in.F1)
+		c.wait(in.R3)
+		c.reservePort(&c.storesUsed, c.cfg.StorePorts)
+		addr := c.GR[in.R3]
+		c.Mem.WriteFloat(addr, c.FR[in.F1])
+		if c.Hier != nil {
+			c.Hier.Access(c.cycle, addr, memsys.KindStore)
+		}
+		c.postInc(in)
+		c.Stats.Stores++
+
+	case isa.OpLfetch:
+		c.wait(in.R3)
+		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+		if c.Hier != nil {
+			c.Hier.Access(c.cycle, c.GR[in.R3], memsys.KindPrefetch)
+		}
+		c.postInc(in)
+		c.Stats.Prefetches++
+
+	case isa.OpFma:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.waitF(in.F2)
+		c.waitF(in.F3)
+		c.waitF(in.F4)
+		c.writeFR(in.F1, c.FR[in.F2]*c.FR[in.F3]+c.FR[in.F4], c.cycle+fpLat)
+	case isa.OpFAdd:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.waitF(in.F2)
+		c.waitF(in.F3)
+		c.writeFR(in.F1, c.FR[in.F2]+c.FR[in.F3], c.cycle+fpLat)
+	case isa.OpFMul:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.waitF(in.F2)
+		c.waitF(in.F3)
+		c.writeFR(in.F1, c.FR[in.F2]*c.FR[in.F3], c.cycle+fpLat)
+	case isa.OpFSub:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.waitF(in.F2)
+		c.waitF(in.F3)
+		c.writeFR(in.F1, c.FR[in.F2]-c.FR[in.F3], c.cycle+fpLat)
+	case isa.OpFNeg:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.waitF(in.F2)
+		c.writeFR(in.F1, -c.FR[in.F2], c.cycle+fpLat)
+
+	case isa.OpGetF:
+		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+		c.waitF(in.F2)
+		c.writeGR(in.R1, math.Float64bits(c.FR[in.F2]), c.cycle+2)
+	case isa.OpSetF:
+		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+		c.wait(in.R2)
+		c.writeFR(in.F1, math.Float64frombits(c.GR[in.R2]), c.cycle+2)
+	case isa.OpFCvtFX:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.waitF(in.F2)
+		c.writeGR(in.R1, uint64(int64(c.FR[in.F2])), c.cycle+fpLat)
+	case isa.OpFCvtXF:
+		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+		c.wait(in.R2)
+		c.writeFR(in.F1, float64(int64(c.GR[in.R2])), c.cycle+fpLat)
+
+	case isa.OpBr:
+		c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+		c.retire(pc)
+		if c.PMU != nil {
+			c.PMU.OnBranch(pc, in.Target, true)
+		}
+		c.redirect(in.Target, false)
+		return true, nil
+	case isa.OpBrCall:
+		c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+		c.BR[in.B] = (pc &^ uint64(isa.BundleBytes-1)) + isa.BundleBytes
+		c.retire(pc)
+		if c.PMU != nil {
+			c.PMU.OnBranch(pc, in.Target, true)
+		}
+		c.redirect(in.Target, false)
+		return true, nil
+	case isa.OpBrRet:
+		c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+		target := c.BR[in.B]
+		c.retire(pc)
+		if target == 0 {
+			c.halted = true
+			c.Stats.Cycles = c.cycle
+			return true, nil
+		}
+		if c.PMU != nil {
+			c.PMU.OnBranch(pc, target, true)
+		}
+		c.redirect(target, false)
+		return true, nil
+	case isa.OpHalt:
+		c.retire(pc)
+		c.halted = true
+		c.Stats.Cycles = c.cycle
+		return true, nil
+
+	default:
+		return false, fmt.Errorf("cpu: unimplemented op %s at %#x", in.Op, pc)
+	}
+
+	c.retire(pc)
+	return false, nil
+}
+
+// execBrCond executes a conditional branch, including its PMU reporting and
+// BTFN prediction accounting.
+func (c *CPU) execBrCond(pc uint64, in *isa.Inst) (bool, error) {
+	c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+	taken := in.QP == 0 || c.PR[in.QP]
+	c.retire(pc)
+	if c.PMU != nil {
+		c.PMU.OnBranch(pc, in.Target, taken)
+	}
+	backward := in.Target <= pc
+	if taken {
+		c.redirect(in.Target, !backward)
+		return true, nil
+	}
+	if backward {
+		// BTFN predicted taken: a not-taken backward branch (loop
+		// exit) mispredicts.
+		c.mispredict()
+	}
+	return false, nil
+}
+
+// redirect moves fetch to target, charging the misprediction penalty or the
+// taken-branch bubble.
+func (c *CPU) redirect(target uint64, mispredicted bool) {
+	c.Stats.Branches++
+	if mispredicted {
+		c.mispredict()
+	} else if c.cfg.TakenBubble > 0 {
+		c.advanceCycle(c.cycle + uint64(c.cfg.TakenBubble))
+	}
+	c.pc = target
+}
+
+func (c *CPU) mispredict() {
+	c.Stats.Mispredicts++
+	c.advanceCycle(c.cycle + uint64(c.cfg.MispredictPenalty))
+}
+
+func (c *CPU) postInc(in *isa.Inst) {
+	if in.PostInc != 0 && in.R3 != 0 {
+		c.GR[in.R3] += uint64(in.PostInc)
+		c.grReady[in.R3] = c.cycle + 1
+	}
+}
+
+func (c *CPU) setPred(p isa.PReg, v bool) {
+	if p != 0 {
+		c.PR[p] = v
+	}
+}
+
+// retire counts one retired instruction and gives the PMU its sampling
+// opportunity.
+func (c *CPU) retire(pc uint64) {
+	c.Stats.Retired++
+	if c.PMU == nil {
+		return
+	}
+	c.PMU.Retired++
+	if c.cycle >= c.PMU.NextSampleAt() {
+		before := c.PMU.OverheadCycles
+		c.PMU.TakeSample(pc, c.cycle)
+		if d := c.PMU.OverheadCycles - before; d > 0 {
+			c.Stats.SampleCharges += d
+			c.advanceCycle(c.cycle + d)
+		}
+	}
+}
+
+func compare(rel isa.CmpRel, a, b uint64) bool {
+	switch rel {
+	case isa.CmpEq:
+		return a == b
+	case isa.CmpNe:
+		return a != b
+	case isa.CmpLt:
+		return int64(a) < int64(b)
+	case isa.CmpLe:
+		return int64(a) <= int64(b)
+	case isa.CmpGt:
+		return int64(a) > int64(b)
+	case isa.CmpGe:
+		return int64(a) >= int64(b)
+	case isa.CmpLtU:
+		return a < b
+	case isa.CmpGeU:
+		return a >= b
+	}
+	return false
+}

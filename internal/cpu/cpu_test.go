@@ -1,0 +1,400 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/program"
+)
+
+// buildMachine assembles the builder's code at its base and wires a full
+// machine around it.
+func buildMachine(t *testing.T, b *asm.Builder, p *pmu.PMU) (*CPU, *asm.Result) {
+	t.Helper()
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := program.NewCodeSpace()
+	seg := &program.Segment{Name: "main", Base: r.Base, Bundles: r.Bundles}
+	if err := cs.AddSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	mem := memsys.NewMemory()
+	hier := memsys.NewHierarchy(memsys.DefaultConfig())
+	c := New(DefaultConfig(), cs, mem, hier, p)
+	c.SetPC(r.Base)
+	return c, r
+}
+
+func run(t *testing.T, c *CPU) Stats {
+	t.Helper()
+	st, err := c.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return st
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 10)
+	b.MovI(5, 3)
+	b.Add(6, 4, 5)       // 13
+	b.Sub(7, 4, 5)       // 7
+	b.ShlAdd(8, 5, 2, 4) // 3<<2 + 10 = 22
+	b.AddI(9, -1, 6)     // 12
+	b.Shl(10, 5, 4)      // 48
+	b.Shr(11, 10, 3)     // 6
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	run(t, c)
+	want := map[isa.Reg]uint64{6: 13, 7: 7, 8: 22, 9: 12, 10: 48, 11: 6}
+	for r, v := range want {
+		if c.GR[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.GR[r], v)
+		}
+	}
+}
+
+func TestR0IsHardwiredZero(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(0, 99)
+	b.Add(4, 0, 0)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	run(t, c)
+	if c.GR[0] != 0 || c.GR[4] != 0 {
+		t.Fatalf("r0 = %d, r4 = %d", c.GR[0], c.GR[4])
+	}
+}
+
+// sumLoop builds: sum int64 array [base, base+n*8) into r8.
+func sumLoop(base uint64, n int64) *asm.Builder {
+	b := asm.New(0)
+	b.MovI(4, int64(base)) // cursor
+	b.MovI(5, n)           // remaining
+	b.MovI(8, 0)           // sum
+	b.Label("loop")
+	b.Ld(8, 6, 4, 8)
+	b.Add(8, 8, 6)
+	b.AddI(5, -1, 5)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 5) // p1 = 0 < r5
+	b.BrCond(1, "loop")
+	b.Halt()
+	return b
+}
+
+func TestLoopOverMemory(t *testing.T) {
+	const base, n = 0x10000, 100
+	c, _ := buildMachine(t, sumLoop(base, n), nil)
+	var want uint64
+	for i := 0; i < n; i++ {
+		c.Mem.WriteN(base+uint64(i*8), 8, uint64(i*3))
+		want += uint64(i * 3)
+	}
+	st := run(t, c)
+	if c.GR[8] != want {
+		t.Fatalf("sum = %d, want %d", c.GR[8], want)
+	}
+	if st.Loads != n {
+		t.Fatalf("loads = %d, want %d", st.Loads, n)
+	}
+	if st.Cycles == 0 || st.CPI() <= 0 {
+		t.Fatalf("bad stats %+v", st)
+	}
+}
+
+func TestPredicationSkipsEffects(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 5)
+	b.CmpI(isa.CmpEq, 1, 2, 99, 4) // p1 false, p2 true
+	b.Emit(isa.Inst{Op: isa.OpAddI, QP: 1, R1: 5, Imm: 111, R3: 0})
+	b.Emit(isa.Inst{Op: isa.OpAddI, QP: 2, R1: 6, Imm: 222, R3: 0})
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	run(t, c)
+	if c.GR[5] != 0 {
+		t.Fatalf("predicated-off add executed: r5 = %d", c.GR[5])
+	}
+	if c.GR[6] != 222 {
+		t.Fatalf("predicated-on add skipped: r6 = %d", c.GR[6])
+	}
+}
+
+func TestLoadUseStallVsIndependent(t *testing.T) {
+	// Dependent: each load's address comes from the previous load
+	// (pointer chase); independent: strided loads. Over a cold large
+	// footprint, the chase must be much slower per load.
+	const base = 0x100000
+	chain := asm.New(0)
+	chain.MovI(4, base)
+	chain.MovI(5, 200)
+	chain.Label("loop")
+	chain.Ld(8, 4, 4, 0) // r4 = [r4]
+	chain.AddI(5, -1, 5)
+	chain.CmpI(isa.CmpLt, 1, 2, 0, 5)
+	chain.BrCond(1, "loop")
+	chain.Halt()
+	c1, _ := buildMachine(t, chain, nil)
+	// Build a pointer chain with 4 KB spacing (distinct lines and sets).
+	addr := uint64(base)
+	for i := 0; i < 201; i++ {
+		next := addr + 4096
+		c1.Mem.WriteN(addr, 8, next)
+		addr = next
+	}
+	st1 := run(t, c1)
+
+	c2, _ := buildMachine(t, sumLoop(base, 200), nil)
+	st2 := run(t, c2)
+	if st1.Cycles <= st2.Cycles {
+		t.Fatalf("chase %d cycles <= stream %d cycles", st1.Cycles, st2.Cycles)
+	}
+	if st1.LoadStalls == 0 {
+		t.Fatal("no load stalls recorded on pointer chase")
+	}
+}
+
+func TestPrefetchingReducesCycles(t *testing.T) {
+	build := func(prefetch bool) *asm.Builder {
+		b := asm.New(0)
+		b.MovI(4, 0x200000)
+		b.MovI(5, 4096) // elements
+		b.MovI(8, 0)
+		if prefetch {
+			b.MovI(27, 0x200000+1024) // prefetch cursor, 2 lines ahead
+		}
+		b.Label("loop")
+		b.Ld(8, 6, 4, 8)
+		if prefetch {
+			b.Lfetch(27, 8)
+		}
+		b.Add(8, 8, 6)
+		b.AddI(5, -1, 5)
+		b.CmpI(isa.CmpLt, 1, 2, 0, 5)
+		b.BrCond(1, "loop")
+		b.Halt()
+		return b
+	}
+	cNo, _ := buildMachine(t, build(false), nil)
+	stNo := run(t, cNo)
+	cPf, _ := buildMachine(t, build(true), nil)
+	stPf := run(t, cPf)
+	if stPf.Cycles >= stNo.Cycles {
+		t.Fatalf("prefetch did not help: %d >= %d", stPf.Cycles, stNo.Cycles)
+	}
+	speedup := float64(stNo.Cycles) / float64(stPf.Cycles)
+	if speedup < 1.2 {
+		t.Fatalf("prefetch speedup only %.2fx", speedup)
+	}
+}
+
+func TestIssueWidthLimitsThroughput(t *testing.T) {
+	// 8 independent adds per iteration: at 6 insts/cycle the loop body
+	// needs >= 2 cycles; verify cycles scale with instruction count.
+	b := asm.New(0)
+	b.MovI(5, 1000)
+	b.Label("loop")
+	for i := isa.Reg(6); i < 14; i++ {
+		b.AddI(i, 1, i)
+	}
+	b.AddI(5, -1, 5)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 5)
+	b.BrCond(1, "loop")
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	st := run(t, c)
+	// 11 instructions/iteration over >= 4 bundles -> >= 2 cycles/iter.
+	if st.Cycles < 2000 {
+		t.Fatalf("cycles = %d, below issue-width bound", st.Cycles)
+	}
+}
+
+func TestMispredictPenalty(t *testing.T) {
+	// A taken forward branch mispredicts under BTFN.
+	b := asm.New(0)
+	b.MovI(5, 1000)
+	b.Label("loop")
+	b.CmpI(isa.CmpLt, 1, 2, 0, 5)
+	b.BrCond(1, "fwd") // always taken, forward: mispredicts
+	b.Label("fwd")
+	b.AddI(5, -1, 5)
+	b.CmpI(isa.CmpLt, 3, 4, 0, 5)
+	b.BrCond(3, "loop")
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	st := run(t, c)
+	if st.Mispredicts < 1000 {
+		t.Fatalf("mispredicts = %d, want >= 1000", st.Mispredicts)
+	}
+}
+
+func TestPMUSamplingAndDEAR(t *testing.T) {
+	p := pmu.New(pmu.Config{SampleInterval: 50, SSBSize: 8, DearLatencyMin: 8, HandlerCyclesPerSample: 5})
+	var samples []pmu.Sample
+	p.SetHandler(func(s []pmu.Sample) { samples = append(samples, s...) })
+
+	const base = 0x300000
+	c, _ := buildMachine(t, sumLoop(base, 5000), p)
+	p.Start(0)
+	st := run(t, c)
+	p.Stop()
+
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	var dear, btb int
+	for _, s := range samples {
+		if s.DEAR.Valid {
+			dear++
+			if s.DEAR.Latency < 8 {
+				t.Fatalf("DEAR latency %d below threshold", s.DEAR.Latency)
+			}
+			if s.DEAR.Addr < base || s.DEAR.Addr > base+5000*8 {
+				t.Fatalf("DEAR addr %#x outside array", s.DEAR.Addr)
+			}
+		}
+		if s.NBTB > 0 {
+			btb++
+		}
+	}
+	if dear == 0 {
+		t.Fatal("no DEAR events for a streaming miss loop")
+	}
+	if btb == 0 {
+		t.Fatal("no BTB contents")
+	}
+	if st.SampleCharges == 0 {
+		t.Fatal("sampling overhead not charged")
+	}
+	// Counters in samples are accumulative and non-decreasing.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Cycles < samples[i-1].Cycles || samples[i].Retired < samples[i-1].Retired {
+			t.Fatal("counters not monotone")
+		}
+	}
+}
+
+func TestPollHookFires(t *testing.T) {
+	c, _ := buildMachine(t, sumLoop(0x10000, 2000), nil)
+	var calls int
+	var last uint64
+	c.AddPollHook(500, func(now uint64) uint64 {
+		calls++
+		if now < last {
+			t.Fatal("time went backwards")
+		}
+		last = now
+		return 0
+	})
+	st := run(t, c)
+	if calls == 0 {
+		t.Fatal("poll hook never fired")
+	}
+	if uint64(calls) > st.Cycles/500+2 {
+		t.Fatalf("poll hook fired %d times in %d cycles", calls, st.Cycles)
+	}
+}
+
+func TestPollHookChargeAdvancesTime(t *testing.T) {
+	c, _ := buildMachine(t, sumLoop(0x10000, 2000), nil)
+	fired := false
+	c.AddPollHook(100, func(now uint64) uint64 {
+		if fired {
+			return 0
+		}
+		fired = true
+		return 10_000
+	})
+	st := run(t, c)
+	if st.Cycles < 10_000 {
+		t.Fatalf("charge not applied: %d cycles", st.Cycles)
+	}
+}
+
+func TestBrCallRet(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 7)
+	b.BrCall(1, "double")
+	b.Mov(6, 5)
+	b.Halt()
+	b.Label("double")
+	b.Add(5, 4, 4)
+	b.BrRet(1)
+	c, _ := buildMachine(t, b, nil)
+	run(t, c)
+	if c.GR[6] != 14 {
+		t.Fatalf("r6 = %d, want 14", c.GR[6])
+	}
+}
+
+func TestBrRetToZeroHalts(t *testing.T) {
+	b := asm.New(0)
+	b.BrRet(1) // b1 = 0: acts as program exit
+	c, _ := buildMachine(t, b, nil)
+	run(t, c)
+}
+
+func TestSelfModifyingCodeViaCodeSpace(t *testing.T) {
+	// Patch the halt path while running: the poll hook rewrites a
+	// bundle, and execution observes the change — the mechanism trace
+	// patching relies on.
+	b := asm.New(0)
+	b.MovI(5, 100000)
+	b.Label("loop")
+	b.AddI(5, -1, 5)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 5)
+	b.BrCond(1, "loop")
+	b.Label("tail")
+	b.MovI(9, 111) // will be patched away
+	b.Halt()
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := program.NewCodeSpace()
+	seg := &program.Segment{Name: "main", Base: 0, Bundles: r.Bundles}
+	if err := cs.AddSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	pool := &program.Segment{Name: "pool", Base: 0x100000, Bundles: make([]isa.Bundle, 2)}
+	if err := cs.AddSegment(pool); err != nil {
+		t.Fatal(err)
+	}
+	// Pool: set r9 = 222 then halt.
+	pb := asm.New(0x100000)
+	pb.MovI(9, 222)
+	pb.Halt()
+	pr, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pool.Bundles, pr.Bundles)
+
+	c := New(DefaultConfig(), cs, memsys.NewMemory(), memsys.NewHierarchy(memsys.DefaultConfig()), nil)
+	tail, _ := r.AddrOf("tail")
+	c.AddPollHook(1000, func(uint64) uint64 {
+		_ = cs.Write(tail, isa.BranchBundle(0x100000))
+		return 0
+	})
+	c.SetPC(0)
+	run(t, c)
+	if c.GR[9] != 222 {
+		t.Fatalf("r9 = %d, want 222 (patched path)", c.GR[9])
+	}
+}
+
+func TestICacheStallsAccumulate(t *testing.T) {
+	c, _ := buildMachine(t, sumLoop(0x10000, 10), nil)
+	st := run(t, c)
+	if st.ICacheStalls == 0 {
+		t.Fatal("cold I-cache produced no stalls")
+	}
+}

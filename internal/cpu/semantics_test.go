@@ -1,0 +1,253 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func TestLogicalAndShiftSemantics(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 0b1100)
+	b.MovI(5, 0b1010)
+	b.Emit(isa.Inst{Op: isa.OpAnd, R1: 6, R2: 4, R3: 5})
+	b.Emit(isa.Inst{Op: isa.OpOr, R1: 7, R2: 4, R3: 5})
+	b.Emit(isa.Inst{Op: isa.OpXor, R1: 8, R2: 4, R3: 5})
+	b.Emit(isa.Inst{Op: isa.OpSxt4, R1: 9, R3: 10})
+	b.Emit(isa.Inst{Op: isa.OpZxt4, R1: 11, R3: 10})
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	c.GR[10] = 0xffff_ffff_8000_0001 // only low 32 bits matter
+	st, err := c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	if c.GR[6] != 0b1000 || c.GR[7] != 0b1110 || c.GR[8] != 0b0110 {
+		t.Fatalf("and/or/xor = %b %b %b", c.GR[6], c.GR[7], c.GR[8])
+	}
+	if c.GR[9] != 0xffff_ffff_8000_0001 {
+		t.Fatalf("sxt4 = %#x", c.GR[9])
+	}
+	if c.GR[11] != 0x8000_0001 {
+		t.Fatalf("zxt4 = %#x", c.GR[11])
+	}
+}
+
+func TestFloatingPointSemantics(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 3)
+	b.FCvtXF(2, 4)    // f2 = 3.0
+	b.FAdd(3, 2, 1)   // f3 = 4.0 (f1 == 1.0)
+	b.FMul(4, 3, 2)   // f4 = 12.0
+	b.FSub(5, 4, 2)   // f5 = 9.0
+	b.Fma(6, 2, 3, 5) // f6 = 3*4+9 = 21
+	b.Emit(isa.Inst{Op: isa.OpFNeg, F1: 7, F2: 6})
+	b.FCvtFX(5, 6) // r5 = 21
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.FR[6] != 21 || c.FR[7] != -21 || c.GR[5] != 21 {
+		t.Fatalf("fp chain: f6=%v f7=%v r5=%d", c.FR[6], c.FR[7], c.GR[5])
+	}
+	// f0 and f1 are hardwired.
+	if c.FR[0] != 0 || c.FR[1] != 1 {
+		t.Fatalf("f0/f1 = %v/%v", c.FR[0], c.FR[1])
+	}
+}
+
+func TestGetfSetfRoundTrip(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, int64(math.Float64bits(2.5)))
+	b.SetF(2, 4)
+	b.GetF(5, 2)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.FR[2] != 2.5 {
+		t.Fatalf("setf.sig: f2 = %v", c.FR[2])
+	}
+	if c.GR[5] != math.Float64bits(2.5) {
+		t.Fatalf("getf.sig: r5 = %#x", c.GR[5])
+	}
+}
+
+func TestCompareRelations(t *testing.T) {
+	f := func(a, b int64) bool {
+		checks := []struct {
+			rel  isa.CmpRel
+			want bool
+		}{
+			{isa.CmpEq, a == b},
+			{isa.CmpNe, a != b},
+			{isa.CmpLt, a < b},
+			{isa.CmpLe, a <= b},
+			{isa.CmpGt, a > b},
+			{isa.CmpGe, a >= b},
+			{isa.CmpLtU, uint64(a) < uint64(b)},
+			{isa.CmpGeU, uint64(a) >= uint64(b)},
+		}
+		for _, c := range checks {
+			if compare(c.rel, uint64(a), uint64(b)) != c.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubByteMemoryOps(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 0x10000)
+	b.MovI(5, 0x1122334455667788)
+	b.St(8, 4, 5, 0)
+	b.Ld(1, 6, 4, 0)
+	b.Ld(2, 7, 4, 0)
+	b.Ld(4, 8, 4, 0)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.GR[6] != 0x88 || c.GR[7] != 0x7788 || c.GR[8] != 0x55667788 {
+		t.Fatalf("ld1/2/4 = %#x %#x %#x", c.GR[6], c.GR[7], c.GR[8])
+	}
+}
+
+func TestPostIncrementOrdering(t *testing.T) {
+	// The access uses the pre-increment address; the register is updated
+	// afterwards.
+	b := asm.New(0)
+	b.MovI(4, 0x10000)
+	b.Ld(8, 5, 4, 8)
+	b.Ld(8, 6, 4, 8)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	c.Mem.Write64(0x10000, 111)
+	c.Mem.Write64(0x10008, 222)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.GR[5] != 111 || c.GR[6] != 222 || c.GR[4] != 0x10010 {
+		t.Fatalf("post-inc: r5=%d r6=%d r4=%#x", c.GR[5], c.GR[6], c.GR[4])
+	}
+}
+
+func TestSpeculativeLoadBehavesLikeLoad(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 0x10000)
+	b.LdS(5, 4, 0)
+	// Speculative load of an unmapped address returns zero, no fault.
+	b.MovI(6, 0xdead0000)
+	b.LdS(7, 6, 0)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	c.Mem.Write64(0x10000, 42)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.GR[5] != 42 || c.GR[7] != 0 {
+		t.Fatalf("ld.s: r5=%d r7=%d", c.GR[5], c.GR[7])
+	}
+}
+
+func TestLfetchHasNoArchitecturalEffect(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(4, 0x10000)
+	b.Lfetch(4, 64)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.GR[4] != 0x10040 {
+		t.Fatalf("lfetch post-inc: r4=%#x", c.GR[4])
+	}
+	if c.Stats.Prefetches != 1 {
+		t.Fatalf("prefetches = %d", c.Stats.Prefetches)
+	}
+}
+
+func TestStoreLoadForwardThroughMemory(t *testing.T) {
+	// Values written by stores are immediately visible to loads
+	// (sequential semantics; no store buffer reordering).
+	b := asm.New(0)
+	b.MovI(4, 0x10000)
+	b.MovI(5, 77)
+	b.St(8, 4, 5, 0)
+	b.Ld(8, 6, 4, 0)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.GR[6] != 77 {
+		t.Fatalf("store-load = %d", c.GR[6])
+	}
+}
+
+func TestMaxInstructionBudgetStopsRun(t *testing.T) {
+	b := asm.New(0)
+	b.Label("forever")
+	b.AddI(4, 1, 4)
+	b.Br("forever")
+	c, _ := buildMachine(t, b, nil)
+	st, err := c.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Halted() {
+		t.Fatal("infinite loop halted")
+	}
+	if st.Retired < 10_000 || st.Retired > 10_010 {
+		t.Fatalf("retired = %d", st.Retired)
+	}
+}
+
+func TestFetchFromUnmappedAddressErrors(t *testing.T) {
+	b := asm.New(0)
+	b.Br("off")
+	b.Label("off")
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the branch somewhere unmapped.
+	r.Bundles[0].Slots[len(r.Bundles[0].Slots)-1].Target = 0x999000
+	c, _ := buildMachine(t, asm.New(0x2000), nil)
+	// Replace code space with the broken program.
+	_ = c
+	b2 := asm.New(0)
+	b2.Emit(isa.Inst{Op: isa.OpBr, Target: 0x999000})
+	c2, _ := buildMachine(t, b2, nil)
+	if _, err := c2.Run(0); err == nil {
+		t.Fatal("unmapped fetch did not error")
+	}
+}
+
+func TestQualifyingPredicateOnBranchNotTaken(t *testing.T) {
+	b := asm.New(0)
+	b.CmpI(isa.CmpEq, 1, 2, 5, 0) // p1 = (5 == r0=0) = false
+	b.BrCond(1, "skip")
+	b.MovI(4, 1)
+	b.Label("skip")
+	b.MovI(5, 2)
+	b.Halt()
+	c, _ := buildMachine(t, b, nil)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.GR[4] != 1 || c.GR[5] != 2 {
+		t.Fatalf("false-predicated branch taken: r4=%d r5=%d", c.GR[4], c.GR[5])
+	}
+}

@@ -1,0 +1,519 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// ExpConfig parameterizes a whole experiment sweep.
+type ExpConfig struct {
+	Scale float64     // workload scale factor (1.0 = full runs)
+	Core  core.Config // ADORE configuration
+}
+
+// DefaultExpConfig runs the full-scale experiments.
+func DefaultExpConfig() ExpConfig {
+	return ExpConfig{Scale: 1.0, Core: core.DefaultConfig()}
+}
+
+// compile builds one benchmark under the standard experiment settings.
+func compile(b workloads.Benchmark, level compiler.OptLevel) (*compiler.BuildResult, error) {
+	opts := compiler.DefaultOptions() // restricted: no SWP, registers reserved
+	opts.Level = level
+	return compiler.Build(b.Kernel, opts)
+}
+
+// SpeedupRow is one bar of Fig. 7.
+type SpeedupRow struct {
+	Name    string
+	Base    uint64 // cycles without runtime prefetching
+	ADORE   uint64 // cycles with runtime prefetching
+	Speedup float64
+	Stats   core.Stats
+}
+
+// Fig7Result is the Fig. 7(a) or 7(b) sweep.
+type Fig7Result struct {
+	Level compiler.OptLevel
+	Rows  []SpeedupRow
+}
+
+// RunFig7 reproduces Fig. 7: speedup of runtime prefetching over the plain
+// binary at the given optimization level, across the 17 benchmarks.
+func RunFig7(cfg ExpConfig, level compiler.OptLevel) (*Fig7Result, error) {
+	res := &Fig7Result{Level: level}
+	for _, b := range workloads.All(cfg.Scale) {
+		build, err := compile(b, level)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rc := DefaultRunConfig()
+		base, err := Run(build, rc)
+		if err != nil {
+			return nil, err
+		}
+		rc.ADORE = true
+		rc.Core = cfg.Core
+		adore, err := Run(build, rc)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, SpeedupRow{
+			Name:    b.Name,
+			Base:    base.CPU.Cycles,
+			ADORE:   adore.CPU.Cycles,
+			Speedup: Speedup(base.CPU.Cycles, adore.CPU.Cycles),
+			Stats:   *adore.Core,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the figure as a text bar table.
+func (f *Fig7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: Speedup of %s + Runtime Prefetching over %s\n", f.Level, f.Level)
+	fmt.Fprintf(&b, "%-10s %12s %12s %9s\n", "benchmark", "base cycles", "adore cycles", "speedup")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %12d %12d %8.1f%%  %s\n",
+			r.Name, r.Base, r.ADORE, r.Speedup*100, bar(r.Speedup))
+	}
+	return b.String()
+}
+
+func bar(v float64) string {
+	n := int(v * 50)
+	switch {
+	case n > 40:
+		n = 40
+	case n < -10:
+		n = -10
+	}
+	if n >= 0 {
+		return strings.Repeat("#", n)
+	}
+	return strings.Repeat("-", -n)
+}
+
+// Table1Row is one row of Table 1: profile-guided static prefetching.
+type Table1Row struct {
+	Name            string
+	LoopsO3         int     // loops scheduled for prefetch at plain O3
+	LoopsProfile    int     // ... under profile guidance
+	NormExecTime    float64 // profile-guided time / O3 time
+	NormBinarySize  float64 // profile-guided bundles / O3 bundles
+	ProfileCoverage float64 // fraction of sampled latency the kept loops cover
+}
+
+// Table1Result is the Table 1 sweep.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// RunTable1 reproduces Table 1: collect a sampling profile of the O3
+// binary, keep the loops whose delinquent loads cover the bulk of the
+// total miss latency, recompile prefetching only those, and compare
+// execution time and binary size. (The paper cuts at 90%; our synthetic
+// profiles are far more concentrated than SPEC's, so the equivalent cut
+// that keeps every loop whose prefetch matters is 98%.)
+func RunTable1(cfg ExpConfig) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, b := range workloads.All(cfg.Scale) {
+		full, err := compile(b, compiler.O3)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		// Training run with sampling to collect the miss profile. The
+		// profile comes from the un-prefetched (O2) binary: profiling
+		// the O3 binary would hide exactly the loops whose static
+		// prefetches work. Loop IDs are stable across levels.
+		noPf, err := compile(b, compiler.O2)
+		if err != nil {
+			return nil, err
+		}
+		rc := DefaultRunConfig()
+		rc.SampleOnly = true
+		rc.Core = cfg.Core
+		profileRun, err := RunProfiled(noPf, rc)
+		if err != nil {
+			return nil, err
+		}
+		keep, coverage := selectLoops(profileRun, noPf, 0.98)
+
+		opts := compiler.DefaultOptions()
+		opts.Level = compiler.O3
+		opts.PrefetchLoops = keep
+		filtered, err := compiler.Build(b.Kernel, opts)
+		if err != nil {
+			return nil, err
+		}
+
+		baseRun, err := Run(full, DefaultRunConfig())
+		if err != nil {
+			return nil, err
+		}
+		filtRun, err := Run(filtered, DefaultRunConfig())
+		if err != nil {
+			return nil, err
+		}
+
+		res.Rows = append(res.Rows, Table1Row{
+			Name:            b.Name,
+			LoopsO3:         full.LoopsPrefetched,
+			LoopsProfile:    filtered.LoopsPrefetched,
+			NormExecTime:    float64(filtRun.CPU.Cycles) / float64(baseRun.CPU.Cycles),
+			NormBinarySize:  float64(filtered.Image.BundleCount) / float64(full.Image.BundleCount),
+			ProfileCoverage: coverage,
+		})
+	}
+	return res, nil
+}
+
+// FilteredFraction reports the average fraction of prefetch-scheduled loops
+// the profile filtered out (the paper reports 83%).
+func (t *Table1Result) FilteredFraction() float64 {
+	var kept, total float64
+	for _, r := range t.Rows {
+		kept += float64(r.LoopsProfile)
+		total += float64(r.LoopsO3)
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - kept/total
+}
+
+// Render prints Table 1.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 1: Profile Guided Static Prefetching\n")
+	fmt.Fprintf(&b, "%-10s %16s %16s %14s %14s\n",
+		"benchmark", "loops@O3", "loops@O3+prof", "norm time", "norm size")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %16d %16d %14.3f %14.3f\n",
+			r.Name, r.LoopsO3, r.LoopsProfile, r.NormExecTime, r.NormBinarySize)
+	}
+	fmt.Fprintf(&b, "average fraction of prefetch loops filtered out: %.0f%% (paper: 83%%)\n",
+		t.FilteredFraction()*100)
+	return b.String()
+}
+
+// Table2Row is one column of the paper's Table 2.
+type Table2Row struct {
+	Name     string
+	Direct   int
+	Indirect int
+	Pointer  int
+	Phases   int
+}
+
+// Table2Result is the prefetching data analysis of Table 2.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 reproduces Table 2 from the Fig. 7(a) ADORE runs (O2
+// binaries): the number of prefetches inserted per reference pattern and
+// the number of optimized phases.
+func RunTable2(cfg ExpConfig) (*Table2Result, error) {
+	fig7, err := RunFig7(cfg, compiler.O2)
+	if err != nil {
+		return nil, err
+	}
+	return Table2FromFig7(fig7), nil
+}
+
+// Table2FromFig7 extracts Table 2 from an existing Fig. 7(a) sweep.
+func Table2FromFig7(f *Fig7Result) *Table2Result {
+	res := &Table2Result{}
+	for _, r := range f.Rows {
+		res.Rows = append(res.Rows, Table2Row{
+			Name:     r.Name,
+			Direct:   r.Stats.DirectPrefetches,
+			Indirect: r.Stats.IndirectPrefetches,
+			Pointer:  r.Stats.PointerPrefetches,
+			Phases:   r.Stats.PhasesOptimized,
+		})
+	}
+	return res
+}
+
+// Render prints Table 2.
+func (t *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2: Prefetching Data Analysis (O2 binaries)\n")
+	fmt.Fprintf(&b, "%-10s %8s %9s %16s %8s\n", "benchmark", "direct", "indirect", "pointer-chasing", "phases")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %8d %9d %16d %8d\n", r.Name, r.Direct, r.Indirect, r.Pointer, r.Phases)
+	}
+	return b.String()
+}
+
+// SeriesResult holds the Fig. 8/9 time-series pair for one benchmark.
+type SeriesResult struct {
+	Name    string
+	With    []SeriesPoint
+	Without []SeriesPoint
+}
+
+// RunSeries reproduces Fig. 8 (art) or Fig. 9 (mcf): CPI and DEAR events
+// per 1000 instructions over execution time, with and without runtime
+// prefetching, on the O2 binary.
+func RunSeries(cfg ExpConfig, name string) (*SeriesResult, error) {
+	b, err := workloads.ByName(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	build, err := compile(b, compiler.O2)
+	if err != nil {
+		return nil, err
+	}
+	rc := DefaultRunConfig()
+	rc.SampleOnly = true
+	rc.Core = cfg.Core
+	rc.RecordSeries = true
+	without, err := Run(build, rc)
+	if err != nil {
+		return nil, err
+	}
+	rc.SampleOnly = false
+	rc.ADORE = true
+	with, err := Run(build, rc)
+	if err != nil {
+		return nil, err
+	}
+	return &SeriesResult{Name: name, With: with.Series, Without: without.Series}, nil
+}
+
+// MeanCPI returns the average CPI of a series segment [from, to) as
+// fractions of its length.
+func MeanCPI(s []SeriesPoint, from, to float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	lo, hi := int(from*float64(len(s))), int(to*float64(len(s)))
+	if hi > len(s) {
+		hi = len(s)
+	}
+	var sum float64
+	n := 0
+	for _, p := range s[lo:hi] {
+		sum += p.CPI
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints the two curves as text columns.
+func (s *SeriesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8/9 series for %s: CPI and DEAR/1000-inst over time\n", s.Name)
+	b.WriteString("without runtime prefetching:\n")
+	renderSeries(&b, s.Without)
+	b.WriteString("with runtime prefetching:\n")
+	renderSeries(&b, s.With)
+	return b.String()
+}
+
+func renderSeries(b *strings.Builder, pts []SeriesPoint) {
+	step := len(pts)/40 + 1
+	for i := 0; i < len(pts); i += step {
+		p := pts[i]
+		fmt.Fprintf(b, "  cyc=%-12d CPI=%-6.2f %-30s dear/k=%.2f\n",
+			p.Cycle, p.CPI, strings.Repeat("*", clampInt(int(p.CPI*8), 0, 30)), p.DearPerK)
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Fig10Row compares the original O2 (software pipelining on, no reserved
+// registers) with the restricted O2 used for runtime prefetching.
+type Fig10Row struct {
+	Name       string
+	Restricted uint64  // cycles: no SWP + 4 GRs reserved
+	Original   uint64  // cycles: SWP + full register file
+	Impact     float64 // restricted/original - 1: cost of the restriction
+}
+
+// Fig10Result is the register/SWP impact sweep.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// RunFig10 reproduces Fig. 10: the cost of reserving four registers and
+// disabling software pipelining, measured without any runtime optimization.
+func RunFig10(cfg ExpConfig) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	for _, b := range workloads.All(cfg.Scale) {
+		restrictedOpts := compiler.DefaultOptions()
+		restricted, err := compiler.Build(b.Kernel, restrictedOpts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		origOpts := compiler.DefaultOptions()
+		origOpts.SWP = true
+		origOpts.ReserveRegs = false
+		orig, err := compiler.Build(b.Kernel, origOpts)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := Run(restricted, DefaultRunConfig())
+		if err != nil {
+			return nil, err
+		}
+		or, err := Run(orig, DefaultRunConfig())
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig10Row{
+			Name:       b.Name,
+			Restricted: rr.CPU.Cycles,
+			Original:   or.CPU.Cycles,
+			Impact:     float64(rr.CPU.Cycles)/float64(or.CPU.Cycles) - 1,
+		})
+	}
+	return res, nil
+}
+
+// Render prints Fig. 10.
+func (f *Fig10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Impact of register reservation and disabled SWP (original O2 vs restricted O2)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %8s\n", "benchmark", "restricted", "original O2", "cost")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %14d %14d %7.1f%%  %s\n", r.Name, r.Restricted, r.Original, r.Impact*100, bar(r.Impact))
+	}
+	return b.String()
+}
+
+// Fig11Row measures the ADORE system overhead with prefetch insertion
+// disabled.
+type Fig11Row struct {
+	Name     string
+	Plain    uint64 // O2 cycles without ADORE
+	Monitor  uint64 // O2 cycles with ADORE attached, insertion disabled
+	Overhead float64
+}
+
+// Fig11Result is the overhead sweep.
+type Fig11Result struct {
+	Rows []Fig11Row
+}
+
+// RunFig11 reproduces Fig. 11: execution time with the full ADORE pipeline
+// running (sampling, phase detection, trace selection, optimization) but
+// no patches installed — isolating the system overhead, which the paper
+// measures at 1-2%.
+func RunFig11(cfg ExpConfig) (*Fig11Result, error) {
+	res := &Fig11Result{}
+	for _, b := range workloads.All(cfg.Scale) {
+		build, err := compile(b, compiler.O2)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		plain, err := Run(build, DefaultRunConfig())
+		if err != nil {
+			return nil, err
+		}
+		rc := DefaultRunConfig()
+		rc.ADORE = true
+		rc.Core = cfg.Core
+		rc.Core.DisableInsertion = true
+		mon, err := Run(build, rc)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig11Row{
+			Name:     b.Name,
+			Plain:    plain.CPU.Cycles,
+			Monitor:  mon.CPU.Cycles,
+			Overhead: float64(mon.CPU.Cycles)/float64(plain.CPU.Cycles) - 1,
+		})
+	}
+	return res, nil
+}
+
+// MaxOverhead reports the largest overhead across the suite.
+func (f *Fig11Result) MaxOverhead() float64 {
+	var m float64
+	for _, r := range f.Rows {
+		if r.Overhead > m {
+			m = r.Overhead
+		}
+	}
+	return m
+}
+
+// Render prints Fig. 11.
+func (f *Fig11Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: Overhead of runtime system without prefetch insertion\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %9s\n", "benchmark", "O2 cycles", "O2+monitor", "overhead")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-10s %14d %14d %8.2f%%\n", r.Name, r.Plain, r.Monitor, r.Overhead*100)
+	}
+	return b.String()
+}
+
+// selectLoops maps the run's DEAR profile back to compiler loops and keeps
+// the hottest loops covering the given fraction of miss latency.
+func selectLoops(pr *ProfiledRun, build *compiler.BuildResult, coverTarget float64) (map[int]bool, float64) {
+	// Paper's procedure: sort the delinquent loads by total miss
+	// latency, take loads until they cover 90% of the total, then
+	// prefetch every loop containing at least one listed load. Only
+	// loads inside prefetchable loops compete — the static prefetcher
+	// cannot act on the others anyway.
+	perPC := map[uint64]uint64{}
+	pcLoop := map[uint64]int{}
+	var total uint64
+	for _, ev := range pr.DearEvents {
+		if l, ok := build.Image.LoopAt(ev.PC); ok && l.Prefetchable {
+			perPC[ev.PC] += uint64(ev.Latency)
+			pcLoop[ev.PC] = l.ID
+			total += uint64(ev.Latency)
+		}
+	}
+	type loadLat struct {
+		pc  uint64
+		lat uint64
+	}
+	ranked := make([]loadLat, 0, len(perPC))
+	for pc, lat := range perPC {
+		ranked = append(ranked, loadLat{pc, lat})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].lat != ranked[j].lat {
+			return ranked[i].lat > ranked[j].lat
+		}
+		return ranked[i].pc < ranked[j].pc
+	})
+	keep := map[int]bool{}
+	if total == 0 {
+		return keep, 0
+	}
+	var covered uint64
+	for _, ll := range ranked {
+		if float64(covered) >= coverTarget*float64(total) {
+			break
+		}
+		keep[pcLoop[ll.pc]] = true
+		covered += ll.lat
+	}
+	return keep, float64(covered) / float64(total)
+}

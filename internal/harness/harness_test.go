@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSpeedupMath(t *testing.T) {
+	cases := []struct {
+		base, test uint64
+		want       float64
+	}{
+		{100, 100, 0},
+		{150, 100, 0.5},
+		{100, 200, -0.5},
+		{100, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Speedup(c.base, c.test); got != c.want {
+			t.Errorf("Speedup(%d,%d) = %v, want %v", c.base, c.test, got, c.want)
+		}
+	}
+}
+
+func TestMeanCPISegments(t *testing.T) {
+	s := []SeriesPoint{{CPI: 2}, {CPI: 2}, {CPI: 4}, {CPI: 4}}
+	if got := MeanCPI(s, 0, 0.5); got != 2 {
+		t.Fatalf("first half = %v", got)
+	}
+	if got := MeanCPI(s, 0.5, 1); got != 4 {
+		t.Fatalf("second half = %v", got)
+	}
+	if got := MeanCPI(nil, 0, 1); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := MeanCPI(s, 0.99, 1.0); got != 4 {
+		t.Fatalf("tail slice = %v", got)
+	}
+}
+
+func TestTable2FromFig7(t *testing.T) {
+	f := &Fig7Result{Rows: []SpeedupRow{
+		{Name: "x", Stats: core.Stats{DirectPrefetches: 3, IndirectPrefetches: 1, PointerPrefetches: 2, PhasesOptimized: 4}},
+	}}
+	t2 := Table2FromFig7(f)
+	if len(t2.Rows) != 1 {
+		t.Fatal("rows")
+	}
+	r := t2.Rows[0]
+	if r.Direct != 3 || r.Indirect != 1 || r.Pointer != 2 || r.Phases != 4 {
+		t.Fatalf("row = %+v", r)
+	}
+	if !strings.Contains(t2.Render(), "pointer-chasing") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestBarRendering(t *testing.T) {
+	if bar(0.10) != "#####" {
+		t.Fatalf("bar(0.10) = %q", bar(0.10))
+	}
+	if bar(-0.06) != "---" {
+		t.Fatalf("bar(-0.06) = %q", bar(-0.06))
+	}
+	if len(bar(5.0)) != 40 {
+		t.Fatalf("bar clamping failed: %q", bar(5.0))
+	}
+}
+
+func TestFig10RenderAndRows(t *testing.T) {
+	f := &Fig10Result{Rows: []Fig10Row{{Name: "swim", Restricted: 120, Original: 100, Impact: 0.2}}}
+	out := f.Render()
+	if !strings.Contains(out, "swim") || !strings.Contains(out, "20.0%") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFig11MaxOverhead(t *testing.T) {
+	f := &Fig11Result{Rows: []Fig11Row{{Overhead: 0.01}, {Overhead: 0.03}, {Overhead: 0.02}}}
+	if got := f.MaxOverhead(); got != 0.03 {
+		t.Fatalf("MaxOverhead = %v", got)
+	}
+}
+
+func TestTable1FilteredFraction(t *testing.T) {
+	r := &Table1Result{Rows: []Table1Row{
+		{LoopsO3: 10, LoopsProfile: 2},
+		{LoopsO3: 10, LoopsProfile: 3},
+	}}
+	if got := r.FilteredFraction(); got != 0.75 {
+		t.Fatalf("FilteredFraction = %v", got)
+	}
+	empty := &Table1Result{}
+	if empty.FilteredFraction() != 0 {
+		t.Fatal("empty fraction non-zero")
+	}
+}

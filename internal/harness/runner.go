@@ -1,0 +1,193 @@
+// Package harness assembles full experiment machines — compiled workload,
+// memory system, PMU, CPU, and optionally the ADORE controller — runs them,
+// and renders the paper's tables and figures from the results.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/program"
+)
+
+// RunConfig selects what to wire around the workload.
+type RunConfig struct {
+	ADORE        bool        // attach the dynamic optimizer
+	Core         core.Config // ADORE parameters (ignored unless ADORE)
+	CPU          cpu.Config
+	Hierarchy    memsys.HierarchyConfig
+	MaxInsts     uint64 // safety stop; 0 = default
+	RecordSeries bool   // collect per-window CPI/DPI series (Figs. 8-9)
+
+	// SampleOnly attaches the PMU and series recorder without ADORE —
+	// the "No Runtime Prefetching" side of Figs. 8-9 still shows PMU
+	// metrics over time.
+	SampleOnly bool
+
+	// CaptureDear additionally collects every sampled DEAR event
+	// (requires SampleOnly) — the training profile for Table 1.
+	CaptureDear bool
+
+	// OnOptimize, when set with ADORE, observes every trace
+	// optimization attempt (tooling/debugging hook).
+	OnOptimize func(*core.Trace, []core.DelinquentLoad, core.OptimizeResult)
+}
+
+// DearEvent is one captured miss event of a training profile.
+type DearEvent struct {
+	PC      uint64
+	Addr    uint64
+	Latency uint32
+}
+
+// DefaultRunConfig returns the standard machine configuration.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Core:      core.DefaultConfig(),
+		CPU:       cpu.DefaultConfig(),
+		Hierarchy: memsys.DefaultConfig(),
+		MaxInsts:  2_000_000_000,
+	}
+}
+
+// SeriesPoint is one profile window of the Fig. 8/9 time series.
+type SeriesPoint struct {
+	Cycle uint64
+	CPI   float64
+	// DearPerK is DEAR events per 1000 instructions — the paper's
+	// "DEAR_CACHE_LAT8 / 1000 Instructions" metric.
+	DearPerK float64
+	DPI      float64
+}
+
+// RunResult is everything an experiment needs from one run.
+type RunResult struct {
+	Name       string
+	CPU        cpu.Stats
+	Core       *core.Stats // nil when ADORE was off
+	Series     []SeriesPoint
+	Mem        *memsys.Hierarchy
+	DearEvents []DearEvent // non-nil only with CaptureDear
+
+	// FinalMemory is the simulated data memory after the run — the
+	// observable program results, used by semantics-preservation tests.
+	FinalMemory *memsys.Memory `json:"-"`
+}
+
+// ProfiledRun is a training run carrying its miss profile.
+type ProfiledRun = RunResult
+
+// RunProfiled runs the workload with sampling only, capturing the DEAR
+// profile used by the Table 1 profile-guided compilation.
+func RunProfiled(build *compiler.BuildResult, cfg RunConfig) (*ProfiledRun, error) {
+	cfg.SampleOnly = true
+	cfg.ADORE = false
+	cfg.CaptureDear = true
+	return Run(build, cfg)
+}
+
+// Run executes a compiled workload under cfg.
+func Run(build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
+	img := build.Image
+	code := program.NewCodeSpace()
+	// Each run gets a private copy of the code: ADORE patches bundles in
+	// place, and runs must not contaminate each other.
+	seg := &program.Segment{
+		Name:    img.Code.Name,
+		Base:    img.Code.Base,
+		Bundles: append([]isa.Bundle{}, img.Code.Bundles...),
+	}
+	if err := code.AddSegment(seg); err != nil {
+		return nil, err
+	}
+	mem := memsys.NewMemory()
+	if img.InitData != nil {
+		img.InitData(mem)
+	}
+	hier := memsys.NewHierarchy(cfg.Hierarchy)
+
+	var p *pmu.PMU
+	var ctrl *core.Controller
+	res := &RunResult{Name: img.Name, Mem: hier}
+
+	needPMU := cfg.ADORE || cfg.SampleOnly
+	if needPMU {
+		p = pmu.New(cfg.Core.Sampling)
+	}
+	m := cpu.New(cfg.CPU, code, mem, hier, p)
+	m.SetPC(img.Entry)
+
+	record := func(w core.WindowMetrics) {
+		if !cfg.RecordSeries {
+			return
+		}
+		dRet := float64(w.Retired)
+		var dearPerK float64
+		if dRet > 0 {
+			dearPerK = float64(w.DearEvents) / dRet * 1000
+		}
+		res.Series = append(res.Series, SeriesPoint{
+			Cycle: w.EndCycle, CPI: w.CPI, DearPerK: dearPerK, DPI: w.DPI,
+		})
+	}
+
+	switch {
+	case cfg.ADORE:
+		var err error
+		ctrl, err = core.NewController(cfg.Core, code, p)
+		if err != nil {
+			return nil, err
+		}
+		ctrl.OnWindow = record
+		ctrl.OnOptimize = cfg.OnOptimize
+		ctrl.Attach(m)
+	case cfg.SampleOnly:
+		ueb := core.NewUEB(cfg.Core.W)
+		p.SetHandler(func(s []pmu.Sample) {
+			if cfg.CaptureDear {
+				for i := range s {
+					if d := s[i].DEAR; d.Valid {
+						res.DearEvents = append(res.DearEvents, DearEvent{PC: d.PC, Addr: d.Addr, Latency: d.Latency})
+					}
+				}
+			}
+			record(ueb.AddWindow(s))
+		})
+		p.Start(0)
+	}
+
+	maxInsts := cfg.MaxInsts
+	if maxInsts == 0 {
+		maxInsts = 2_000_000_000
+	}
+	st, err := m.Run(maxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", img.Name, err)
+	}
+	if !m.Halted() {
+		return nil, fmt.Errorf("harness: %s did not halt within %d instructions", img.Name, maxInsts)
+	}
+	if p != nil {
+		p.Stop()
+	}
+	res.CPU = st
+	res.FinalMemory = mem
+	if ctrl != nil {
+		cs := ctrl.Stats
+		res.Core = &cs
+	}
+	return res, nil
+}
+
+// Speedup returns base/test - 1 as a fraction (positive = test faster).
+func Speedup(baseCycles, testCycles uint64) float64 {
+	if testCycles == 0 {
+		return 0
+	}
+	return float64(baseCycles)/float64(testCycles) - 1
+}

@@ -1,0 +1,283 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Template names the slot typing of a bundle. Only the templates the
+// code generators in this repository emit are enumerated; stop bits are
+// not tracked because the interpreter executes slots sequentially and the
+// timing model splits issue groups on detected hazards (DESIGN.md §2).
+type Template uint8
+
+const (
+	TmplMII Template = iota
+	TmplMLX          // slot0 M, slots 1-2 form a movl
+	TmplMMI
+	TmplMFI
+	TmplMMF
+	TmplMIB
+	TmplMMB
+	TmplMFB
+	TmplMBB
+	TmplBBB
+	numTemplates
+)
+
+var templateUnits = [numTemplates][3]Unit{
+	TmplMII: {UnitM, UnitI, UnitI},
+	TmplMLX: {UnitM, UnitLX, UnitLX},
+	TmplMMI: {UnitM, UnitM, UnitI},
+	TmplMFI: {UnitM, UnitF, UnitI},
+	TmplMMF: {UnitM, UnitM, UnitF},
+	TmplMIB: {UnitM, UnitI, UnitB},
+	TmplMMB: {UnitM, UnitM, UnitB},
+	TmplMFB: {UnitM, UnitF, UnitB},
+	TmplMBB: {UnitM, UnitB, UnitB},
+	TmplBBB: {UnitB, UnitB, UnitB},
+}
+
+var templateNames = [numTemplates]string{
+	"MII", "MLX", "MMI", "MFI", "MMF", "MIB", "MMB", "MFB", "MBB", "BBB",
+}
+
+func (t Template) String() string {
+	if int(t) < len(templateNames) {
+		return templateNames[t]
+	}
+	return fmt.Sprintf("tmpl(%d)", uint8(t))
+}
+
+// SlotUnits reports the port class of each slot under template t.
+func (t Template) SlotUnits() [3]Unit {
+	if int(t) >= len(templateUnits) {
+		return [3]Unit{}
+	}
+	return templateUnits[t]
+}
+
+// SlotAccepts reports whether an instruction needing unit u may occupy a
+// slot typed st. A-type integer ops fit M or I slots; nops fit anywhere;
+// movl requires the LX pair.
+func SlotAccepts(st, u Unit) bool {
+	switch u {
+	case UnitNone:
+		return true
+	case UnitA:
+		return st == UnitM || st == UnitI || st == UnitLX
+	case UnitLX:
+		return st == UnitLX
+	default:
+		return st == u
+	}
+}
+
+// Bundle is three instruction slots under a template. Bundles are the unit
+// of code addressing (16 bytes) and of patching: ADORE replaces the first
+// bundle of a selected trace with a branch bundle.
+type Bundle struct {
+	Tmpl  Template
+	Slots [3]Inst
+}
+
+// Validate checks that each slot's instruction is compatible with the
+// template's slot typing. A movl (UnitLX) must sit in slot 1 of an MLX
+// bundle with slot 2 a nop.
+func (b Bundle) Validate() error {
+	units := b.Tmpl.SlotUnits()
+	for i, in := range b.Slots {
+		need := UnitOf(in.Op)
+		if need == UnitLX {
+			if b.Tmpl != TmplMLX || i != 1 {
+				return fmt.Errorf("isa: movl must occupy slot 1 of an MLX bundle, found in slot %d of %s", i, b.Tmpl)
+			}
+			if b.Slots[2].Op != OpNop {
+				return fmt.Errorf("isa: slot 2 of an MLX bundle must be nop")
+			}
+			continue
+		}
+		if b.Tmpl == TmplMLX && i == 2 {
+			if in.Op != OpNop {
+				return fmt.Errorf("isa: slot 2 of an MLX bundle must be nop")
+			}
+			continue
+		}
+		if !SlotAccepts(units[i], need) {
+			return fmt.Errorf("isa: %s (unit %v) cannot occupy slot %d (unit %v) of template %s",
+				in.Op, need, i, units[i], b.Tmpl)
+		}
+	}
+	return nil
+}
+
+// NopBundle returns an MII bundle of three nops.
+func NopBundle() Bundle { return Bundle{Tmpl: TmplMII} }
+
+// BranchBundle returns the patch bundle ADORE writes over a trace entry:
+// [nop, nop, br target] under template MIB.
+func BranchBundle(target uint64) Bundle {
+	return Bundle{
+		Tmpl:  TmplMIB,
+		Slots: [3]Inst{Nop, Nop, {Op: OpBr, Target: target}},
+	}
+}
+
+// FreeSlot returns the index of the first nop slot whose template unit can
+// accept an instruction of unit u, or -1 if the bundle has none. Branch
+// slots are never offered to non-branch instructions and slot reuse never
+// crosses a branch: slots after a branch instruction in the same bundle are
+// not reachable in a straightened trace, so they are not offered either.
+func (b Bundle) FreeSlot(u Unit) int {
+	units := b.Tmpl.SlotUnits()
+	for i := 0; i < 3; i++ {
+		if IsBranch(b.Slots[i].Op) {
+			return -1
+		}
+		if b.Slots[i].Op == OpNop && SlotAccepts(units[i], u) && units[i] != UnitLX {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the bundle on one line: "{ MMI: ld8 r4 = [r5]; ...; nop }".
+func (b Bundle) String() string {
+	parts := make([]string, 0, 3)
+	for _, in := range b.Slots {
+		parts = append(parts, in.String())
+	}
+	return fmt.Sprintf("{ %s: %s }", b.Tmpl, strings.Join(parts, "; "))
+}
+
+// TemplateFor picks the cheapest template able to host the given three
+// units in order, or reports false when none fits. It is used by the
+// assembler's automatic bundler.
+func TemplateFor(units [3]Unit) (Template, bool) {
+	for t := TmplMII; t < numTemplates; t++ {
+		slots := templateUnits[t]
+		ok := true
+		for i := 0; i < 3; i++ {
+			if !SlotAccepts(slots[i], units[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// AssignSlots finds a template and an order-preserving slot assignment for
+// up to three instructions, padding skipped slots with nops. It returns
+// the per-instruction slot indices. MLX is excluded — the assembler
+// handles movl separately.
+func AssignSlots(units []Unit) (Template, []int, bool) {
+	if len(units) > 3 {
+		return 0, nil, false
+	}
+	for t := TmplMII; t < numTemplates; t++ {
+		if t == TmplMLX {
+			continue
+		}
+		slots := templateUnits[t]
+		assign := make([]int, len(units))
+		j := 0
+		ok := true
+		for i, u := range units {
+			for j < 3 && !SlotAccepts(slots[j], u) {
+				j++
+			}
+			if j >= 3 {
+				ok = false
+				break
+			}
+			assign[i] = j
+			j++
+		}
+		if ok {
+			return t, assign, true
+		}
+	}
+	return 0, nil, false
+}
+
+// RegUses appends the general registers read by in to dst and returns it.
+// The qualifying predicate and predicate sources are not included.
+func (in Inst) RegUses(dst []Reg) []Reg {
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		dst = append(dst, in.R2, in.R3)
+	case OpAddI, OpMov, OpSxt4, OpZxt4:
+		dst = append(dst, in.R3)
+	case OpShlAdd:
+		dst = append(dst, in.R2, in.R3)
+	case OpShl, OpShr:
+		dst = append(dst, in.R2)
+	case OpCmp:
+		dst = append(dst, in.R2, in.R3)
+	case OpCmpI:
+		dst = append(dst, in.R3)
+	case OpLd1, OpLd2, OpLd4, OpLd8, OpLdS, OpLdF, OpLfetch:
+		dst = append(dst, in.R3)
+	case OpSt1, OpSt2, OpSt4, OpSt8:
+		dst = append(dst, in.R2, in.R3)
+	case OpStF:
+		dst = append(dst, in.R3)
+	case OpSetF, OpFCvtXF:
+		dst = append(dst, in.R2)
+	}
+	return dst
+}
+
+// RegDef reports the general register written by in, if any. Memory ops
+// with a post-increment also define their base register; that is reported
+// separately by PostIncDef.
+func (in Inst) RegDef() (Reg, bool) {
+	switch in.Op {
+	case OpAdd, OpSub, OpAddI, OpAnd, OpOr, OpXor, OpShlAdd, OpMov, OpMovI,
+		OpShl, OpShr, OpSxt4, OpZxt4, OpGetF, OpFCvtFX,
+		OpLd1, OpLd2, OpLd4, OpLd8, OpLdS:
+		if in.R1 != 0 {
+			return in.R1, true
+		}
+	}
+	return 0, false
+}
+
+// PostIncDef reports the base register updated by a post-increment memory
+// op, if any.
+func (in Inst) PostIncDef() (Reg, bool) {
+	if IsMem(in.Op) && in.PostInc != 0 && in.R3 != 0 {
+		return in.R3, true
+	}
+	return 0, false
+}
+
+// FRegDef reports the floating register written by in, if any.
+func (in Inst) FRegDef() (FReg, bool) {
+	switch in.Op {
+	case OpLdF, OpFma, OpFAdd, OpFMul, OpFSub, OpFNeg, OpSetF, OpFCvtXF:
+		if in.F1 != 0 {
+			return in.F1, true
+		}
+	}
+	return 0, false
+}
+
+// FRegUses appends the floating registers read by in to dst.
+func (in Inst) FRegUses(dst []FReg) []FReg {
+	switch in.Op {
+	case OpFma:
+		dst = append(dst, in.F2, in.F3, in.F4)
+	case OpFAdd, OpFMul, OpFSub:
+		dst = append(dst, in.F2, in.F3)
+	case OpFNeg, OpGetF, OpFCvtFX:
+		dst = append(dst, in.F2)
+	case OpStF:
+		dst = append(dst, in.F1)
+	}
+	return dst
+}

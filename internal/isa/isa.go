@@ -1,0 +1,407 @@
+// Package isa defines an IA-64-like instruction set used by the ADORE
+// reproduction: 128 general registers, 64 predicates, instruction bundles of
+// three typed slots, post-increment memory operations, non-faulting
+// speculative loads (ld.s) and data prefetch (lfetch).
+//
+// The package is pure data: execution semantics live in internal/cpu and
+// timing in internal/cpu's issue model. Instructions here are structured
+// values rather than encoded bits; addresses are byte addresses where each
+// bundle occupies 16 bytes and a PC addresses a (bundle, slot) pair as
+// bundleAddr+slot, exactly like IA-64's low-order slot bits.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a general (integer) register r0..r127. r0 is hardwired to zero,
+// writes to it are discarded. The ADORE register-reservation convention uses
+// r27..r30 as the compiler-reserved scratch registers for runtime
+// prefetching, and p6 as the reserved predicate.
+type Reg uint8
+
+// FReg names a floating-point register f0..f127. f0 reads as 0.0 and f1 as
+// 1.0, as on IA-64.
+type FReg uint8
+
+// PReg names a predicate register p0..p63. p0 is hardwired true.
+type PReg uint8
+
+// BReg names a branch register b0..b7.
+type BReg uint8
+
+// NumGR, NumFR, NumPR and NumBR size the architectural register files.
+const (
+	NumGR = 128
+	NumFR = 128
+	NumPR = 64
+	NumBR = 8
+)
+
+// Reserved registers handed to the runtime optimizer when the program is
+// compiled with register reservation (the paper's "third approach":
+// "we ask the static compiler to reserve four global integer registers
+// (r27-r30) and one global predicate register (p6)").
+const (
+	ReservedGRFirst Reg  = 27
+	ReservedGRLast  Reg  = 30
+	ReservedPR      PReg = 6
+)
+
+// BundleBytes is the size of one instruction bundle. PCs advance by slot
+// within a bundle and by BundleBytes across bundles.
+const BundleBytes = 16
+
+// Op enumerates instruction opcodes. The set is a compact subset of IA-64
+// sufficient for the kernels in this reproduction and for the code the
+// runtime prefetcher itself emits.
+type Op uint8
+
+const (
+	// OpNop fills unused slots.
+	OpNop Op = iota
+
+	// Integer ALU (A-type: may issue on an M or I port).
+	OpAdd    // r1 = r2 + r3
+	OpSub    // r1 = r2 - r3
+	OpAddI   // r1 = imm14 + r3
+	OpAnd    // r1 = r2 & r3
+	OpOr     // r1 = r2 | r3
+	OpXor    // r1 = r2 ^ r3
+	OpShlAdd // r1 = (r2 << imm) + r3, imm in 1..4
+	OpMov    // r1 = r3 (pseudo for add r1 = 0, r3)
+	OpMovI   // r1 = imm64 (movl; occupies an L+X double slot)
+
+	// Integer ops that require an I port.
+	OpShl  // r1 = r2 << imm
+	OpShr  // r1 = r2 >> imm (unsigned)
+	OpSxt4 // r1 = sign-extend low 32 bits of r3
+	OpZxt4 // r1 = zero-extend low 32 bits of r3
+
+	// Compare (A-type). Writes the predicate pair P1 = rel, P2 = !rel.
+	OpCmp  // p1, p2 = r2 REL r3
+	OpCmpI // p1, p2 = imm REL r3
+
+	// Memory (M port). R1 = destination, R3 = address base register.
+	// PostInc, when non-zero, adds the immediate to R3 after the access.
+	OpLd1 // r1 = zx1 [r3]
+	OpLd2 // r1 = zx2 [r3]
+	OpLd4 // r1 = zx4 [r3]
+	OpLd8 // r1 = [r3]
+	OpLdS // r1 = [r3] speculative, non-faulting (ld8.s)
+
+	OpSt1 // [r3] = low 1 byte of r2
+	OpSt2 // [r3] = low 2 bytes of r2
+	OpSt4 // [r3] = low 4 bytes of r2
+	OpSt8 // [r3] = r2
+
+	OpLfetch // prefetch the line containing [r3]; never faults, never stalls
+
+	// Floating point. F1 = destination. Loads/stores use R3 as base.
+	OpLdF  // f1 = [r3] (8-byte IEEE double; bypasses L1D like Itanium FP loads)
+	OpStF  // [r3] = f1
+	OpFma  // f1 = f2*f3 + f4
+	OpFAdd // f1 = f2 + f3
+	OpFMul // f1 = f2 * f3
+	OpFSub // f1 = f2 - f3
+	OpFNeg // f1 = -f2
+
+	// Transfers between the register files (the "fp-int conversion" the
+	// paper cites as a slice-analysis failure case, e.g. in lucas).
+	OpGetF   // r1 = significand bits of f2 (getf.sig)
+	OpSetF   // f1 = r2 bits (setf.sig)
+	OpFCvtFX // r1 = int64(f2) (fcvt.fx + getf)
+	OpFCvtXF // f1 = float64(r2)
+
+	// Branches (B port). Target is an absolute bundle address.
+	OpBr     // unconditional
+	OpBrCond // taken when the qualifying predicate is true
+	OpBrCall // call: pushes return PC to B register then jumps
+	OpBrRet  // return to B register
+	OpHalt   // stops the machine (stands in for the program's exit path)
+
+	// OpAlloc marks a register-stack frame allocation. Semantically a
+	// no-op in this model; the runtime optimizer treats it as a barrier
+	// when searching for free registers.
+	OpAlloc
+
+	numOps
+)
+
+// CmpRel is the relation tested by OpCmp/OpCmpI.
+type CmpRel uint8
+
+const (
+	CmpEq CmpRel = iota
+	CmpNe
+	CmpLt  // signed <
+	CmpLe  // signed <=
+	CmpGt  // signed >
+	CmpGe  // signed >=
+	CmpLtU // unsigned <
+	CmpGeU // unsigned >=
+)
+
+func (r CmpRel) String() string {
+	switch r {
+	case CmpEq:
+		return "eq"
+	case CmpNe:
+		return "ne"
+	case CmpLt:
+		return "lt"
+	case CmpLe:
+		return "le"
+	case CmpGt:
+		return "gt"
+	case CmpGe:
+		return "ge"
+	case CmpLtU:
+		return "ltu"
+	case CmpGeU:
+		return "geu"
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// Inst is one instruction. Field roles follow IA-64 conventions:
+//
+//	R1: integer destination
+//	R2: integer source (value operand; store data)
+//	R3: integer source (second operand; memory address base)
+//	F1..F4: floating destination and sources
+//	P1, P2: predicate destinations of a compare
+//	QP: qualifying predicate; the instruction retires as a no-op when false
+//	Imm: immediate operand (adds, shifts, compares, movl)
+//	PostInc: post-increment applied to R3 by memory operations
+//	Target: absolute branch target (bundle address)
+//	B: branch register for call/return linkage
+type Inst struct {
+	Op      Op
+	QP      PReg
+	R1      Reg
+	R2      Reg
+	R3      Reg
+	F1      FReg
+	F2      FReg
+	F3      FReg
+	F4      FReg
+	P1      PReg
+	P2      PReg
+	B       BReg
+	Rel     CmpRel
+	Imm     int64
+	PostInc int64
+	Target  uint64
+
+	// Spec marks a load as speculative/non-faulting (the ld.s form). The
+	// runtime prefetcher emits speculative clones of feeder loads so its
+	// advanced copies can never raise exceptions (§3.6: "Prefetch
+	// instructions use reserved registers and non-faulting loads").
+	Spec bool
+
+	// SWPLoop marks the back-edge branch of a software-pipelined loop
+	// (the stand-in for br.ctop's rotating-register semantics; see
+	// DESIGN.md §6). ADORE's trace selector refuses to optimize loops
+	// whose back edge carries this mark, matching the paper's "our
+	// dynamic optimization currently does not handle software-pipelined
+	// loops with rotation registers".
+	SWPLoop bool
+}
+
+// Nop is the canonical no-op instruction.
+var Nop = Inst{Op: OpNop}
+
+// Unit is the execution-port class an instruction requires.
+type Unit uint8
+
+const (
+	UnitNone Unit = iota // nop: issues anywhere
+	UnitA                // integer ALU op acceptable on M or I ports
+	UnitM                // memory port
+	UnitI                // integer/shift port
+	UnitF                // floating-point port
+	UnitB                // branch port
+	UnitLX               // movl: occupies an I port plus the following slot
+)
+
+// UnitOf reports the port class required by op.
+func UnitOf(op Op) Unit {
+	switch op {
+	case OpNop:
+		return UnitNone
+	case OpAdd, OpSub, OpAddI, OpAnd, OpOr, OpXor, OpShlAdd, OpMov, OpCmp, OpCmpI:
+		return UnitA
+	case OpMovI:
+		return UnitLX
+	case OpShl, OpShr, OpSxt4, OpZxt4:
+		return UnitI
+	case OpLd1, OpLd2, OpLd4, OpLd8, OpLdS, OpSt1, OpSt2, OpSt4, OpSt8,
+		OpLfetch, OpLdF, OpStF, OpGetF, OpSetF, OpAlloc:
+		return UnitM
+	case OpFma, OpFAdd, OpFMul, OpFSub, OpFNeg, OpFCvtFX, OpFCvtXF:
+		return UnitF
+	case OpBr, OpBrCond, OpBrCall, OpBrRet, OpHalt:
+		return UnitB
+	}
+	return UnitNone
+}
+
+// IsLoad reports whether op reads data memory into a register.
+func IsLoad(op Op) bool {
+	switch op {
+	case OpLd1, OpLd2, OpLd4, OpLd8, OpLdS, OpLdF:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes data memory.
+func IsStore(op Op) bool {
+	switch op {
+	case OpSt1, OpSt2, OpSt4, OpSt8, OpStF:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses data memory (including lfetch).
+func IsMem(op Op) bool { return IsLoad(op) || IsStore(op) || op == OpLfetch }
+
+// IsBranch reports whether op transfers control.
+func IsBranch(op Op) bool {
+	switch op {
+	case OpBr, OpBrCond, OpBrCall, OpBrRet, OpHalt:
+		return true
+	}
+	return false
+}
+
+// AccessBytes reports the number of bytes moved by a memory op (0 for
+// lfetch, which touches a whole line but moves no architectural data).
+func AccessBytes(op Op) int {
+	switch op {
+	case OpLd1, OpSt1:
+		return 1
+	case OpLd2, OpSt2:
+		return 2
+	case OpLd4, OpSt4:
+		return 4
+	case OpLd8, OpLdS, OpSt8, OpLdF, OpStF:
+		return 8
+	}
+	return 0
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+var opNames = [...]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAddI: "addi", OpAnd: "and",
+	OpOr: "or", OpXor: "xor", OpShlAdd: "shladd", OpMov: "mov", OpMovI: "movl",
+	OpShl: "shl", OpShr: "shr", OpSxt4: "sxt4", OpZxt4: "zxt4",
+	OpCmp: "cmp", OpCmpI: "cmpi",
+	OpLd1: "ld1", OpLd2: "ld2", OpLd4: "ld4", OpLd8: "ld8", OpLdS: "ld8.s",
+	OpSt1: "st1", OpSt2: "st2", OpSt4: "st4", OpSt8: "st8",
+	OpLfetch: "lfetch", OpLdF: "ldfd", OpStF: "stfd",
+	OpFma: "fma", OpFAdd: "fadd", OpFMul: "fmul", OpFSub: "fsub", OpFNeg: "fneg",
+	OpGetF: "getf.sig", OpSetF: "setf.sig", OpFCvtFX: "fcvt.fx", OpFCvtXF: "fcvt.xf",
+	OpBr: "br", OpBrCond: "br.cond", OpBrCall: "br.call", OpBrRet: "br.ret",
+	OpHalt: "halt", OpAlloc: "alloc",
+}
+
+// String renders the instruction in a pseudo-IA-64 syntax, e.g.
+// "(p6) ld8 r34 = [r11], 8".
+func (in Inst) String() string {
+	var b strings.Builder
+	if in.QP != 0 {
+		fmt.Fprintf(&b, "(p%d) ", in.QP)
+	}
+	switch in.Op {
+	case OpNop:
+		b.WriteString("nop")
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		fmt.Fprintf(&b, "%s r%d = r%d, r%d", in.Op, in.R1, in.R2, in.R3)
+	case OpAddI:
+		fmt.Fprintf(&b, "add r%d = %d, r%d", in.R1, in.Imm, in.R3)
+	case OpShlAdd:
+		fmt.Fprintf(&b, "shladd r%d = r%d, %d, r%d", in.R1, in.R2, in.Imm, in.R3)
+	case OpMov:
+		fmt.Fprintf(&b, "mov r%d = r%d", in.R1, in.R3)
+	case OpMovI:
+		fmt.Fprintf(&b, "movl r%d = %d", in.R1, in.Imm)
+	case OpShl:
+		fmt.Fprintf(&b, "shl r%d = r%d, %d", in.R1, in.R2, in.Imm)
+	case OpShr:
+		fmt.Fprintf(&b, "shr r%d = r%d, %d", in.R1, in.R2, in.Imm)
+	case OpSxt4, OpZxt4:
+		fmt.Fprintf(&b, "%s r%d = r%d", in.Op, in.R1, in.R3)
+	case OpCmp:
+		fmt.Fprintf(&b, "cmp.%s p%d, p%d = r%d, r%d", in.Rel, in.P1, in.P2, in.R2, in.R3)
+	case OpCmpI:
+		fmt.Fprintf(&b, "cmp.%s p%d, p%d = %d, r%d", in.Rel, in.P1, in.P2, in.Imm, in.R3)
+	case OpLd1, OpLd2, OpLd4, OpLd8, OpLdS:
+		suffix := ""
+		if in.Spec && in.Op != OpLdS {
+			suffix = ".s"
+		}
+		fmt.Fprintf(&b, "%s%s r%d = [r%d]", in.Op, suffix, in.R1, in.R3)
+		if in.PostInc != 0 {
+			fmt.Fprintf(&b, ", %d", in.PostInc)
+		}
+	case OpSt1, OpSt2, OpSt4, OpSt8:
+		fmt.Fprintf(&b, "%s [r%d] = r%d", in.Op, in.R3, in.R2)
+		if in.PostInc != 0 {
+			fmt.Fprintf(&b, ", %d", in.PostInc)
+		}
+	case OpLfetch:
+		fmt.Fprintf(&b, "lfetch [r%d]", in.R3)
+		if in.PostInc != 0 {
+			fmt.Fprintf(&b, ", %d", in.PostInc)
+		}
+	case OpLdF:
+		fmt.Fprintf(&b, "ldfd f%d = [r%d]", in.F1, in.R3)
+		if in.PostInc != 0 {
+			fmt.Fprintf(&b, ", %d", in.PostInc)
+		}
+	case OpStF:
+		fmt.Fprintf(&b, "stfd [r%d] = f%d", in.R3, in.F1)
+		if in.PostInc != 0 {
+			fmt.Fprintf(&b, ", %d", in.PostInc)
+		}
+	case OpFma:
+		fmt.Fprintf(&b, "fma f%d = f%d, f%d, f%d", in.F1, in.F2, in.F3, in.F4)
+	case OpFAdd, OpFMul, OpFSub:
+		fmt.Fprintf(&b, "%s f%d = f%d, f%d", in.Op, in.F1, in.F2, in.F3)
+	case OpFNeg:
+		fmt.Fprintf(&b, "fneg f%d = f%d", in.F1, in.F2)
+	case OpGetF:
+		fmt.Fprintf(&b, "getf.sig r%d = f%d", in.R1, in.F2)
+	case OpSetF:
+		fmt.Fprintf(&b, "setf.sig f%d = r%d", in.F1, in.R2)
+	case OpFCvtFX:
+		fmt.Fprintf(&b, "fcvt.fx r%d = f%d", in.R1, in.F2)
+	case OpFCvtXF:
+		fmt.Fprintf(&b, "fcvt.xf f%d = r%d", in.F1, in.R2)
+	case OpBr:
+		fmt.Fprintf(&b, "br 0x%x", in.Target)
+	case OpBrCond:
+		fmt.Fprintf(&b, "br.cond 0x%x", in.Target)
+	case OpBrCall:
+		fmt.Fprintf(&b, "br.call b%d = 0x%x", in.B, in.Target)
+	case OpBrRet:
+		fmt.Fprintf(&b, "br.ret b%d", in.B)
+	case OpHalt:
+		b.WriteString("halt")
+	case OpAlloc:
+		fmt.Fprintf(&b, "alloc r%d = %d", in.R1, in.Imm)
+	default:
+		fmt.Fprintf(&b, "%s ?", in.Op)
+	}
+	return b.String()
+}

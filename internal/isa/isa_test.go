@@ -1,0 +1,201 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitOfCoversAllOps(t *testing.T) {
+	for op := OpNop; op < numOps; op++ {
+		u := UnitOf(op)
+		if op != OpNop && u == UnitNone {
+			t.Errorf("op %s has no unit", op)
+		}
+	}
+}
+
+func TestSlotAccepts(t *testing.T) {
+	cases := []struct {
+		slot, need Unit
+		want       bool
+	}{
+		{UnitM, UnitM, true},
+		{UnitM, UnitA, true},
+		{UnitI, UnitA, true},
+		{UnitI, UnitM, false},
+		{UnitB, UnitA, false},
+		{UnitF, UnitF, true},
+		{UnitM, UnitF, false},
+		{UnitLX, UnitLX, true},
+		{UnitI, UnitLX, false},
+		{UnitB, UnitNone, true},
+	}
+	for _, c := range cases {
+		if got := SlotAccepts(c.slot, c.need); got != c.want {
+			t.Errorf("SlotAccepts(%v, %v) = %v, want %v", c.slot, c.need, got, c.want)
+		}
+	}
+}
+
+func TestTemplateFor(t *testing.T) {
+	cases := []struct {
+		units [3]Unit
+		want  Template
+		ok    bool
+	}{
+		{[3]Unit{UnitM, UnitI, UnitI}, TmplMII, true},
+		{[3]Unit{UnitM, UnitM, UnitI}, TmplMMI, true},
+		{[3]Unit{UnitM, UnitM, UnitF}, TmplMMF, true},
+		{[3]Unit{UnitM, UnitI, UnitB}, TmplMIB, true},
+		{[3]Unit{UnitB, UnitB, UnitB}, TmplBBB, true},
+		{[3]Unit{UnitA, UnitA, UnitA}, TmplMII, true},
+		{[3]Unit{UnitNone, UnitNone, UnitNone}, TmplMII, true},
+		{[3]Unit{UnitF, UnitF, UnitF}, 0, false},
+		{[3]Unit{UnitM, UnitLX, UnitLX}, TmplMLX, true},
+	}
+	for _, c := range cases {
+		got, ok := TemplateFor(c.units)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("TemplateFor(%v) = %v, %v; want %v, %v", c.units, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestBundleValidate(t *testing.T) {
+	good := Bundle{
+		Tmpl: TmplMMI,
+		Slots: [3]Inst{
+			{Op: OpLd8, R1: 4, R3: 5},
+			{Op: OpLfetch, R3: 27, PostInc: 12},
+			{Op: OpAddI, R1: 14, Imm: 4, R3: 14},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid bundle rejected: %v", err)
+	}
+	bad := Bundle{
+		Tmpl:  TmplMII,
+		Slots: [3]Inst{{Op: OpLd8, R1: 4, R3: 5}, {Op: OpLdF, F1: 2, R3: 5}, Nop},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("load in I slot accepted")
+	}
+	badLX := Bundle{Tmpl: TmplMII, Slots: [3]Inst{Nop, {Op: OpMovI, R1: 4, Imm: 1 << 40}, Nop}}
+	if err := badLX.Validate(); err == nil {
+		t.Fatal("movl outside MLX accepted")
+	}
+	goodLX := Bundle{Tmpl: TmplMLX, Slots: [3]Inst{Nop, {Op: OpMovI, R1: 4, Imm: 1 << 40}, Nop}}
+	if err := goodLX.Validate(); err != nil {
+		t.Fatalf("valid MLX rejected: %v", err)
+	}
+}
+
+func TestFreeSlot(t *testing.T) {
+	b := Bundle{
+		Tmpl:  TmplMMI,
+		Slots: [3]Inst{{Op: OpLd8, R1: 4, R3: 5}, Nop, Nop},
+	}
+	if got := b.FreeSlot(UnitM); got != 1 {
+		t.Errorf("FreeSlot(M) = %d, want 1", got)
+	}
+	if got := b.FreeSlot(UnitA); got != 1 {
+		t.Errorf("FreeSlot(A) = %d, want 1", got)
+	}
+	if got := b.FreeSlot(UnitF); got != -1 {
+		t.Errorf("FreeSlot(F) = %d, want -1", got)
+	}
+	// Slots after a branch are not offered.
+	br := Bundle{Tmpl: TmplMBB, Slots: [3]Inst{Nop, {Op: OpBr, Target: 64}, Nop}}
+	if got := br.FreeSlot(UnitM); got != 0 {
+		t.Errorf("FreeSlot before branch = %d, want 0", got)
+	}
+	br.Slots[0] = Inst{Op: OpLd8, R1: 4, R3: 5}
+	if got := br.FreeSlot(UnitM); got != -1 {
+		t.Errorf("FreeSlot across branch = %d, want -1", got)
+	}
+}
+
+func TestBranchBundle(t *testing.T) {
+	b := BranchBundle(0x1000)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("branch bundle invalid: %v", err)
+	}
+	if b.Slots[2].Op != OpBr || b.Slots[2].Target != 0x1000 {
+		t.Fatalf("unexpected branch bundle %v", b)
+	}
+}
+
+func TestDefUseDirectArrayPattern(t *testing.T) {
+	// Fig. 5A of the paper: post-increment store/load updating r14.
+	st := Inst{Op: OpSt4, R2: 20, R3: 14, PostInc: 4}
+	if r, ok := st.PostIncDef(); !ok || r != 14 {
+		t.Fatalf("post-inc def = %v, %v", r, ok)
+	}
+	if _, ok := st.RegDef(); ok {
+		t.Fatal("store should not define a result register")
+	}
+	uses := st.RegUses(nil)
+	if len(uses) != 2 || uses[0] != 20 || uses[1] != 14 {
+		t.Fatalf("store uses = %v", uses)
+	}
+	ld := Inst{Op: OpLd4, R1: 20, R3: 14}
+	if r, ok := ld.RegDef(); !ok || r != 20 {
+		t.Fatalf("load def = %v, %v", r, ok)
+	}
+}
+
+func TestInstStringSmoke(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpLd8, R1: 34, R3: 11}, "ld8 r34 = [r11]"},
+		{Inst{Op: OpAddI, R1: 11, Imm: 104, R3: 34}, "add r11 = 104, r34"},
+		{Inst{Op: OpLfetch, R3: 27, PostInc: 12}, "lfetch [r27], 12"},
+		{Inst{Op: OpShlAdd, R1: 28, R2: 28, Imm: 2, R3: 11}, "shladd r28 = r28, 2, r11"},
+		{Inst{Op: OpLdS, R1: 28, R3: 27, PostInc: 4}, "ld8.s r28 = [r27], 4"},
+		{Inst{Op: OpCmpI, Rel: CmpLt, P1: 1, P2: 2, Imm: 0, R3: 9}, "cmp.lt p1, p2 = 0, r9"},
+		{Inst{Op: OpBrCond, QP: 1, Target: 0x40}, "(p1) br.cond 0x40"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := OpNop; op < numOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %d and %d share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+// Property: every def reported by RegDef is also absent from a fresh
+// instruction's use list unless the op genuinely reads it, and post-inc
+// defs only occur on memory ops.
+func TestPostIncDefProperty(t *testing.T) {
+	f := func(opRaw uint8, r3 uint8, inc int16) bool {
+		op := Op(opRaw % uint8(numOps))
+		in := Inst{Op: op, R3: Reg(r3 % NumGR), PostInc: int64(inc)}
+		r, ok := in.PostIncDef()
+		if ok && (!IsMem(op) || in.PostInc == 0 || r == 0) {
+			return false
+		}
+		if !ok && IsMem(op) && in.PostInc != 0 && in.R3 != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

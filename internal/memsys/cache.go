@@ -1,0 +1,176 @@
+package memsys
+
+import "fmt"
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	Name     string
+	Size     int // total bytes; must be Assoc * LineSize * power-of-two sets
+	LineSize int // bytes per line; power of two
+	Assoc    int // ways per set
+	HitLat   int // cycles to return a hit from this level
+}
+
+// line is one cache line's tag state. readyAt records when an in-flight
+// fill completes: a "hit" on a line still being filled waits for it, which
+// is how prefetch-too-late and miss coalescing behave on real hardware.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	readyAt uint64
+	lastUse uint64 // LRU timestamp
+}
+
+// CacheStats counts accesses per level.
+type CacheStats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Prefetches uint64 // fills initiated by lfetch
+	LatePfHits uint64 // demand hits on a still-in-flight prefetch fill
+	Writebacks uint64
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+type Cache struct {
+	cfg      CacheConfig
+	sets     []line // numSets * assoc, row-major
+	numSets  int
+	lineBits uint
+	setMask  uint64
+	useTick  uint64
+	Stats    CacheStats
+}
+
+// NewCache builds a cache from cfg. It panics on non-power-of-two or
+// inconsistent geometry: configurations are static, so this is a
+// programming error, not a runtime condition.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("memsys: %s line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	if cfg.Assoc <= 0 || cfg.Size%(cfg.LineSize*cfg.Assoc) != 0 {
+		panic(fmt.Sprintf("memsys: %s geometry %d/%d/%d inconsistent", cfg.Name, cfg.Size, cfg.LineSize, cfg.Assoc))
+	}
+	numSets := cfg.Size / (cfg.LineSize * cfg.Assoc)
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("memsys: %s set count %d not a power of two", cfg.Name, numSets))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineSize {
+		lineBits++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     make([]line, numSets*cfg.Assoc),
+		numSets:  numSets,
+		lineBits: lineBits,
+		setMask:  uint64(numSets - 1),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// lookup finds addr's line, returning its slot index or -1.
+func (c *Cache) lookup(addr uint64) int {
+	tag := addr >> c.lineBits
+	set := int(tag & c.setMask)
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		l := &c.sets[base+w]
+		if l.valid && l.tag == tag {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Probe reports whether addr is resident (valid, fill possibly still in
+// flight) without touching LRU state or statistics.
+func (c *Cache) Probe(addr uint64) bool { return c.lookup(addr) != -1 }
+
+// Access looks up addr at time now. On a hit it returns (true, readyAt):
+// readyAt <= now means the data is available immediately; a later readyAt
+// means the line is still being filled (the caller waits). On a miss it
+// returns (false, 0); the caller must Fill the line after resolving the
+// next level. Stores mark the line dirty.
+func (c *Cache) Access(now uint64, addr uint64, isWrite bool) (hit bool, readyAt uint64) {
+	c.Stats.Accesses++
+	c.useTick++
+	idx := c.lookup(addr)
+	if idx < 0 {
+		c.Stats.Misses++
+		return false, 0
+	}
+	l := &c.sets[idx]
+	l.lastUse = c.useTick
+	if isWrite {
+		l.dirty = true
+	}
+	c.Stats.Hits++
+	if l.readyAt > now {
+		c.Stats.LatePfHits++
+	}
+	return true, l.readyAt
+}
+
+// Fill installs addr's line with the given fill-completion time, evicting
+// the LRU way. It reports whether a dirty line was evicted (write-back
+// traffic the bus model charges for).
+func (c *Cache) Fill(addr uint64, readyAt uint64, dirty bool, isPrefetch bool) (evictedDirty bool) {
+	if isPrefetch {
+		c.Stats.Prefetches++
+	}
+	tag := addr >> c.lineBits
+	set := int(tag & c.setMask)
+	base := set * c.cfg.Assoc
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		l := &c.sets[base+w]
+		if !l.valid {
+			victim = base + w
+			break
+		}
+		if l.lastUse < c.sets[victim].lastUse {
+			victim = base + w
+		}
+	}
+	v := &c.sets[victim]
+	evictedDirty = v.valid && v.dirty
+	if evictedDirty {
+		c.Stats.Writebacks++
+	}
+	c.useTick++
+	*v = line{tag: tag, valid: true, dirty: dirty, readyAt: readyAt, lastUse: c.useTick}
+	return evictedDirty
+}
+
+// Invalidate drops addr's line if resident (used by tests and by failure
+// injection).
+func (c *Cache) Invalidate(addr uint64) {
+	if idx := c.lookup(addr); idx >= 0 {
+		c.sets[idx] = line{}
+	}
+}
+
+// Reset clears all lines and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = line{}
+	}
+	c.useTick = 0
+	c.Stats = CacheStats{}
+}
+
+// MissRatio returns misses/accesses, or 0 when idle.
+func (s CacheStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}

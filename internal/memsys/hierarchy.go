@@ -1,0 +1,289 @@
+package memsys
+
+// Level identifies which level of the hierarchy satisfied an access.
+type Level uint8
+
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "MEM"
+	}
+	return "?"
+}
+
+// AccessKind distinguishes the hierarchy's clients. Floating-point loads
+// bypass L1D on Itanium 2 and do so here as well; that asymmetry is why the
+// paper aligns small integer prefetch strides to the L1D line size "not for
+// FP operations since they bypass L1 cache".
+type AccessKind uint8
+
+const (
+	KindLoad     AccessKind = iota // integer load
+	KindLoadFP                     // floating-point load (bypasses L1D)
+	KindStore                      // integer or FP store
+	KindPrefetch                   // lfetch: non-blocking, non-faulting
+	KindInst                       // instruction fetch (L1I then L2)
+)
+
+// Result reports the outcome of one access.
+type Result struct {
+	Latency uint64 // cycles until the value is usable
+	Level   Level  // level that supplied the line
+	Dropped bool   // prefetch discarded (MSHRs full)
+}
+
+// HierarchyConfig sizes the full memory system. The defaults model the
+// paper's 900 MHz Itanium 2 zx6000 (DESIGN.md §1).
+type HierarchyConfig struct {
+	L1D CacheConfig
+	L1I CacheConfig
+	L2  CacheConfig
+	L3  CacheConfig
+
+	MemLatency   int // cycles from L3 miss to data return, before queueing
+	BusOccupancy int // cycles the memory bus is held per line transfer
+	MSHRs        int // maximum in-flight misses to memory
+}
+
+// DefaultConfig returns the Itanium-2-like geometry used throughout the
+// reproduction.
+func DefaultConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:          CacheConfig{Name: "L1D", Size: 16 << 10, LineSize: 64, Assoc: 4, HitLat: 1},
+		L1I:          CacheConfig{Name: "L1I", Size: 16 << 10, LineSize: 64, Assoc: 4, HitLat: 0},
+		L2:           CacheConfig{Name: "L2", Size: 256 << 10, LineSize: 128, Assoc: 8, HitLat: 6},
+		L3:           CacheConfig{Name: "L3", Size: 1536 << 10, LineSize: 128, Assoc: 12, HitLat: 14},
+		MemLatency:   160,
+		BusOccupancy: 16,
+		MSHRs:        16,
+	}
+}
+
+// Hierarchy ties the cache levels to the bus and MSHR models.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1D *Cache
+	L1I *Cache
+	L2  *Cache
+	L3  *Cache
+
+	busNextFree uint64
+	inflight    []uint64 // readyAt per in-flight memory miss (MSHR model)
+
+	// Aggregate statistics beyond the per-cache counters.
+	DroppedPrefetches uint64
+	MemAccesses       uint64
+	BusWaitCycles     uint64
+	MSHRWaitCycles    uint64
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		L1D: NewCache(cfg.L1D),
+		L1I: NewCache(cfg.L1I),
+		L2:  NewCache(cfg.L2),
+		L3:  NewCache(cfg.L3),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// pruneInflight drops completed MSHR entries.
+func (h *Hierarchy) pruneInflight(now uint64) {
+	keep := h.inflight[:0]
+	for _, r := range h.inflight {
+		if r > now {
+			keep = append(keep, r)
+		}
+	}
+	h.inflight = keep
+}
+
+// reserveMSHR acquires an in-flight slot at time now. When the file is
+// full: demand accesses wait for the earliest completion (the returned
+// delay), prefetches report failure and are dropped by the caller.
+func (h *Hierarchy) reserveMSHR(now uint64, isPrefetch bool) (delay uint64, ok bool) {
+	h.pruneInflight(now)
+	if len(h.inflight) < h.cfg.MSHRs {
+		return 0, true
+	}
+	if isPrefetch {
+		return 0, false
+	}
+	earliest := h.inflight[0]
+	for _, r := range h.inflight[1:] {
+		if r < earliest {
+			earliest = r
+		}
+	}
+	delay = earliest - now
+	h.MSHRWaitCycles += delay
+	h.pruneInflight(now + delay)
+	return delay, true
+}
+
+// memFetch models an access that has missed L3: it queues on the bus,
+// occupies it for one line transfer, and completes MemLatency cycles after
+// the transfer starts.
+func (h *Hierarchy) memFetch(now uint64) (readyAt uint64) {
+	h.MemAccesses++
+	start := max64(now, h.busNextFree)
+	h.BusWaitCycles += start - now
+	h.busNextFree = start + uint64(h.cfg.BusOccupancy)
+	return start + uint64(h.cfg.MemLatency)
+}
+
+// Access runs one data access through the hierarchy at time now and
+// returns its timing. The functional value transfer happens elsewhere
+// (Memory); Access only moves lines and accounts cycles.
+func (h *Hierarchy) Access(now uint64, addr uint64, kind AccessKind) Result {
+	switch kind {
+	case KindInst:
+		return h.accessInst(now, addr)
+	case KindPrefetch:
+		return h.accessPrefetch(now, addr)
+	}
+
+	isWrite := kind == KindStore
+	// L1D (integer accesses only; FP loads bypass it, FP stores write
+	// through to L2 in this model, folded into KindStore for int too when
+	// the line is absent — write-allocate pulls it in).
+	if kind != KindLoadFP {
+		if hit, ready := h.L1D.Access(now, addr, isWrite); hit {
+			lat := max64(uint64(h.cfg.L1D.HitLat), saturatingSub(ready, now))
+			return Result{Latency: lat, Level: LevelL1}
+		}
+	}
+	if hit, ready := h.L2.Access(now, addr, isWrite); hit {
+		lat := max64(uint64(h.cfg.L2.HitLat), saturatingSub(ready, now))
+		if kind != KindLoadFP {
+			h.L1D.Fill(addr, now+lat, isWrite, false)
+		}
+		return Result{Latency: lat, Level: LevelL2}
+	}
+	if hit, ready := h.L3.Access(now, addr, isWrite); hit {
+		lat := max64(uint64(h.cfg.L3.HitLat), saturatingSub(ready, now))
+		h.L2.Fill(addr, now+lat, false, false)
+		if kind != KindLoadFP {
+			h.L1D.Fill(addr, now+lat, isWrite, false)
+		}
+		return Result{Latency: lat, Level: LevelL3}
+	}
+
+	// Full miss: MSHR + bus + memory.
+	delay, _ := h.reserveMSHR(now, false)
+	ready := h.memFetch(now + delay)
+	h.inflight = append(h.inflight, ready)
+	lat := ready - now
+	if evicted := h.L3.Fill(addr, ready, false, false); evicted {
+		h.busNextFree += uint64(h.cfg.BusOccupancy)
+	}
+	h.L2.Fill(addr, ready, false, false)
+	if kind != KindLoadFP {
+		h.L1D.Fill(addr, ready, isWrite, false)
+	}
+	return Result{Latency: lat, Level: LevelMem}
+}
+
+// accessPrefetch implements lfetch: it never stalls the issuing thread
+// (Latency is always 0) and is dropped when the MSHR file is full, like
+// hardware. The line is installed at all levels with its fill-completion
+// time so that later demand accesses wait only for the remaining portion.
+func (h *Hierarchy) accessPrefetch(now uint64, addr uint64) Result {
+	if hit, _ := h.L1D.Access(now, addr, false); hit {
+		return Result{Latency: 0, Level: LevelL1}
+	}
+	if hit, ready := h.L2.Access(now, addr, false); hit {
+		h.L1D.Fill(addr, max64(ready, now+uint64(h.cfg.L2.HitLat)), false, true)
+		return Result{Latency: 0, Level: LevelL2}
+	}
+	if hit, ready := h.L3.Access(now, addr, false); hit {
+		at := max64(ready, now+uint64(h.cfg.L3.HitLat))
+		h.L2.Fill(addr, at, false, true)
+		h.L1D.Fill(addr, at, false, true)
+		return Result{Latency: 0, Level: LevelL3}
+	}
+	_, ok := h.reserveMSHR(now, true)
+	if !ok {
+		h.DroppedPrefetches++
+		return Result{Latency: 0, Level: LevelMem, Dropped: true}
+	}
+	ready := h.memFetch(now)
+	h.inflight = append(h.inflight, ready)
+	if evicted := h.L3.Fill(addr, ready, false, true); evicted {
+		h.busNextFree += uint64(h.cfg.BusOccupancy)
+	}
+	h.L2.Fill(addr, ready, false, true)
+	h.L1D.Fill(addr, ready, false, true)
+	return Result{Latency: 0, Level: LevelMem}
+}
+
+// accessInst fetches an instruction line through L1I, then L2/L3/memory.
+// Returned latency is the front-end bubble charged to the fetch.
+func (h *Hierarchy) accessInst(now uint64, addr uint64) Result {
+	if hit, ready := h.L1I.Access(now, addr, false); hit {
+		return Result{Latency: max64(uint64(h.cfg.L1I.HitLat), saturatingSub(ready, now)), Level: LevelL1}
+	}
+	if hit, ready := h.L2.Access(now, addr, false); hit {
+		lat := max64(uint64(h.cfg.L2.HitLat), saturatingSub(ready, now))
+		h.L1I.Fill(addr, now+lat, false, false)
+		return Result{Latency: lat, Level: LevelL2}
+	}
+	if hit, ready := h.L3.Access(now, addr, false); hit {
+		lat := max64(uint64(h.cfg.L3.HitLat), saturatingSub(ready, now))
+		h.L2.Fill(addr, now+lat, false, false)
+		h.L1I.Fill(addr, now+lat, false, false)
+		return Result{Latency: lat, Level: LevelL3}
+	}
+	delay, _ := h.reserveMSHR(now, false)
+	ready := h.memFetch(now + delay)
+	h.inflight = append(h.inflight, ready)
+	h.L3.Fill(addr, ready, false, false)
+	h.L2.Fill(addr, ready, false, false)
+	h.L1I.Fill(addr, ready, false, false)
+	return Result{Latency: ready - now, Level: LevelMem}
+}
+
+// Reset clears all cache contents and statistics.
+func (h *Hierarchy) Reset() {
+	h.L1D.Reset()
+	h.L1I.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+	h.busNextFree = 0
+	h.inflight = nil
+	h.DroppedPrefetches = 0
+	h.MemAccesses = 0
+	h.BusWaitCycles = 0
+	h.MSHRWaitCycles = 0
+}
+
+func saturatingSub(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return 0
+}

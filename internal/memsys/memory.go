@@ -1,0 +1,149 @@
+// Package memsys simulates the data memory of the target machine: a flat
+// sparse 64-bit byte-addressable memory plus an Itanium-2-like three-level
+// cache hierarchy with non-blocking misses, finite MSHRs, and an
+// occupancy-limited memory bus.
+//
+// The functional side (Memory) and the timing side (Hierarchy) are
+// independent: the CPU reads and writes values through Memory and asks
+// Hierarchy how many cycles each access costs. This mirrors the split in
+// the rest of the simulator (sequential semantics, separate timing model).
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+const (
+	pageBits = 16
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse flat byte-addressable memory. The zero value is ready
+// to use; untouched bytes read as zero. Accesses may straddle page
+// boundaries.
+type Memory struct {
+	pages map[uint64]*page
+
+	// one-entry lookup cache; hit on sequential access patterns
+	lastIdx  uint64
+	lastPage *page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	idx := addr >> pageBits
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new(page)
+		if m.pages == nil {
+			m.pages = make(map[uint64]*page)
+		}
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p
+}
+
+// ReadN reads size bytes (1, 2, 4 or 8) little-endian at addr.
+func (m *Memory) ReadN(addr uint64, size int) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	// Slow path: page-straddling access.
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.readByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// WriteN writes size bytes (1, 2, 4 or 8) little-endian at addr.
+func (m *Memory) WriteN(addr uint64, size int, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.pageFor(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.writeByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+func (m *Memory) readByte(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+func (m *Memory) writeByte(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr&pageMask] = b
+}
+
+// Read64 reads an 8-byte value.
+func (m *Memory) Read64(addr uint64) uint64 { return m.ReadN(addr, 8) }
+
+// Write64 writes an 8-byte value.
+func (m *Memory) Write64(addr uint64, v uint64) { m.WriteN(addr, 8, v) }
+
+// ReadFloat reads an IEEE-754 double.
+func (m *Memory) ReadFloat(addr uint64) float64 {
+	return math.Float64frombits(m.ReadN(addr, 8))
+}
+
+// WriteFloat writes an IEEE-754 double.
+func (m *Memory) WriteFloat(addr uint64, v float64) {
+	m.WriteN(addr, 8, math.Float64bits(v))
+}
+
+// Footprint reports the number of resident simulated bytes (whole pages).
+func (m *Memory) Footprint() uint64 {
+	return uint64(len(m.pages)) * pageSize
+}
+
+func (m *Memory) String() string {
+	return fmt.Sprintf("memsys.Memory{%d pages, %d bytes resident}", len(m.pages), m.Footprint())
+}

@@ -1,0 +1,272 @@
+package program
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Binary image format ("ADORE images"): a compact serialization of a
+// compiled program — code bundles, entry point, symbols and loop metadata —
+// so that compiled workloads can be saved, inspected and reloaded by tools
+// without rebuilding. Data initialization is not part of the format: it is
+// a property of the workload definition, re-run at load time by whoever
+// owns the kernel.
+//
+// Layout (all multi-byte integers are unsigned varints unless noted):
+//
+//	magic "ADORimg1"
+//	name string                (uvarint length + bytes)
+//	entry, base uvarint
+//	bundle count uvarint
+//	  per bundle: template byte, then 3 instructions
+//	  per instruction: opcode byte, flag byte (bit0 spec, bit1 swploop),
+//	    qp, r1, r2, r3, f1..f4, p1, p2, b, rel (raw bytes),
+//	    imm zigzag-varint, postinc zigzag-varint, target uvarint
+//	symbol count uvarint, then (name string, addr uvarint) sorted by name
+//	loop count uvarint, then per loop: id uvarint, name string,
+//	  head/bodyStart/bodyEnd uvarint, flag byte (bit0 prefetchable,
+//	  bit1 prefetched)
+const imageMagic = "ADORimg1"
+
+// EncodeImage writes im to w in the binary image format.
+func EncodeImage(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return err
+	}
+	writeString(bw, im.Name)
+	writeUvarint(bw, im.Entry)
+	writeUvarint(bw, im.Code.Base)
+	writeUvarint(bw, uint64(len(im.Code.Bundles)))
+	for i := range im.Code.Bundles {
+		b := &im.Code.Bundles[i]
+		bw.WriteByte(byte(b.Tmpl))
+		for s := 0; s < 3; s++ {
+			encodeInst(bw, &b.Slots[s])
+		}
+	}
+
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeUvarint(bw, uint64(len(names)))
+	for _, n := range names {
+		writeString(bw, n)
+		writeUvarint(bw, im.Symbols[n])
+	}
+
+	writeUvarint(bw, uint64(len(im.Loops)))
+	for i := range im.Loops {
+		l := &im.Loops[i]
+		writeUvarint(bw, uint64(l.ID))
+		writeString(bw, l.Name)
+		writeUvarint(bw, l.Head)
+		writeUvarint(bw, l.BodyStart)
+		writeUvarint(bw, l.BodyEnd)
+		var fl byte
+		if l.Prefetchable {
+			fl |= 1
+		}
+		if l.Prefetched {
+			fl |= 2
+		}
+		bw.WriteByte(fl)
+	}
+	return bw.Flush()
+}
+
+// DecodeImage reads an image previously written by EncodeImage. The
+// returned image has no data initializer.
+func DecodeImage(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("program: reading magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("program: bad magic %q", magic)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	base, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxBundles = 1 << 24
+	if n > maxBundles {
+		return nil, fmt.Errorf("program: unreasonable bundle count %d", n)
+	}
+	seg := &Segment{Name: name, Base: base, Bundles: make([]isa.Bundle, n)}
+	for i := range seg.Bundles {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		seg.Bundles[i].Tmpl = isa.Template(tb)
+		for s := 0; s < 3; s++ {
+			if err := decodeInst(br, &seg.Bundles[i].Slots[s]); err != nil {
+				return nil, fmt.Errorf("program: bundle %d slot %d: %w", i, s, err)
+			}
+		}
+	}
+	im := NewImage(name, seg, entry)
+
+	ns, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ns; i++ {
+		sym, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		addr, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		im.Symbols[sym] = addr
+	}
+
+	nl, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nl; i++ {
+		var l LoopInfo
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		l.ID = int(id)
+		if l.Name, err = readString(br); err != nil {
+			return nil, err
+		}
+		if l.Head, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if l.BodyStart, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if l.BodyEnd, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		fl, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		l.Prefetchable = fl&1 != 0
+		l.Prefetched = fl&2 != 0
+		im.Loops = append(im.Loops, l)
+	}
+	return im, nil
+}
+
+func encodeInst(bw *bufio.Writer, in *isa.Inst) {
+	bw.WriteByte(byte(in.Op))
+	var fl byte
+	if in.Spec {
+		fl |= 1
+	}
+	if in.SWPLoop {
+		fl |= 2
+	}
+	bw.WriteByte(fl)
+	bw.WriteByte(byte(in.QP))
+	bw.WriteByte(byte(in.R1))
+	bw.WriteByte(byte(in.R2))
+	bw.WriteByte(byte(in.R3))
+	bw.WriteByte(byte(in.F1))
+	bw.WriteByte(byte(in.F2))
+	bw.WriteByte(byte(in.F3))
+	bw.WriteByte(byte(in.F4))
+	bw.WriteByte(byte(in.P1))
+	bw.WriteByte(byte(in.P2))
+	bw.WriteByte(byte(in.B))
+	bw.WriteByte(byte(in.Rel))
+	writeVarint(bw, in.Imm)
+	writeVarint(bw, in.PostInc)
+	writeUvarint(bw, in.Target)
+}
+
+func decodeInst(br *bufio.Reader, in *isa.Inst) error {
+	raw := make([]byte, 14)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return err
+	}
+	in.Op = isa.Op(raw[0])
+	in.Spec = raw[1]&1 != 0
+	in.SWPLoop = raw[1]&2 != 0
+	in.QP = isa.PReg(raw[2])
+	in.R1 = isa.Reg(raw[3])
+	in.R2 = isa.Reg(raw[4])
+	in.R3 = isa.Reg(raw[5])
+	in.F1 = isa.FReg(raw[6])
+	in.F2 = isa.FReg(raw[7])
+	in.F3 = isa.FReg(raw[8])
+	in.F4 = isa.FReg(raw[9])
+	in.P1 = isa.PReg(raw[10])
+	in.P2 = isa.PReg(raw[11])
+	in.B = isa.BReg(raw[12])
+	in.Rel = isa.CmpRel(raw[13])
+	var err error
+	if in.Imm, err = binary.ReadVarint(br); err != nil {
+		return err
+	}
+	if in.PostInc, err = binary.ReadVarint(br); err != nil {
+		return err
+	}
+	if in.Target, err = binary.ReadUvarint(br); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func writeVarint(bw *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	bw.Write(buf[:n])
+}
+
+func writeString(bw *bufio.Writer, s string) {
+	writeUvarint(bw, uint64(len(s)))
+	bw.WriteString(s)
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	const maxString = 1 << 20
+	if n > maxString {
+		return "", fmt.Errorf("program: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,129 @@
+package program
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func sampleImage() *Image {
+	seg := &Segment{Name: "kern", Base: 0x1000, Bundles: []isa.Bundle{
+		{Tmpl: isa.TmplMLX, Slots: [3]isa.Inst{
+			isa.Nop,
+			{Op: isa.OpMovI, R1: 14, Imm: 0x1000_0000},
+			isa.Nop,
+		}},
+		{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{
+			{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8, Spec: true},
+			{Op: isa.OpLfetch, R3: 27, PostInc: -64},
+			{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10},
+		}},
+		{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{
+			{Op: isa.OpCmpI, Rel: isa.CmpLt, P1: 1, P2: 2, Imm: 0, R3: 10},
+			isa.Nop,
+			{Op: isa.OpBrCond, QP: 1, Target: 0x1010, SWPLoop: true},
+		}},
+	}}
+	im := NewImage("kern", seg, 0x1000)
+	im.Symbols["array:a"] = 0x1000_0000
+	im.Symbols["array:b"] = 0x1010_0000
+	im.Loops = []LoopInfo{
+		{ID: 0, Name: "main", Head: 0x1010, BodyStart: 0x1010, BodyEnd: 0x1030, Prefetchable: true, Prefetched: false},
+		{ID: 1, Name: "tail", Head: 0x1030, BodyStart: 0x1030, BodyEnd: 0x1040, Prefetchable: false, Prefetched: true},
+	}
+	return im
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	if err := EncodeImage(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != im.Name || got.Entry != im.Entry || got.Code.Base != im.Code.Base {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Code.Bundles, im.Code.Bundles) {
+		t.Fatalf("bundles differ:\n got %v\nwant %v", got.Code.Bundles, im.Code.Bundles)
+	}
+	if !reflect.DeepEqual(got.Symbols, im.Symbols) {
+		t.Fatalf("symbols differ: %v vs %v", got.Symbols, im.Symbols)
+	}
+	if !reflect.DeepEqual(got.Loops, im.Loops) {
+		t.Fatalf("loops differ: %v vs %v", got.Loops, im.Loops)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeImage(strings.NewReader("not an image at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeImage(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated after the magic.
+	if _, err := DecodeImage(strings.NewReader(imageMagic)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+	// Valid prefix, truncated body.
+	var buf bytes.Buffer
+	if err := EncodeImage(&buf, sampleImage()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, err := DecodeImage(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: any instruction survives an encode/decode round trip exactly.
+func TestInstRoundTripProperty(t *testing.T) {
+	f := func(op, qp, r1, r2, r3, f1, f2, f3, f4, p1, p2, b, rel uint8,
+		imm, post int64, target uint64, spec, swp bool) bool {
+		in := isa.Inst{
+			Op: isa.Op(op), QP: isa.PReg(qp),
+			R1: isa.Reg(r1), R2: isa.Reg(r2), R3: isa.Reg(r3),
+			F1: isa.FReg(f1), F2: isa.FReg(f2), F3: isa.FReg(f3), F4: isa.FReg(f4),
+			P1: isa.PReg(p1), P2: isa.PReg(p2), B: isa.BReg(b),
+			Rel: isa.CmpRel(rel), Imm: imm, PostInc: post, Target: target,
+			Spec: spec, SWPLoop: swp,
+		}
+		seg := &Segment{Name: "x", Base: 0, Bundles: []isa.Bundle{{Slots: [3]isa.Inst{in, isa.Nop, isa.Nop}}}}
+		im := NewImage("x", seg, 0)
+		var buf bytes.Buffer
+		if err := EncodeImage(&buf, im); err != nil {
+			return false
+		}
+		got, err := DecodeImage(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Code.Bundles[0].Slots[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedSizeIsCompact(t *testing.T) {
+	im := sampleImage()
+	var buf bytes.Buffer
+	if err := EncodeImage(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	// 3 bundles; compact encoding should stay well under 32 bytes per
+	// instruction.
+	if buf.Len() > 3*3*32+256 {
+		t.Fatalf("encoded size %d suspiciously large", buf.Len())
+	}
+}

@@ -1,0 +1,91 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func seg(name string, base uint64, n int) *Segment {
+	return &Segment{Name: name, Base: base, Bundles: make([]isa.Bundle, n)}
+}
+
+func TestCodeSpaceFetchAndWrite(t *testing.T) {
+	cs := NewCodeSpace()
+	if err := cs.AddSegment(seg("main", 0x1000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.AddSegment(seg("pool", 0x100000, 8)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := cs.Fetch(0x1010)
+	if !ok || b == nil {
+		t.Fatal("fetch failed")
+	}
+	patch := isa.BranchBundle(0x100000)
+	if err := cs.Write(0x1010, patch); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := cs.Fetch(0x1012) // slot bits masked
+	if b2.Slots[2].Op != isa.OpBr || b2.Slots[2].Target != 0x100000 {
+		t.Fatalf("patched bundle = %v", b2)
+	}
+	// The pool segment is independently addressable.
+	if _, ok := cs.Fetch(0x100070); !ok {
+		t.Fatal("pool fetch failed")
+	}
+	if _, ok := cs.Fetch(0x2000); ok {
+		t.Fatal("unmapped fetch succeeded")
+	}
+	if err := cs.Write(0x2000, patch); err == nil {
+		t.Fatal("unmapped write succeeded")
+	}
+}
+
+func TestCodeSpaceRejectsOverlap(t *testing.T) {
+	cs := NewCodeSpace()
+	if err := cs.AddSegment(seg("a", 0x1000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.AddSegment(seg("b", 0x1030, 4)); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	if err := cs.AddSegment(seg("c", 0xff0, 8)); err == nil {
+		t.Fatal("overlap from below accepted")
+	}
+	if err := cs.AddSegment(seg("d", 0x1008, 1)); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+}
+
+func TestLoopInfoContains(t *testing.T) {
+	l := LoopInfo{BodyStart: 0x100, BodyEnd: 0x140}
+	if !l.Contains(0x100) || !l.Contains(0x13f) || l.Contains(0x140) || l.Contains(0xff) {
+		t.Fatal("LoopInfo.Contains wrong")
+	}
+}
+
+func TestImageLoopAt(t *testing.T) {
+	im := NewImage("x", seg("main", 0, 16), 0)
+	im.Loops = []LoopInfo{
+		{ID: 0, BodyStart: 0x00, BodyEnd: 0x40},
+		{ID: 1, BodyStart: 0x40, BodyEnd: 0x80},
+	}
+	l, ok := im.LoopAt(0x44)
+	if !ok || l.ID != 1 {
+		t.Fatalf("LoopAt = %+v, %v", l, ok)
+	}
+	if _, ok := im.LoopAt(0x200); ok {
+		t.Fatal("LoopAt outside code matched")
+	}
+}
+
+func TestListing(t *testing.T) {
+	s := seg("main", 0x40, 2)
+	s.Bundles[1] = isa.BranchBundle(0x40)
+	out := Listing(s)
+	if !strings.Contains(out, "0x000050") || !strings.Contains(out, "br 0x40") {
+		t.Fatalf("listing:\n%s", out)
+	}
+}

@@ -1,0 +1,453 @@
+package workloads
+
+import "repro/internal/compiler"
+
+// ammp: molecular dynamics over neighbor lists — indirect gathers of atom
+// data plus linked-list traversal of the atom chain (Table 2: 2 indirect,
+// 2 pointer, 3 optimized phases).
+func ammp(scale float64) Benchmark {
+	gather := func(name, idxArr, dataArr string) *compiler.Loop {
+		return &compiler.Loop{
+			Name:      name,
+			OuterTrip: 1,
+			InnerTrip: 1 << 15,
+			Body: append(append([]compiler.Stmt{
+				affLoad("ni", idxArr, 4, 4),
+				{Kind: compiler.SLoadInt, Dst: "ax", Size: 8,
+					Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: dataArr, IndexTemp: "ni", Scale: 8}},
+			}, intChain("fc", 12)...),
+				compiler.Stmt{Kind: compiler.SAdd, Dst: "f", A: "f", B: "ax"}),
+			Inits: []compiler.Init{{Temp: "f", IsImm: true, Imm: 0}, {Temp: "fc", IsImm: true, Imm: 0}},
+		}
+	}
+	k := &compiler.Kernel{
+		Name: "ammp",
+		Arrays: []compiler.Array{
+			{Name: "nbr1", Elem: 4, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 193, Mod: 1 << 17}},
+			{Name: "nbr2", Elem: 4, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 389, Mod: 1 << 17}},
+			{Name: "atoms", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 17}},
+			{Name: "alist", N: 1 << 14, Init: compiler.InitSpec{Kind: compiler.InitChain, NodeSize: 128, NextOff: 8, ShufflePct: 55, Seed: 11}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "nonbon1", Repeat: scaleRepeat(14, scale), Loops: []*compiler.Loop{gather("forces1", "nbr1", "atoms")}},
+			{Name: "nonbon2", Repeat: scaleRepeat(14, scale), Loops: []*compiler.Loop{gather("forces2", "nbr2", "atoms")}},
+			{
+				Name:   "mm-fv",
+				Repeat: scaleRepeat(24, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "atom-walk",
+					OuterTrip: 1,
+					InnerTrip: 1 << 14,
+					Body: append(append(chaseLoads("a", "serial", 0, 8),
+						compiler.Stmt{Kind: compiler.SAdd, Dst: "n", A: "n", B: "serial"}),
+						intChain("nc", 12)...),
+					Inits: []compiler.Init{
+						{Temp: "a", Array: "alist", Offset: 0},
+						{Temp: "n", IsImm: true, Imm: 0},
+						{Temp: "nc", IsImm: true, Imm: 0},
+					},
+				}},
+			},
+		},
+	}
+	return Benchmark{
+		Name: "ammp", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "indirect neighbor gathers + pointer-chasing atom list (Table 2: 2 indirect, 2 pointer)",
+	}
+}
+
+// art: neural-network image recognition. Two long streaming phases over
+// F1-layer arrays far larger than L3 — the Fig. 8 case whose CPI and DEAR
+// rate halve under runtime prefetching. The arrays are passed as aliased
+// parameters (the paper's §1.1 analysis problem), so the static compiler
+// cannot prefetch them even at O3 — runtime prefetching wins both times.
+func art(scale float64) Benchmark {
+	train := &compiler.Loop{
+		Name:      "train-f1",
+		NoSWP:     true,
+		OuterTrip: 1,
+		InnerTrip: 1 << 17,
+		Ambiguous: true,
+		Body: []compiler.Stmt{
+			affLoadFOff("i1", "f1a", 8, 0),
+			affLoadFOff("w1", "bus", 8, 24),
+			{Kind: compiler.SFMA, Dst: "y", A: "i1", B: "w1", C: "y"},
+			affLoadFOff("t1", "tds", 8, 48),
+			{Kind: compiler.SFAdd, Dst: "u", A: "u", B: "t1"},
+		},
+		FloatTemps: []string{"y", "u", "kk"},
+	}
+	train.Body = append(train.Body, fpChain("y", "kk", 8)...)
+	match := &compiler.Loop{
+		Name:      "match-f2",
+		NoSWP:     true,
+		OuterTrip: 1,
+		InnerTrip: 1 << 16,
+		Ambiguous: true,
+		Body: []compiler.Stmt{
+			affLoad("wi", "widx", 4, 4),
+			{Kind: compiler.SLoadInt, Dst: "wv", Size: 8,
+				Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: "wts", IndexTemp: "wi", Scale: 8}},
+			{Kind: compiler.SAdd, Dst: "m", A: "m", B: "wv"},
+			affLoadF("x", "f1b", 8),
+			{Kind: compiler.SFAdd, Dst: "z", A: "z", B: "x"},
+		},
+		Inits:      []compiler.Init{{Temp: "m", IsImm: true, Imm: 0}},
+		FloatTemps: []string{"z", "kk"},
+	}
+	match.Body = append(match.Body, fpChain("z", "kk", 12)...)
+	k := &compiler.Kernel{
+		Name: "art",
+		Arrays: []compiler.Array{
+			{Name: "f1a", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+			{Name: "bus", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "tds", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "f1b", Elem: 8, N: 1 << 16, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 4}},
+			{Name: "widx", Elem: 4, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 229, Mod: 1 << 17}},
+			{Name: "wts", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 7}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "train", Repeat: scaleRepeat(14, scale), Loops: []*compiler.Loop{train}},
+			{Name: "match", Repeat: scaleRepeat(20, scale), Loops: []*compiler.Loop{match}},
+		},
+	}
+	return Benchmark{
+		Name: "art", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "two streaming phases (Fig. 8); aliased arrays defeat static analysis, runtime prefetching halves CPI",
+	}
+}
+
+// applu: an SSOR solver whose huge loop bodies spread cache misses across
+// many independent streams. The loop is memory-bandwidth-bound and each
+// load carries only a small share of the total latency, so prefetching the
+// top three delinquent loads does not help ("the cache misses are evenly
+// distributed among hundreds of loads ... their miss penalties are
+// effectively overlapped").
+func applu(scale float64) Benchmark {
+	mkSweep := func(name string, arrays []string) *compiler.Loop {
+		var body []compiler.Stmt
+		for i, a := range arrays {
+			dst := "v" + string(rune('0'+i))
+			body = append(body, affLoadF(dst, a, 8))
+		}
+		for i := range arrays {
+			body = append(body, compiler.Stmt{Kind: compiler.SFAdd, Dst: "s", A: "s", B: "v" + string(rune('0'+i))})
+		}
+		return &compiler.Loop{
+			Name: name, NoSWP: true, OuterTrip: 1, InnerTrip: 1 << 16,
+			Body: body, FloatTemps: []string{"s"},
+		}
+	}
+	k := &compiler.Kernel{
+		Name: "applu",
+		Arrays: []compiler.Array{
+			{Name: "a1", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+			{Name: "a2", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "a3", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "a4", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 4}},
+			{Name: "a5", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 5}},
+			{Name: "a6", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 6}},
+			{Name: "a7", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 7}},
+			{Name: "a8", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 8}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "jacld", Repeat: scaleRepeat(10, scale), Loops: []*compiler.Loop{
+				mkSweep("sweep-lo", []string{"a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8"}),
+			}},
+			{Name: "buts", Repeat: scaleRepeat(10, scale), Loops: []*compiler.Loop{
+				mkSweep("sweep-hi", []string{"a8", "a7", "a6", "a5", "a4", "a3", "a2", "a1"}),
+			}},
+		},
+	}
+	return Benchmark{
+		Name: "applu", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "bandwidth-bound, misses spread over many loads; top-3 prefetching cannot help",
+	}
+}
+
+// equake: sparse matrix-vector products — an indirect gather dominates the
+// miss latency, with supporting direct streams. The sparse structure is
+// built from aliased pointers, so static prefetching misses it even at O3:
+// equake keeps its runtime-prefetching gain on O3 binaries (Fig. 7b). The
+// time-integration loop is a pipelinable affine stream (Fig. 10).
+func equake(scale float64) Benchmark {
+	smvp := &compiler.Loop{
+		Name:      "smvp",
+		OuterTrip: 1,
+		InnerTrip: 1 << 16,
+		Ambiguous: true,
+		Body: []compiler.Stmt{
+			affLoad("col", "cols", 4, 4),
+			{Kind: compiler.SLoadInt, Dst: "xv", Size: 8,
+				Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: "x", IndexTemp: "col", Scale: 8}},
+			affLoadF("av", "vals", 8),
+			{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "xv"},
+			{Kind: compiler.SFAdd, Dst: "w", A: "w", B: "av"},
+		},
+		Inits:      []compiler.Init{{Temp: "acc", IsImm: true, Imm: 0}},
+		FloatTemps: []string{"w", "kk"},
+	}
+	smvp.Body = append(smvp.Body, fpChain("w", "kk", 9)...)
+	integrate := &compiler.Loop{
+		Name:      "time-integration",
+		OuterTrip: 1,
+		InnerTrip: 1 << 16,
+		Ambiguous: true,
+		Body: []compiler.Stmt{
+			affLoadF("d", "disp", 8),
+			affLoadF("v", "vel", 8),
+			{Kind: compiler.SFMA, Dst: "nd", A: "v", B: "dt", C: "d"},
+			affStoreF("nd", "disp2", 8),
+		},
+		FloatTemps: []string{"dt"},
+	}
+	k := &compiler.Kernel{
+		Name: "equake",
+		Arrays: []compiler.Array{
+			{Name: "cols", Elem: 4, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 449, Mod: 1 << 17}},
+			{Name: "x", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "vals", Elem: 8, N: 1 << 16, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "disp", Elem: 8, N: 1 << 16, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+			{Name: "vel", Elem: 8, N: 1 << 16, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 4}},
+			{Name: "disp2", Elem: 8, N: 1 << 16, Float: true, Init: compiler.InitSpec{Kind: compiler.InitZero}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "timestep",
+			Repeat: scaleRepeat(16, scale),
+			Loops:  []*compiler.Loop{smvp, integrate},
+		}},
+	}
+	return Benchmark{
+		Name: "equake", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "indirect gather dominates; gains persist at O3 because static prefetching cannot analyze it",
+	}
+}
+
+// facerec: image-correlation passes — clean affine FP streams over
+// mid-sized arrays. O3's static prefetching covers them (so runtime adds
+// nothing there); at O2 the runtime prefetcher gets the full gain. The
+// streams software-pipeline well (Fig. 10).
+func facerec(scale float64) Benchmark {
+	stream := func(name string, arrs ...string) *compiler.Loop {
+		var body []compiler.Stmt
+		for i, a := range arrs {
+			dst := "g" + string(rune('0'+i))
+			body = append(body, affLoadFOff(dst, a, 8, int64(i*24)))
+			body = append(body, compiler.Stmt{Kind: compiler.SFMA, Dst: "s", A: dst, B: "k", C: "s"})
+		}
+		body = append(body, fpChain("s", "k", 22)...)
+		return &compiler.Loop{
+			Name: name, OuterTrip: 1, InnerTrip: 1 << 17,
+			Body: body, FloatTemps: []string{"s", "k"},
+		}
+	}
+	k := &compiler.Kernel{
+		Name: "facerec",
+		Arrays: []compiler.Array{
+			{Name: "img", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+			{Name: "gabor", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "graph", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "gabor-xform", Repeat: scaleRepeat(7, scale), Loops: []*compiler.Loop{stream("conv", "img", "gabor")}},
+			{Name: "graph-sim", Repeat: scaleRepeat(7, scale), Loops: []*compiler.Loop{stream("sim", "graph", "img")}},
+			{Name: "search", Repeat: scaleRepeat(7, scale), Loops: []*compiler.Loop{stream("search", "gabor", "graph")}},
+		},
+	}
+	return Benchmark{
+		Name: "facerec", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "affine FP streams: runtime prefetching gains at O2, static O3 already covers them",
+	}
+}
+
+// fma3d: finite-element solver — element arrays streamed directly plus
+// connectivity gathers (Table 2: 11 direct, 2 indirect over 4 phases).
+func fma3d(scale float64) Benchmark {
+	stream := func(name string, a1, a2 string) *compiler.Loop {
+		return &compiler.Loop{
+			Name: name, NoSWP: true, OuterTrip: 1, InnerTrip: 1 << 15,
+			Body: append([]compiler.Stmt{
+				affLoadFOff("e1", a1, 8, 0),
+				affLoadFOff("e2", a2, 8, 24),
+				{Kind: compiler.SFMA, Dst: "f", A: "e1", B: "e2", C: "f"},
+				affStoreF("f", a1, 8),
+			}, fpChain("f", "kk", 0)...),
+			FloatTemps: []string{"f", "kk"},
+		}
+	}
+	gatherLoop := &compiler.Loop{
+		Name: "connectivity", NoSWP: true, OuterTrip: 1, InnerTrip: 1 << 15,
+		Body: append([]compiler.Stmt{
+			affLoad("n", "conn", 4, 4),
+			{Kind: compiler.SLoadInt, Dst: "nd", Size: 8,
+				Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: "nodes", IndexTemp: "n", Scale: 8}},
+			{Kind: compiler.SAdd, Dst: "q", A: "q", B: "nd"},
+		}, intChain("qq", 0)...),
+		Inits: []compiler.Init{{Temp: "q", IsImm: true, Imm: 0}, {Temp: "qq", IsImm: true, Imm: 0}},
+	}
+	k := &compiler.Kernel{
+		Name: "fma3d",
+		Arrays: []compiler.Array{
+			{Name: "stress", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+			{Name: "strain", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "force", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "veloc", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 4}},
+			{Name: "conn", Elem: 4, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 151, Mod: 1 << 17}},
+			{Name: "nodes", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 5}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "internal-forces", Repeat: scaleRepeat(32, scale), Loops: []*compiler.Loop{stream("stress-strain", "stress", "strain")}},
+			{Name: "gather", Repeat: scaleRepeat(28, scale), Loops: []*compiler.Loop{gatherLoop}},
+			{Name: "accel", Repeat: scaleRepeat(32, scale), Loops: []*compiler.Loop{stream("f-v", "force", "veloc")}},
+			{Name: "update", Repeat: scaleRepeat(32, scale), Loops: []*compiler.Loop{stream("v-s", "veloc", "stress")}},
+		},
+	}
+	return Benchmark{
+		Name: "fma3d", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "direct element streams plus connectivity gathers over 4 phases",
+	}
+}
+
+// lucas: Lucas-Lehmer FFT squaring. The dominant misses sit behind an
+// address computed from floating-point data (getf.sig of the butterfly
+// index), which the runtime slicer refuses — stride computation fails as
+// the paper reports. Secondary direct streams still get prefetched with
+// little effect.
+func lucas(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "lucas",
+		Arrays: []compiler.Array{
+			{Name: "fftw", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3, Mod: 1 << 18}},
+			{Name: "xdat", Elem: 8, N: 1 << 19, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 9}},
+			{Name: "scr", Elem: 8, N: 1 << 15, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "squaring",
+			Repeat: scaleRepeat(18, scale),
+			Loops: []*compiler.Loop{
+				{
+					Name:      "butterfly",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 16,
+					Body: []compiler.Stmt{
+						affLoadF("tw", "fftw", 8),
+						{Kind: compiler.SGetSig, Dst: "bi", A: "tw"},
+						{Kind: compiler.SAnd, Dst: "bj", A: "bi", B: "mask"},
+						{Kind: compiler.SLoadInt, Dst: "xv", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: "xdat", IndexTemp: "bj", Scale: 8}},
+						{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "xv"},
+					},
+					Inits: []compiler.Init{
+						{Temp: "acc", IsImm: true, Imm: 0},
+						{Temp: "mask", IsImm: true, Imm: (1 << 19) - 1},
+					},
+				},
+				{
+					Name:      "carry",
+					OuterTrip: 1,
+					InnerTrip: 1 << 13,
+					Body: []compiler.Stmt{
+						affLoadF("c", "scr", 8),
+						{Kind: compiler.SFAdd, Dst: "cs", A: "cs", B: "c"},
+					},
+					FloatTemps: []string{"cs"},
+				},
+			},
+		}},
+	}
+	return Benchmark{
+		Name: "lucas", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "dominant misses behind fp-int conversion: slice fails, ~no gain",
+	}
+}
+
+// mesa: software rendering with a mostly cache-resident working set; one
+// minor direct prefetch, little to gain.
+func mesa(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "mesa",
+		Arrays: []compiler.Array{
+			{Name: "fb", Elem: 8, N: 1 << 15, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "tex", Elem: 8, N: 1 << 13, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "render",
+			Repeat: scaleRepeat(40, scale),
+			Loops: []*compiler.Loop{
+				{
+					Name:      "span",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 15,
+					Body: append([]compiler.Stmt{
+						affLoad("px", "fb", 8, 8),
+						{Kind: compiler.SAddImm, Dst: "px2", A: "px", Imm: 1},
+						{Kind: compiler.SStoreInt, A: "px2", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefAffine, Array: "fb", InnerStride: 8}},
+					}, intChain("sh", 18)...),
+					Inits: []compiler.Init{{Temp: "sh", IsImm: true, Imm: 0}},
+				},
+				{
+					Name:      "texture",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 12,
+					Body: []compiler.Stmt{
+						affLoad("t", "tex", 8, 8),
+						{Kind: compiler.SAdd, Dst: "tv", A: "tv", B: "t"},
+					},
+					Inits: []compiler.Init{{Temp: "tv", IsImm: true, Imm: 0}},
+				},
+			},
+		}},
+	}
+	return Benchmark{
+		Name: "mesa", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "small working set; one minor prefetch, ~no gain",
+	}
+}
+
+// swim: shallow-water stencil sweeps — several FP streams per iteration
+// over L3-scale grids. Runtime prefetching gains at O2; O3's static
+// prefetching already covers the affine streams; SWP hides the remaining
+// hit latency (swim is one of Fig. 10's SWP-sensitive programs).
+func swim(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "swim",
+		Arrays: []compiler.Array{
+			{Name: "u", Elem: 8, N: 1 << 15, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+			{Name: "v", Elem: 8, N: 1 << 15, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2}},
+			{Name: "p", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "unew", Elem: 8, N: 1 << 17, Float: true, Init: compiler.InitSpec{Kind: compiler.InitZero}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "calc",
+			Repeat: scaleRepeat(20, scale),
+			Loops: []*compiler.Loop{{
+				Name:      "stencil",
+				OuterTrip: 4,
+				InnerTrip: 1 << 15,
+				Body: []compiler.Stmt{
+					affLoadFOff("uu", "u", 8, 0),
+					affLoadFOff("vv", "v", 8, 24),
+					{Kind: compiler.SLoadFloat, Dst: "pp", Ref: &compiler.Ref{Kind: compiler.RefAffine, Array: "p", InnerStride: 8, OuterStride: 8 << 15, Offset: 48}},
+					{Kind: compiler.SFMA, Dst: "t1", A: "uu", B: "vv", C: "pp"},
+					{Kind: compiler.SFMA, Dst: "t2", A: "t1", B: "uu", C: "vv"},
+					{Kind: compiler.SFMA, Dst: "acc", A: "t2", B: "kq", C: "acc"},
+					{Kind: compiler.SFMA, Dst: "acc", A: "acc", B: "kq", C: "acc"},
+					{Kind: compiler.SFMA, Dst: "acc", A: "acc", B: "kq", C: "acc"},
+					{Kind: compiler.SFMA, Dst: "acc", A: "acc", B: "kq", C: "acc"},
+					{Kind: compiler.SFMA, Dst: "acc", A: "acc", B: "kq", C: "acc"},
+					{Kind: compiler.SFMA, Dst: "acc", A: "acc", B: "kq", C: "acc"},
+					{Kind: compiler.SStoreFloat, A: "t2", Ref: &compiler.Ref{Kind: compiler.RefAffine, Array: "unew", InnerStride: 8, OuterStride: 8 << 15}},
+				},
+				FloatTemps: []string{"acc", "kq"},
+			}},
+		}},
+	}
+	return Benchmark{
+		Name: "swim", Class: FP, Kernel: withSetup(k, 5),
+		PaperNote: "stencil streams: O2 gains from runtime prefetching; SWP-sensitive (Fig. 10)",
+	}
+}

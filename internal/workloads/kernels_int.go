@@ -1,0 +1,397 @@
+package workloads
+
+import "repro/internal/compiler"
+
+// bzip2: block-sorting compression. Two phases; both direct and indirect
+// array references miss heavily (Table 2 reports direct and indirect
+// prefetches; Fig. 7a shows a solid gain).
+func bzip2(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "bzip2",
+		Arrays: []compiler.Array{
+			{Name: "block", Elem: 4, N: 1 << 20, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 2654435761 % (1 << 20), Mod: 1 << 20}},
+			{Name: "freq", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "out", Elem: 8, N: 1 << 19, Init: compiler.InitSpec{Kind: compiler.InitZero}},
+		},
+		Phases: []compiler.Phase{
+			{
+				Name:   "sort",
+				Repeat: scaleRepeat(24, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "bucket",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 15,
+					Body: append([]compiler.Stmt{
+						affLoad("sym", "block", 4, 4),
+						{Kind: compiler.SAnd, Dst: "symm", A: "sym", B: "mask"},
+						{Kind: compiler.SLoadInt, Dst: "cnt", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: "freq", IndexTemp: "symm", Scale: 8}},
+						{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "cnt"},
+					}, intChain("w", 26)...),
+					Inits: []compiler.Init{
+						{Temp: "acc", IsImm: true, Imm: 0},
+						{Temp: "w", IsImm: true, Imm: 0},
+						{Temp: "mask", IsImm: true, Imm: (1 << 17) - 1},
+					},
+				}},
+			},
+			{
+				Name:   "emit",
+				Repeat: scaleRepeat(16, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "mtf",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 15,
+					Body: []compiler.Stmt{
+						affLoad("v", "out", 8, 8),
+						{Kind: compiler.SAddImm, Dst: "v2", A: "v", Imm: 1},
+						{Kind: compiler.SStoreInt, A: "v2", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefAffine, Array: "out", InnerStride: 8}},
+					},
+				}},
+			},
+		},
+	}
+	return Benchmark{
+		Name: "bzip2", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "gains from both direct and indirect prefetching (Table 2: 10 direct, 6 indirect)",
+	}
+}
+
+// gzip: the run is too short for ADORE to detect a stable phase ("gzip's
+// execution time is too short (less than 1 minute) for ADORE to detect a
+// stable phase"), so runtime prefetching never engages.
+func gzip(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "gzip",
+		Arrays: []compiler.Array{
+			{Name: "win", Elem: 4, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 7, Mod: 1 << 16}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "deflate",
+			Repeat: scaleRepeat(40, scale),
+			Loops: []*compiler.Loop{{
+				Name:      "match",
+				OuterTrip: 1,
+				InnerTrip: 4096,
+				NoSWP:     true,
+				Body: append([]compiler.Stmt{
+					affLoad("c", "win", 4, 4),
+					{Kind: compiler.SAdd, Dst: "h", A: "h", B: "c"},
+				}, intChain("h2", 2)...),
+				Inits: []compiler.Init{
+					{Temp: "h", IsImm: true, Imm: 0},
+					{Temp: "h2", IsImm: true, Imm: 0},
+				},
+			}},
+		}},
+	}
+	return Benchmark{
+		Name: "gzip", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "execution too short for a stable phase; no optimization happens",
+	}
+}
+
+// mcf: the paper's flagship pointer-chasing win (+57% at O2). The network
+// simplex inner loop walks the arc list through two levels of pointers
+// (Fig. 5C); the chain has mostly regular node spacing, which is what the
+// induction-pointer prefetch exploits. A secondary arc-refresh phase is a
+// plain affine scan (and is software-pipelinable, part of mcf's Fig. 10
+// sensitivity).
+func mcf(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "mcf",
+		Arrays: []compiler.Array{
+			{Name: "arcs", N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitChain, NodeSize: 128, NextOff: 8, ShufflePct: 10, Seed: 42}},
+			{Name: "cost", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 11}},
+		},
+		Phases: []compiler.Phase{
+			{
+				Name:   "pbeampp",
+				Repeat: scaleRepeat(10, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "arc-scan",
+					OuterTrip: 1,
+					InnerTrip: 1 << 16,
+					Body: append(append(
+						chaseLoads("arc", "tail", 0, 8),
+						compiler.Stmt{Kind: compiler.SLoadInt, Dst: "flow", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefPointer, PtrTemp: "tail", Offset: 16}},
+						compiler.Stmt{Kind: compiler.SAdd, Dst: "red", A: "red", B: "tail"},
+						compiler.Stmt{Kind: compiler.SAdd, Dst: "red", A: "red", B: "flow"},
+					), intChain("price", 7)...),
+					Inits: []compiler.Init{
+						{Temp: "arc", Array: "arcs", Offset: 0},
+						{Temp: "red", IsImm: true, Imm: 0},
+						{Temp: "price", IsImm: true, Imm: 0},
+					},
+				}},
+			},
+			{
+				Name:   "refresh",
+				Repeat: scaleRepeat(80, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "cost-scan",
+					OuterTrip: 1,
+					InnerTrip: 1 << 17,
+					Body: []compiler.Stmt{
+						affLoad("c", "cost", 8, 8),
+						{Kind: compiler.SAdd, Dst: "tot", A: "tot", B: "c"},
+					},
+					Inits: []compiler.Init{{Temp: "tot", IsImm: true, Imm: 0}},
+				}},
+			},
+		},
+	}
+	return Benchmark{
+		Name: "mcf", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "largest gain; induction-pointer prefetching on mostly-regular arc chains (Fig. 5C/6C)",
+	}
+}
+
+// vpr: delinquent loads have complex address calculation (coordinates
+// computed in floating point, then converted) — the slice fails, matching
+// "causing the dynamic optimizer to fail in computing the stride
+// information (in vpr, lucas and gap)".
+func vpr(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "vpr",
+		Arrays: []compiler.Array{
+			{Name: "xs", Elem: 8, N: 1 << 13, Float: true, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 5, Mod: 1 << 18}},
+			{Name: "grid", Elem: 8, N: 1 << 19, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 13}},
+			{Name: "net", Elem: 8, N: 1 << 15, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 1}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "place",
+			Repeat: scaleRepeat(120, scale),
+			Loops: []*compiler.Loop{
+				{
+					Name:      "cost",
+					OuterTrip: 1,
+					InnerTrip: 1 << 13,
+					Body: []compiler.Stmt{
+						affLoadF("x", "xs", 8),
+						{Kind: compiler.SCvtFI, Dst: "gi", A: "x"},
+						{Kind: compiler.SLoadInt, Dst: "g", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefIndirect, Array: "grid", IndexTemp: "gi", Scale: 8}},
+						{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "g"},
+					},
+					Inits: []compiler.Init{{Temp: "acc", IsImm: true, Imm: 0}},
+				},
+				{
+					Name:      "bbox",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 14,
+					Body: append([]compiler.Stmt{
+						affLoad("n", "net", 8, 8),
+						{Kind: compiler.SAdd, Dst: "bb", A: "bb", B: "n"},
+					}, intChain("t", 18)...),
+					Inits: []compiler.Init{
+						{Temp: "bb", IsImm: true, Imm: 0},
+						{Temp: "t", IsImm: true, Imm: 0},
+					},
+				},
+			},
+		}},
+	}
+	return Benchmark{
+		Name: "vpr", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "dominant misses behind an fp-int conversion: slice analysis fails, ~no gain",
+	}
+}
+
+// parser: a dictionary walk over linked structures with partially regular
+// strides gives a small pointer-chasing gain; most time goes to
+// latency-tolerant matching code.
+func parser(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "parser",
+		Arrays: []compiler.Array{
+			{Name: "dict", N: 1 << 14, Init: compiler.InitSpec{Kind: compiler.InitChain, NodeSize: 128, NextOff: 8, ShufflePct: 45, Seed: 7}},
+			{Name: "sent", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+		},
+		Phases: []compiler.Phase{{
+			Name:   "parse",
+			Repeat: scaleRepeat(20, scale),
+			Loops: []*compiler.Loop{
+				{
+					Name:      "dict-walk",
+					OuterTrip: 1,
+					InnerTrip: 1 << 14,
+					Body: append(append(chaseLoads("w", "def", 0, 8),
+						compiler.Stmt{Kind: compiler.SAdd, Dst: "hits", A: "hits", B: "def"}),
+						intChain("hc", 10)...),
+					Inits: []compiler.Init{
+						{Temp: "w", Array: "dict", Offset: 0},
+						{Temp: "hits", IsImm: true, Imm: 0},
+						{Temp: "hc", IsImm: true, Imm: 0},
+					},
+				},
+				{
+					Name:      "match",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 16,
+					Body: append([]compiler.Stmt{
+						affLoad("tok", "sent", 8, 8),
+						{Kind: compiler.SAdd, Dst: "m", A: "m", B: "tok"},
+					}, intChain("s", 12)...),
+					Inits: []compiler.Init{
+						{Temp: "m", IsImm: true, Imm: 0},
+						{Temp: "s", IsImm: true, Imm: 0},
+					},
+				},
+			},
+		}},
+	}
+	return Benchmark{
+		Name: "parser", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "small pointer-chasing gain (Table 2: 1 direct, 2 pointer)",
+	}
+}
+
+// gap: misses exist (DEAR events fire on L3-latency loads) but long
+// dependent computation chains already hide the latency, so the inserted
+// prefetches buy ~nothing.
+func gap(scale float64) Benchmark {
+	loop := func(name, array string, chain int) *compiler.Loop {
+		return &compiler.Loop{
+			Name:      name,
+			NoSWP:     true,
+			OuterTrip: 1,
+			InnerTrip: 1 << 15,
+			Body: append([]compiler.Stmt{
+				affLoad("v", array, 8, 8),
+				{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "v"},
+			}, intChain("c", chain)...),
+			Inits: []compiler.Init{
+				{Temp: "acc", IsImm: true, Imm: 0},
+				{Temp: "c", IsImm: true, Imm: 0},
+			},
+		}
+	}
+	k := &compiler.Kernel{
+		Name: "gap",
+		Arrays: []compiler.Array{
+			{Name: "bag1", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "bag2", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 5}},
+			{Name: "bag3", Elem: 8, N: 1 << 17, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 7}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "collect1", Repeat: scaleRepeat(14, scale), Loops: []*compiler.Loop{loop("sweep1", "bag1", 16)}},
+			{Name: "collect2", Repeat: scaleRepeat(14, scale), Loops: []*compiler.Loop{loop("sweep2", "bag2", 16)}},
+			{Name: "collect3", Repeat: scaleRepeat(14, scale), Loops: []*compiler.Loop{loop("sweep3", "bag3", 16)}},
+		},
+	}
+	return Benchmark{
+		Name: "gap", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "prefetches inserted but latency already hidden by computation; ~no gain",
+	}
+}
+
+// vortex: modest database-like loops; the paper attributes part of its
+// small +2% to improved I-cache locality from trace layout.
+func vortex(scale float64) Benchmark {
+	k := &compiler.Kernel{
+		Name: "vortex",
+		Arrays: []compiler.Array{
+			{Name: "objs", Elem: 8, N: 1 << 15, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 9}},
+			{Name: "index", Elem: 8, N: 1 << 15, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 4}},
+		},
+		Phases: []compiler.Phase{
+			{
+				Name:   "lookup",
+				Repeat: scaleRepeat(16, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "scan-objs",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 16,
+					Body: append([]compiler.Stmt{
+						affLoad("o", "objs", 8, 8),
+						{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "o"},
+					}, intChain("k", 16)...),
+					Inits: []compiler.Init{
+						{Temp: "acc", IsImm: true, Imm: 0},
+						{Temp: "k", IsImm: true, Imm: 0},
+					},
+				}},
+			},
+			{
+				Name:   "update",
+				Repeat: scaleRepeat(12, scale),
+				Loops: []*compiler.Loop{{
+					Name:      "scan-index",
+					NoSWP:     true,
+					OuterTrip: 1,
+					InnerTrip: 1 << 15,
+					Body: append([]compiler.Stmt{
+						affLoad("e", "index", 8, 8),
+						{Kind: compiler.SAddImm, Dst: "e2", A: "e", Imm: 3},
+						{Kind: compiler.SStoreInt, A: "e2", Size: 8,
+							Ref: &compiler.Ref{Kind: compiler.RefAffine, Array: "index", InnerStride: 8}},
+					}, intChain("k", 14)...),
+					Inits: []compiler.Init{{Temp: "k", IsImm: true, Imm: 0}},
+				}},
+			},
+		},
+	}
+	return Benchmark{
+		Name: "vortex", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "small gain, partly from I-cache effects of trace layout",
+	}
+}
+
+// gcc: many distinct hot regions and rapid phase changes. Phases are short
+// relative to the profile window, so the detector churns; the sampling
+// overhead plus I-cache pressure from duplicated traces produce a small
+// net loss (the paper measures -3.8%).
+func gcc(scale float64) Benchmark {
+	mkLoop := func(name, array string, bodyPad int) *compiler.Loop {
+		body := []compiler.Stmt{
+			affLoad("v", array, 8, 8),
+			{Kind: compiler.SAdd, Dst: "acc", A: "acc", B: "v"},
+		}
+		// Wide bodies: gcc's hot code footprint is large, stressing the
+		// I-cache when traces duplicate it.
+		for i := 0; i < bodyPad; i++ {
+			dst := "t" + string(rune('a'+i%8))
+			body = append(body, compiler.Stmt{Kind: compiler.SAddImm, Dst: dst, A: dst, Imm: int64(i + 1)})
+		}
+		inits := []compiler.Init{{Temp: "acc", IsImm: true, Imm: 0}}
+		for i := 0; i < 8 && i < bodyPad; i++ {
+			inits = append(inits, compiler.Init{Temp: "t" + string(rune('a'+i)), IsImm: true, Imm: 0})
+		}
+		return &compiler.Loop{
+			Name: name, NoSWP: true, OuterTrip: 1, InnerTrip: 1 << 13,
+			Body: body, Inits: inits,
+		}
+	}
+	k := &compiler.Kernel{
+		Name: "gcc",
+		Arrays: []compiler.Array{
+			{Name: "rtl1", Elem: 8, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 3}},
+			{Name: "rtl2", Elem: 8, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 5}},
+			{Name: "rtl3", Elem: 8, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 7}},
+			{Name: "rtl4", Elem: 8, N: 1 << 16, Init: compiler.InitSpec{Kind: compiler.InitLinear, Mult: 9}},
+		},
+		Phases: []compiler.Phase{
+			{Name: "pass1", Repeat: scaleRepeat(18, scale), Loops: []*compiler.Loop{
+				mkLoop("cse", "rtl1", 36), mkLoop("jump", "rtl2", 36),
+			}},
+			{Name: "pass2", Repeat: scaleRepeat(18, scale), Loops: []*compiler.Loop{
+				mkLoop("loop-opt", "rtl3", 36), mkLoop("regalloc", "rtl4", 36),
+			}},
+			{Name: "pass3", Repeat: scaleRepeat(18, scale), Loops: []*compiler.Loop{
+				mkLoop("sched", "rtl1", 36), mkLoop("final", "rtl3", 36),
+			}},
+		},
+	}
+	return Benchmark{
+		Name: "gcc", Class: INT, Kernel: withSetup(k, 5),
+		PaperNote: "rapid phase changes; I-cache pressure and sampling overhead cause a small loss",
+	}
+}

@@ -1,0 +1,106 @@
+package adore
+
+import "repro/internal/compiler"
+
+// Statement kinds of the kernel IR, re-exported for composite literals.
+const (
+	SLoadInt    = compiler.SLoadInt
+	SLoadFloat  = compiler.SLoadFloat
+	SStoreInt   = compiler.SStoreInt
+	SStoreFloat = compiler.SStoreFloat
+	SAddImm     = compiler.SAddImm
+	SAdd        = compiler.SAdd
+	SAnd        = compiler.SAnd
+	SXor        = compiler.SXor
+	SShl        = compiler.SShl
+	SFAdd       = compiler.SFAdd
+	SFMul       = compiler.SFMul
+	SFSub       = compiler.SFSub
+	SFMA        = compiler.SFMA
+	SCvtFI      = compiler.SCvtFI
+	SCvtIF      = compiler.SCvtIF
+	SGetSig     = compiler.SGetSig
+)
+
+// Reference kinds, re-exported.
+const (
+	RefAffine   = compiler.RefAffine
+	RefIndirect = compiler.RefIndirect
+	RefPointer  = compiler.RefPointer
+)
+
+// InitLinear initializes array element i to i*mult + add.
+func InitLinear(mult, add int64) compiler.InitSpec {
+	return compiler.InitSpec{Kind: compiler.InitLinear, Mult: mult, Add: add}
+}
+
+// InitLinearMod initializes element i to (i*mult + add) mod m — the usual
+// shape for index arrays feeding indirect references.
+func InitLinearMod(mult, add, m int64) compiler.InitSpec {
+	return compiler.InitSpec{Kind: compiler.InitLinear, Mult: mult, Add: add, Mod: m}
+}
+
+// InitChain builds a linked structure of nodeSize-byte nodes whose next
+// pointer lives at nextOff; shufflePct percent of the links are redirected
+// pseudo-randomly (0 = fully regular traversal).
+func InitChain(nodeSize, nextOff int64, shufflePct int, seed uint64) compiler.InitSpec {
+	return compiler.InitSpec{
+		Kind: compiler.InitChain, NodeSize: nodeSize, NextOff: nextOff,
+		ShufflePct: shufflePct, Seed: seed,
+	}
+}
+
+// Load reads size bytes from array with the given per-iteration stride.
+func Load(dst, array string, stride int64, size int) Stmt {
+	return Stmt{Kind: SLoadInt, Dst: dst, Size: size,
+		Ref: &Ref{Kind: RefAffine, Array: array, InnerStride: stride}}
+}
+
+// LoadF reads a double from array with the given stride.
+func LoadF(dst, array string, stride int64) Stmt {
+	return Stmt{Kind: SLoadFloat, Dst: dst,
+		Ref: &Ref{Kind: RefAffine, Array: array, InnerStride: stride}}
+}
+
+// LoadFAt is LoadF with a starting byte offset (staggering de-aligns the
+// line crossings of concurrently streamed arrays).
+func LoadFAt(dst, array string, stride, offset int64) Stmt {
+	return Stmt{Kind: SLoadFloat, Dst: dst,
+		Ref: &Ref{Kind: RefAffine, Array: array, InnerStride: stride, Offset: offset}}
+}
+
+// Store writes size bytes of src to array with the given stride.
+func Store(src, array string, stride int64, size int) Stmt {
+	return Stmt{Kind: SStoreInt, A: src, Size: size,
+		Ref: &Ref{Kind: RefAffine, Array: array, InnerStride: stride}}
+}
+
+// StoreF writes the double src to array with the given stride.
+func StoreF(src, array string, stride int64) Stmt {
+	return Stmt{Kind: SStoreFloat, A: src,
+		Ref: &Ref{Kind: RefAffine, Array: array, InnerStride: stride}}
+}
+
+// Gather reads size bytes from array[idxTemp], scaling the index by scale
+// bytes — the indirect reference pattern (Fig. 5B).
+func Gather(dst, array, idxTemp string, scale int64, size int) Stmt {
+	return Stmt{Kind: SLoadInt, Dst: dst, Size: size,
+		Ref: &Ref{Kind: RefIndirect, Array: array, IndexTemp: idxTemp, Scale: scale}}
+}
+
+// LoadPtr reads 8 bytes from *(ptrTemp + off) — the pointer-chasing
+// pattern (Fig. 5C) when the result feeds ptrTemp again.
+func LoadPtr(dst, ptrTemp string, off int64) Stmt {
+	return Stmt{Kind: SLoadInt, Dst: dst, Size: 8,
+		Ref: &Ref{Kind: RefPointer, PtrTemp: ptrTemp, Offset: off}}
+}
+
+// InitPtr sets a loop-carried temp to &array + offset before the loop.
+func InitPtr(temp, array string, offset int64) compiler.Init {
+	return compiler.Init{Temp: temp, Array: array, Offset: offset}
+}
+
+// InitImm sets a loop-carried temp to an immediate before the loop.
+func InitImm(temp string, v int64) compiler.Init {
+	return compiler.Init{Temp: temp, IsImm: true, Imm: v}
+}
