@@ -25,6 +25,8 @@
 package adore
 
 import (
+	"context"
+
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -95,6 +97,26 @@ type (
 	Fig11Result  = harness.Fig11Result
 )
 
+// The concurrent experiment engine. Every run is hermetic, so sweeps
+// parallelize freely: set ExpConfig.Engine (or pass -j to cmd/adore-bench)
+// to run the paper's sweeps on a worker pool with a shared build cache.
+type (
+	// Engine schedules experiment jobs on a bounded worker pool and
+	// deduplicates compiles through a single-flight build cache.
+	Engine = harness.Engine
+	// EngineConfig sizes the engine: Parallelism (0 = GOMAXPROCS,
+	// 1 = serial) and an optional progress callback.
+	EngineConfig = harness.EngineConfig
+	// EngineProgress is one live job start/finish event.
+	EngineProgress = harness.Progress
+	// EngineJob pairs a compile spec with one run configuration.
+	EngineJob = harness.Job
+	// EngineCompileSpec names one cached compilation unit.
+	EngineCompileSpec = harness.CompileSpec
+	// EngineBuildCache is the single-flight compile cache.
+	EngineBuildCache = harness.BuildCache
+)
+
 // O2 and O3 are the compilation levels of the evaluation.
 const (
 	O2 = compiler.O2
@@ -135,6 +157,16 @@ func WithADORE(rc RunConfig) RunConfig {
 
 // Run executes a compiled workload.
 func Run(b *Build, rc RunConfig) (*Result, error) { return harness.Run(b, rc) }
+
+// RunContext is Run with cancellation threaded through the simulator: the
+// CPU polls ctx between bundles, so long simulations stop promptly.
+func RunContext(ctx context.Context, b *Build, rc RunConfig) (*Result, error) {
+	return harness.RunContext(ctx, b, rc)
+}
+
+// NewEngine creates a concurrent experiment engine. Share one engine
+// across sweeps to share its build cache.
+func NewEngine(cfg EngineConfig) *Engine { return harness.NewEngine(cfg) }
 
 // Speedup returns base/test - 1 (positive: test is faster).
 func Speedup(baseCycles, testCycles uint64) float64 {

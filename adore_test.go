@@ -1,6 +1,7 @@
 package adore
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -96,8 +97,9 @@ func TestFacadeSpeedup(t *testing.T) {
 	if got := Speedup(100, 200); got != -0.5 {
 		t.Fatalf("Speedup(100,200) = %v", got)
 	}
-	if got := Speedup(100, 0); got != 0 {
-		t.Fatalf("Speedup(100,0) = %v", got)
+	// Zero test cycles is a broken run and reads as NaN, not 0%.
+	if got := Speedup(100, 0); !math.IsNaN(got) {
+		t.Fatalf("Speedup(100,0) = %v, want NaN", got)
 	}
 }
 

@@ -58,6 +58,36 @@ func BenchmarkFig7b(b *testing.B) {
 	}
 }
 
+// benchFig7AtParallelism runs the Fig. 7(a) sweep on an engine of the given
+// width. A fresh engine (and thus a cold build cache) per iteration keeps
+// iterations comparable.
+func benchFig7AtParallelism(b *testing.B, workers int) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("long: full 17-benchmark sweep")
+	}
+	cfg := benchExpConfig()
+	for i := 0; i < b.N; i++ {
+		cfg.Engine = harness.NewEngine(harness.EngineConfig{Parallelism: workers})
+		res, err := harness.RunFig7(cfg, compiler.O2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkFig7Serial pins the engine to one worker — the baseline for
+// BenchmarkFig7Parallel.
+func BenchmarkFig7Serial(b *testing.B) { benchFig7AtParallelism(b, 1) }
+
+// BenchmarkFig7Parallel runs the same sweep with one worker per core; the
+// ratio against BenchmarkFig7Serial tracks the engine's wall-clock win in
+// the perf trajectory.
+func BenchmarkFig7Parallel(b *testing.B) { benchFig7AtParallelism(b, 0) }
+
 // BenchmarkTable1 regenerates the profile-guided static prefetching table.
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {

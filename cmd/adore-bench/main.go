@@ -2,19 +2,25 @@
 //
 // Usage:
 //
-//	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|all] [-scale 1.0]
+//	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|all] [-scale 1.0] [-j 0] [-json]
 //
 // Each experiment prints the same rows/series the paper reports; see
-// EXPERIMENTS.md for the paper-vs-measured comparison.
+// EXPERIMENTS.md for the paper-vs-measured comparison. Sweeps run on the
+// experiment engine: -j sets the worker-pool width (0 = all cores,
+// 1 = serial), one build cache is shared across all selected experiments,
+// and ^C cancels in-flight simulations cleanly.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/compiler"
 	"repro/internal/harness"
 )
@@ -22,72 +28,105 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full runs)")
+	jobs := flag.Int("j", 0, "parallel jobs (0 = one per core, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	progress := flag.Bool("progress", true, "print live per-job progress to stderr")
 	flag.Parse()
+
+	ctx := cli.Context()
+
+	var jobsDone atomic.Int64
+	onProgress := func(p harness.Progress) {
+		if !*progress {
+			return
+		}
+		if p.Done && p.Err == nil {
+			fmt.Fprintf(os.Stderr, "  [%3d done] %s %s (%d/%d)\n",
+				jobsDone.Add(1), p.Sweep, p.Job, p.Index+1, p.Total)
+		}
+	}
+	eng := harness.NewEngine(harness.EngineConfig{Parallelism: *jobs, OnProgress: onProgress})
 
 	cfg := harness.DefaultExpConfig()
 	cfg.Scale = *scale
+	cfg.Engine = eng
 
+	start := time.Now()
 	results := map[string]any{}
-	run := func(name string, f func() (renderer, error)) {
+	elapsed := map[string]float64{}
+	matched := 0
+	run := func(name string, f func(context.Context) (renderer, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		start := time.Now()
-		out, err := f()
+		matched++
+		expStart := time.Now()
+		out, err := f(ctx)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			cli.Fatal(fmt.Errorf("%s: %w", name, err))
 		}
+		elapsed[name] = time.Since(expStart).Seconds()
 		if *jsonOut {
 			results[name] = out
 			return
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(start).Seconds(), out.Render())
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, elapsed[name], out.Render())
 	}
-	defer func() {
-		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(results); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-	}()
 
-	run("fig7a", func() (renderer, error) {
-		r, err := harness.RunFig7(cfg, compiler.O2)
+	run("fig7a", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunFig7Context(ctx, cfg, compiler.O2)
 		return r, err
 	})
-	run("fig7b", func() (renderer, error) {
-		r, err := harness.RunFig7(cfg, compiler.O3)
+	run("fig7b", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunFig7Context(ctx, cfg, compiler.O3)
 		return r, err
 	})
-	run("table1", func() (renderer, error) {
-		r, err := harness.RunTable1(cfg)
+	run("table1", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunTable1Context(ctx, cfg)
 		return r, err
 	})
-	run("table2", func() (renderer, error) {
-		r, err := harness.RunTable2(cfg)
+	run("table2", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunTable2Context(ctx, cfg)
 		return r, err
 	})
-	run("fig8", func() (renderer, error) {
-		r, err := harness.RunSeries(cfg, "art")
+	run("fig8", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunSeriesContext(ctx, cfg, "art")
 		return r, err
 	})
-	run("fig9", func() (renderer, error) {
-		r, err := harness.RunSeries(cfg, "mcf")
+	run("fig9", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunSeriesContext(ctx, cfg, "mcf")
 		return r, err
 	})
-	run("fig10", func() (renderer, error) {
-		r, err := harness.RunFig10(cfg)
+	run("fig10", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunFig10Context(ctx, cfg)
 		return r, err
 	})
-	run("fig11", func() (renderer, error) {
-		r, err := harness.RunFig11(cfg)
+	run("fig11", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunFig11Context(ctx, cfg)
 		return r, err
 	})
+
+	if matched == 0 {
+		cli.Fatal(fmt.Errorf("unknown experiment %q (want fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 all)", *exp))
+	}
+
+	hits, misses := eng.Cache().Stats()
+	if *jsonOut {
+		results["_meta"] = map[string]any{
+			"scale":            *scale,
+			"parallelism":      eng.Parallelism(),
+			"build_cache_hits": hits,
+			"build_cache_miss": misses,
+			"elapsed_seconds":  elapsed,
+			"total_seconds":    time.Since(start).Seconds(),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		cli.Fatal(enc.Encode(results))
+		return
+	}
+	fmt.Printf("engine: %d workers, %d compiles (%d reused from cache), %.1fs total\n",
+		eng.Parallelism(), misses, hits, time.Since(start).Seconds())
 }
 
 // renderer is any experiment result that can print itself as text.

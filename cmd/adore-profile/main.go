@@ -10,11 +10,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 
 	"repro"
+	"repro/cmd/internal/cli"
 	"repro/internal/harness"
 	"repro/internal/workloads"
 )
@@ -31,7 +31,7 @@ func main() {
 
 	rc := adore.RunOptions()
 	rc.Core = adore.DefaultConfig()
-	pr, err := harness.RunProfiled(build, rc)
+	pr, err := harness.RunProfiledContext(cli.Context(), build, rc)
 	fatal(err)
 
 	type agg struct {
@@ -74,9 +74,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func fatal(err error) { cli.Fatal(err) }

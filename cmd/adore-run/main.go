@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/cmd/internal/cli"
 	"repro/internal/program"
 	"repro/internal/workloads"
 )
@@ -61,7 +62,7 @@ func main() {
 		rc.Core = adore.DefaultConfig()
 	}
 	rc.RecordSeries = *series
-	res, err := adore.Run(build, rc)
+	res, err := adore.RunContext(cli.Context(), build, rc)
 	fatal(err)
 
 	fmt.Printf("%s (%s, %s%s%s):\n", bench.Name, bench.Class, opts.Level,
@@ -97,9 +98,4 @@ func flagStr(on bool, s string) string {
 	return ""
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func fatal(err error) { cli.Fatal(err) }

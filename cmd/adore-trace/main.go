@@ -10,10 +10,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
 	"repro"
+	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/isa"
@@ -60,7 +60,7 @@ func main() {
 			res.Direct, res.Indirect, res.Pointer, res.Failures, res.Skipped)
 	}
 	ctrl.Attach(m)
-	st, err := m.Run(5_000_000_000)
+	st, err := m.RunContext(cli.Context(), 5_000_000_000)
 	fatal(err)
 
 	fmt.Printf("\nrun: %d cycles, %d instructions (CPI %.3f)\n", st.Cycles, st.Retired, st.CPI())
@@ -80,9 +80,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
+func fatal(err error) { cli.Fatal(err) }

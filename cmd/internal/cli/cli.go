@@ -1,0 +1,39 @@
+// Package cli is the shared wiring of the adore-* command-line tools: a
+// signal-aware root context so ^C cancels in-flight simulations cleanly,
+// and uniform fatal-error handling.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Context returns a context cancelled by SIGINT or SIGTERM. The signal
+// handler is released after the first signal, so a second ^C kills the
+// process the default way if a tool is slow to wind down.
+func Context() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx
+}
+
+// Fatal prints err and exits non-zero; a nil err is a no-op. Cancellation
+// exits with the shell's SIGINT convention (130) so scripts can tell an
+// interrupted sweep from a failed one.
+func Fatal(err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "error:", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
@@ -59,6 +60,28 @@ type Options struct {
 // runtime prefetching (no SWP, registers reserved).
 func DefaultOptions() Options {
 	return Options{Level: O2, SWP: false, ReserveRegs: true, MemLatency: 160, CodeBase: 0x1000, LoopAlign: 1024}
+}
+
+// Fingerprint returns a deterministic key covering every option that can
+// change generated code — the build-cache component of the harness engine's
+// cache keys. PrefetchLoops is rendered as its sorted kept-loop IDs, so two
+// maps with equal content fingerprint identically regardless of insertion
+// order; nil (prefetch everything O3 wants) is distinct from an empty map
+// (prefetch nothing).
+func (o Options) Fingerprint() string {
+	pf := "all"
+	if o.PrefetchLoops != nil {
+		ids := make([]int, 0, len(o.PrefetchLoops))
+		for id, keep := range o.PrefetchLoops {
+			if keep {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		pf = fmt.Sprint(ids)
+	}
+	return fmt.Sprintf("%s|swp=%t|rsv=%t|lat=%d|base=%#x|align=%d|pf=%s",
+		o.Level, o.SWP, o.ReserveRegs, o.MemLatency, o.CodeBase, o.LoopAlign, pf)
 }
 
 // BuildResult is the compiler output plus the statistics Table 1 reports.

@@ -1,0 +1,43 @@
+package compiler
+
+import "testing"
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := DefaultOptions()
+
+	// Every code-shaping knob must move the fingerprint.
+	variants := map[string]func(*Options){
+		"level":   func(o *Options) { o.Level = O3 },
+		"swp":     func(o *Options) { o.SWP = true },
+		"reserve": func(o *Options) { o.ReserveRegs = false },
+		"latency": func(o *Options) { o.MemLatency = 200 },
+		"base":    func(o *Options) { o.CodeBase = 0x2000 },
+		"align":   func(o *Options) { o.LoopAlign = 2048 },
+		"pf-nil-vs-empty": func(o *Options) {
+			o.PrefetchLoops = map[int]bool{}
+		},
+		"pf-set": func(o *Options) {
+			o.PrefetchLoops = map[int]bool{1: true, 3: true}
+		},
+	}
+	seen := map[string]string{base.Fingerprint(): "default"}
+	for name, mutate := range variants {
+		o := base
+		mutate(&o)
+		fp := o.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s fingerprints identically to %s: %q", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+
+	// Equal PrefetchLoops content fingerprints identically regardless of
+	// construction order, and false entries do not count.
+	a, b := base, base
+	a.PrefetchLoops = map[int]bool{5: true, 2: true, 9: true}
+	b.PrefetchLoops = map[int]bool{9: true, 5: true, 2: true, 7: false}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("equivalent PrefetchLoops fingerprint differently:\n  %q\n  %q",
+			a.Fingerprint(), b.Fingerprint())
+	}
+}

@@ -11,6 +11,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -171,11 +172,37 @@ func (c *CPU) chargeBundle() {
 	c.bundlesUsed++
 }
 
+// ctxCheckEvery is how many bundles the run loop executes between context
+// polls: frequent enough to stop a multi-billion-cycle simulation promptly,
+// rare enough that the check costs nothing against the interpreter.
+const ctxCheckEvery = 1 << 14
+
 // Run executes until halt or until maxInstructions retire (0 = unlimited).
 func (c *CPU) Run(maxInstructions uint64) (Stats, error) {
+	return c.RunContext(context.Background(), maxInstructions)
+}
+
+// RunContext is Run with cancellation: ctx is polled every ctxCheckEvery
+// bundles, alongside the maxInstructions safety stop, and its error is
+// returned if it fires mid-run. A context that can never be cancelled adds
+// no per-bundle cost.
+func (c *CPU) RunContext(ctx context.Context, maxInstructions uint64) (Stats, error) {
+	done := ctx.Done()
+	sinceCheck := 0
 	for !c.halted {
 		if maxInstructions > 0 && c.Stats.Retired >= maxInstructions {
 			break
+		}
+		if done != nil {
+			if sinceCheck--; sinceCheck < 0 {
+				sinceCheck = ctxCheckEvery
+				select {
+				case <-done:
+					c.Stats.Cycles = c.cycle
+					return c.Stats, ctx.Err()
+				default:
+				}
+			}
 		}
 		if err := c.step(); err != nil {
 			return c.Stats, err

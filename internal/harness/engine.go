@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compiler"
+)
+
+// The experiment engine: the paper's evaluation sweeps 17 benchmarks ×
+// {O2, O3} × {base, ADORE}, and every run is hermetic (private code-segment
+// copy, private memory, private hierarchy — see RunContext), so the sweeps
+// are embarrassingly parallel. The engine schedules (compile, run) jobs on
+// a bounded worker pool, deduplicates compiles through a single-flight
+// build cache, and slots results by job index so output is deterministic
+// regardless of completion order.
+
+// Progress is one live event from an engine sweep, emitted when a job
+// starts (Done false) and when it finishes (Done true).
+type Progress struct {
+	Sweep string // driver label ("fig7/O2", "table1", ...)
+	Job   string // unit label ("mcf/adore")
+	Index int    // job index within the sweep
+	Total int    // jobs in the sweep
+	Done  bool
+	Err   error // non-nil on a finished, failed job
+}
+
+// EngineConfig sizes the experiment engine.
+type EngineConfig struct {
+	// Parallelism is the worker-pool width: 1 serializes, 0 uses
+	// GOMAXPROCS. The cmd tools' -j flag maps straight onto it.
+	Parallelism int
+
+	// OnProgress, when set, observes every job start and finish. It is
+	// invoked from worker goroutines and must be safe for concurrent use.
+	OnProgress func(Progress)
+}
+
+// Engine runs experiment jobs on a worker pool with a shared build cache.
+// Error handling follows errgroup semantics: the first failure cancels the
+// sweep's context, undispatched jobs are abandoned, and that first error is
+// what the sweep returns.
+type Engine struct {
+	cfg   EngineConfig
+	cache *BuildCache
+}
+
+// NewEngine creates an engine with a fresh build cache. Share one engine
+// across sweeps (as cmd/adore-bench does) to share its cache: Fig. 7(a),
+// Table 1 and Fig. 11 all compile the same O2 kernels.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{cfg: cfg, cache: NewBuildCache()}
+}
+
+// Parallelism returns the effective worker count.
+func (e *Engine) Parallelism() int {
+	if e.cfg.Parallelism > 0 {
+		return e.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Cache exposes the engine's shared build cache (for its hit counters).
+func (e *Engine) Cache() *BuildCache { return e.cache }
+
+func (e *Engine) report(p Progress) {
+	if e.cfg.OnProgress != nil {
+		e.cfg.OnProgress(p)
+	}
+}
+
+// Map runs fn(i) for every i in [0, n) on the worker pool. Callers slot
+// results into their own output by index, so result order is deterministic
+// regardless of completion order. The first error cancels the context
+// passed to the remaining jobs, stops dispatch, and is returned.
+func (e *Engine) Map(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := e.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// CompileSpec names one compilation unit for the build cache. Name must
+// encode everything that shapes the kernel itself (for the experiment
+// drivers: benchmark name and workload scale); Options covers the rest via
+// its fingerprint.
+type CompileSpec struct {
+	Name    string
+	Kernel  *compiler.Kernel
+	Options compiler.Options
+}
+
+// Key returns the build-cache key for the spec.
+func (s CompileSpec) Key() string { return s.Name + "|" + s.Options.Fingerprint() }
+
+// Job pairs a compilation with one run of its result — the unit the engine
+// schedules.
+type Job struct {
+	Name    string // display label for progress output
+	Compile CompileSpec
+	Config  RunConfig
+}
+
+// RunJobs executes the jobs on the worker pool and returns their results
+// slotted by index: out[i] belongs to jobs[i] no matter which finished
+// first. Jobs naming the same compile spec share one compile through the
+// build cache.
+func (e *Engine) RunJobs(ctx context.Context, sweep string, jobs []Job) ([]*RunResult, error) {
+	out := make([]*RunResult, len(jobs))
+	err := e.Map(ctx, len(jobs), func(ctx context.Context, i int) error {
+		j := &jobs[i]
+		e.report(Progress{Sweep: sweep, Job: j.Name, Index: i, Total: len(jobs)})
+		build, err := e.cache.Build(j.Compile)
+		if err == nil {
+			out[i], err = RunContext(ctx, build, j.Config)
+		}
+		e.report(Progress{Sweep: sweep, Job: j.Name, Index: i, Total: len(jobs), Done: true, Err: err})
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.Name, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BuildCache is a single-flight cache of compiler builds keyed by
+// CompileSpec.Key. Sharing one BuildResult between concurrent runs is safe
+// because runs copy the code segment and never mutate the image.
+type BuildCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once build/err are set
+	build *compiler.BuildResult
+	err   error
+}
+
+// NewBuildCache returns an empty cache.
+func NewBuildCache() *BuildCache {
+	return &BuildCache{entries: map[string]*cacheEntry{}}
+}
+
+// Build returns the build for spec, compiling at most once per key no
+// matter how many goroutines ask concurrently: latecomers block until the
+// first caller's compile finishes and share its result (and error).
+func (c *BuildCache) Build(spec CompileSpec) (*compiler.BuildResult, error) {
+	key := spec.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.build, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.build, e.err = compiler.Build(spec.Kernel, spec.Options)
+	close(e.ready)
+	return e.build, e.err
+}
+
+// Stats reports cache effectiveness: hits are requests served by an
+// existing or in-flight compile, misses are actual compiles.
+func (c *BuildCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

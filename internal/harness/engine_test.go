@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/workloads"
+)
+
+func TestEngineMapSlotsResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(EngineConfig{Parallelism: workers})
+		const n = 32
+		out := make([]int, n)
+		err := e.Map(context.Background(), n, func(_ context.Context, i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, out[i])
+			}
+		}
+	}
+}
+
+func TestEngineMapFirstErrorCancelsRest(t *testing.T) {
+	e := NewEngine(EngineConfig{Parallelism: 2})
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := e.Map(context.Background(), 1000, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		time.Sleep(200 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("error did not stop job dispatch")
+	}
+}
+
+func TestEngineMapHonorsParentCancellation(t *testing.T) {
+	e := NewEngine(EngineConfig{Parallelism: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.Map(ctx, 10, func(context.Context, int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var starts, dones int
+	e := NewEngine(EngineConfig{Parallelism: 2, OnProgress: func(p Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p.Done {
+			dones++
+		} else {
+			starts++
+		}
+		if p.Total != 2 || p.Sweep != "test" {
+			t.Errorf("bad progress event %+v", p)
+		}
+	}})
+	b, err := workloads.ByName("mcf", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := benchSpec(b, 0.02, compiler.O2)
+	jobs := []Job{
+		{Name: "mcf/a", Compile: sp, Config: DefaultRunConfig()},
+		{Name: "mcf/b", Compile: sp, Config: DefaultRunConfig()},
+	}
+	if _, err := e.RunJobs(context.Background(), "test", jobs); err != nil {
+		t.Fatal(err)
+	}
+	if starts != 2 || dones != 2 {
+		t.Fatalf("starts=%d dones=%d, want 2/2", starts, dones)
+	}
+}
+
+// TestBuildCacheSingleFlight proves the cache compiles once per key no
+// matter how many goroutines race on it, and that distinct options miss
+// separately.
+func TestBuildCacheSingleFlight(t *testing.T) {
+	b, err := workloads.ByName("mcf", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewBuildCache()
+	sp := benchSpec(b, 0.02, compiler.O2)
+
+	const callers = 8
+	builds := make([]*compiler.BuildResult, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			br, err := c.Build(sp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			builds[i] = br
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if builds[i] != builds[0] {
+			t.Fatalf("caller %d got a different build", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("hits=%d misses=%d, want %d/1", hits, misses, callers-1)
+	}
+
+	// A different optimization level is a different key.
+	if _, err := c.Build(benchSpec(b, 0.02, compiler.O3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Fatalf("misses after O3 = %d, want 2", misses)
+	}
+	// Same spec again: pure hit.
+	if _, err := c.Build(sp); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := c.Stats(); hits != callers {
+		t.Fatalf("hits after re-ask = %d, want %d", hits, callers)
+	}
+}
+
+// TestRunJobsSharesCompiles asserts the Fig. 7 job shape — two runs per
+// benchmark over one compile — really does hit the cache.
+func TestRunJobsSharesCompiles(t *testing.T) {
+	b, err := workloads.ByName("gzip", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{Parallelism: 2})
+	sp := benchSpec(b, 0.05, compiler.O2)
+	adore := DefaultRunConfig()
+	adore.ADORE = true
+	runs, err := e.RunJobs(context.Background(), "test", []Job{
+		{Name: "gzip/base", Compile: sp, Config: DefaultRunConfig()},
+		{Name: "gzip/adore", Compile: sp, Config: adore},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs[0] == nil || runs[1] == nil {
+		t.Fatal("missing results")
+	}
+	if runs[0].Core != nil || runs[1].Core == nil {
+		t.Fatal("results not slotted by index: base/adore swapped")
+	}
+	hits, misses := e.Cache().Stats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestRunContextCancellation proves cancellation reaches the CPU loop: a
+// pre-cancelled context stops the run before it simulates anything.
+func TestRunContextCancellation(t *testing.T) {
+	b, err := workloads.ByName("mcf", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := compiler.Build(b.Kernel, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, build, DefaultRunConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelMidRun cancels a run already in flight and expects it
+// to stop long before the workload would finish.
+func TestRunContextCancelMidRun(t *testing.T) {
+	b, err := workloads.ByName("mcf", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := compiler.Build(b.Kernel, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, build, DefaultRunConfig())
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

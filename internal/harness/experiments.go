@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -14,6 +16,11 @@ import (
 type ExpConfig struct {
 	Scale float64     // workload scale factor (1.0 = full runs)
 	Core  core.Config // ADORE configuration
+
+	// Engine schedules the sweep's jobs. Nil uses a fresh default engine
+	// (GOMAXPROCS workers, no progress output); share one engine across
+	// sweeps to also share its build cache.
+	Engine *Engine
 }
 
 // DefaultExpConfig runs the full-scale experiments.
@@ -21,11 +28,25 @@ func DefaultExpConfig() ExpConfig {
 	return ExpConfig{Scale: 1.0, Core: core.DefaultConfig()}
 }
 
-// compile builds one benchmark under the standard experiment settings.
-func compile(b workloads.Benchmark, level compiler.OptLevel) (*compiler.BuildResult, error) {
-	opts := compiler.DefaultOptions() // restricted: no SWP, registers reserved
+func (c ExpConfig) engine() *Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return NewEngine(EngineConfig{})
+}
+
+// benchSpec is the cache-keyed compile spec for one benchmark under the
+// standard experiment settings (restricted: no SWP, registers reserved).
+// The key carries the workload scale — the same benchmark at two scales is
+// two different kernels.
+func benchSpec(b workloads.Benchmark, scale float64, level compiler.OptLevel) CompileSpec {
+	opts := compiler.DefaultOptions()
 	opts.Level = level
-	return compiler.Build(b.Kernel, opts)
+	return CompileSpec{
+		Name:    fmt.Sprintf("%s@%g", b.Name, scale),
+		Kernel:  b.Kernel,
+		Options: opts,
+	}
 }
 
 // SpeedupRow is one bar of Fig. 7.
@@ -46,23 +67,32 @@ type Fig7Result struct {
 // RunFig7 reproduces Fig. 7: speedup of runtime prefetching over the plain
 // binary at the given optimization level, across the 17 benchmarks.
 func RunFig7(cfg ExpConfig, level compiler.OptLevel) (*Fig7Result, error) {
+	return RunFig7Context(context.Background(), cfg, level)
+}
+
+// RunFig7Context is RunFig7 on the engine: each benchmark contributes a
+// base job and an ADORE job (sharing one compile through the build cache),
+// and rows keep the workloads.All order whatever the completion order.
+func RunFig7Context(ctx context.Context, cfg ExpConfig, level compiler.OptLevel) (*Fig7Result, error) {
+	benches := workloads.All(cfg.Scale)
+	jobs := make([]Job, 0, 2*len(benches))
+	for _, b := range benches {
+		sp := benchSpec(b, cfg.Scale, level)
+		adore := DefaultRunConfig()
+		adore.ADORE = true
+		adore.Core = cfg.Core
+		jobs = append(jobs,
+			Job{Name: b.Name + "/base", Compile: sp, Config: DefaultRunConfig()},
+			Job{Name: b.Name + "/adore", Compile: sp, Config: adore},
+		)
+	}
+	runs, err := cfg.engine().RunJobs(ctx, "fig7/"+level.String(), jobs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig7Result{Level: level}
-	for _, b := range workloads.All(cfg.Scale) {
-		build, err := compile(b, level)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		rc := DefaultRunConfig()
-		base, err := Run(build, rc)
-		if err != nil {
-			return nil, err
-		}
-		rc.ADORE = true
-		rc.Core = cfg.Core
-		adore, err := Run(build, rc)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range benches {
+		base, adore := runs[2*i], runs[2*i+1]
 		res.Rows = append(res.Rows, SpeedupRow{
 			Name:    b.Name,
 			Base:    base.CPU.Cycles,
@@ -86,13 +116,24 @@ func (f *Fig7Result) Render() string {
 	return b.String()
 }
 
+// bar geometry: barCharsPerUnit characters per 1.0 of speedup (one '#' per
+// 2%), clamped so extreme rows stay on one terminal line.
+const (
+	barCharsPerUnit = 50
+	barMaxChars     = 40  // longest positive bar
+	barMinChars     = -10 // longest negative bar
+)
+
 func bar(v float64) string {
-	n := int(v * 50)
+	if math.IsNaN(v) {
+		return ""
+	}
+	n := int(v * barCharsPerUnit)
 	switch {
-	case n > 40:
-		n = 40
-	case n < -10:
-		n = -10
+	case n > barMaxChars:
+		n = barMaxChars
+	case n < barMinChars:
+		n = barMinChars
 	}
 	if n >= 0 {
 		return strings.Repeat("#", n)
@@ -115,63 +156,91 @@ type Table1Result struct {
 	Rows []Table1Row
 }
 
+// table1CoverTarget is the profile-coverage cut. The paper cuts at 90%;
+// our synthetic profiles are far more concentrated than SPEC's, so the
+// equivalent cut that keeps every loop whose prefetch matters is 98%.
+const table1CoverTarget = 0.98
+
 // RunTable1 reproduces Table 1: collect a sampling profile of the O3
 // binary, keep the loops whose delinquent loads cover the bulk of the
 // total miss latency, recompile prefetching only those, and compare
-// execution time and binary size. (The paper cuts at 90%; our synthetic
-// profiles are far more concentrated than SPEC's, so the equivalent cut
-// that keeps every loop whose prefetch matters is 98%.)
+// execution time and binary size.
 func RunTable1(cfg ExpConfig) (*Table1Result, error) {
-	res := &Table1Result{}
-	for _, b := range workloads.All(cfg.Scale) {
-		full, err := compile(b, compiler.O3)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		// Training run with sampling to collect the miss profile. The
-		// profile comes from the un-prefetched (O2) binary: profiling
-		// the O3 binary would hide exactly the loops whose static
-		// prefetches work. Loop IDs are stable across levels.
-		noPf, err := compile(b, compiler.O2)
-		if err != nil {
-			return nil, err
-		}
-		rc := DefaultRunConfig()
-		rc.SampleOnly = true
-		rc.Core = cfg.Core
-		profileRun, err := RunProfiled(noPf, rc)
-		if err != nil {
-			return nil, err
-		}
-		keep, coverage := selectLoops(profileRun, noPf, 0.98)
+	return RunTable1Context(context.Background(), cfg)
+}
 
-		opts := compiler.DefaultOptions()
-		opts.Level = compiler.O3
-		opts.PrefetchLoops = keep
-		filtered, err := compiler.Build(b.Kernel, opts)
+// RunTable1Context is RunTable1 on the engine. Each benchmark's
+// profile → recompile → measure chain is inherently sequential, so the unit
+// of parallelism is the benchmark; the O2 and O3 compiles still come from
+// the shared build cache (Fig. 7 runs the very same binaries).
+func RunTable1Context(ctx context.Context, cfg ExpConfig) (*Table1Result, error) {
+	e := cfg.engine()
+	benches := workloads.All(cfg.Scale)
+	rows := make([]Table1Row, len(benches))
+	err := e.Map(ctx, len(benches), func(ctx context.Context, i int) error {
+		b := benches[i]
+		e.report(Progress{Sweep: "table1", Job: b.Name, Index: i, Total: len(benches)})
+		row, err := table1Row(ctx, e, cfg, b)
+		e.report(Progress{Sweep: "table1", Job: b.Name, Index: i, Total: len(benches), Done: true, Err: err})
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s: %w", b.Name, err)
 		}
-
-		baseRun, err := Run(full, DefaultRunConfig())
-		if err != nil {
-			return nil, err
-		}
-		filtRun, err := Run(filtered, DefaultRunConfig())
-		if err != nil {
-			return nil, err
-		}
-
-		res.Rows = append(res.Rows, Table1Row{
-			Name:            b.Name,
-			LoopsO3:         full.LoopsPrefetched,
-			LoopsProfile:    filtered.LoopsPrefetched,
-			NormExecTime:    float64(filtRun.CPU.Cycles) / float64(baseRun.CPU.Cycles),
-			NormBinarySize:  float64(filtered.Image.BundleCount) / float64(full.Image.BundleCount),
-			ProfileCoverage: coverage,
-		})
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows}, nil
+}
+
+// table1Row runs one benchmark's Table 1 chain.
+func table1Row(ctx context.Context, e *Engine, cfg ExpConfig, b workloads.Benchmark) (Table1Row, error) {
+	full, err := e.Cache().Build(benchSpec(b, cfg.Scale, compiler.O3))
+	if err != nil {
+		return Table1Row{}, err
+	}
+	// Training run with sampling to collect the miss profile. The
+	// profile comes from the un-prefetched (O2) binary: profiling
+	// the O3 binary would hide exactly the loops whose static
+	// prefetches work. Loop IDs are stable across levels.
+	noPf, err := e.Cache().Build(benchSpec(b, cfg.Scale, compiler.O2))
+	if err != nil {
+		return Table1Row{}, err
+	}
+	rc := DefaultRunConfig()
+	rc.SampleOnly = true
+	rc.Core = cfg.Core
+	profileRun, err := RunProfiledContext(ctx, noPf, rc)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	keep, coverage := selectLoops(profileRun, noPf, table1CoverTarget)
+
+	fspec := benchSpec(b, cfg.Scale, compiler.O3)
+	fspec.Options.PrefetchLoops = keep
+	filtered, err := e.Cache().Build(fspec)
+	if err != nil {
+		return Table1Row{}, err
+	}
+
+	baseRun, err := RunContext(ctx, full, DefaultRunConfig())
+	if err != nil {
+		return Table1Row{}, err
+	}
+	filtRun, err := RunContext(ctx, filtered, DefaultRunConfig())
+	if err != nil {
+		return Table1Row{}, err
+	}
+
+	return Table1Row{
+		Name:            b.Name,
+		LoopsO3:         full.LoopsPrefetched,
+		LoopsProfile:    filtered.LoopsPrefetched,
+		NormExecTime:    float64(filtRun.CPU.Cycles) / float64(baseRun.CPU.Cycles),
+		NormBinarySize:  float64(filtered.Image.BundleCount) / float64(full.Image.BundleCount),
+		ProfileCoverage: coverage,
+	}, nil
 }
 
 // FilteredFraction reports the average fraction of prefetch-scheduled loops
@@ -221,7 +290,13 @@ type Table2Result struct {
 // binaries): the number of prefetches inserted per reference pattern and
 // the number of optimized phases.
 func RunTable2(cfg ExpConfig) (*Table2Result, error) {
-	fig7, err := RunFig7(cfg, compiler.O2)
+	return RunTable2Context(context.Background(), cfg)
+}
+
+// RunTable2Context is RunTable2 on the engine; with a shared engine the
+// underlying Fig. 7(a) binaries come straight from the build cache.
+func RunTable2Context(ctx context.Context, cfg ExpConfig) (*Table2Result, error) {
+	fig7, err := RunFig7Context(ctx, cfg, compiler.O2)
 	if err != nil {
 		return nil, err
 	}
@@ -265,29 +340,33 @@ type SeriesResult struct {
 // per 1000 instructions over execution time, with and without runtime
 // prefetching, on the O2 binary.
 func RunSeries(cfg ExpConfig, name string) (*SeriesResult, error) {
+	return RunSeriesContext(context.Background(), cfg, name)
+}
+
+// RunSeriesContext is RunSeries on the engine: the with/without runs are
+// two jobs over one cached compile.
+func RunSeriesContext(ctx context.Context, cfg ExpConfig, name string) (*SeriesResult, error) {
 	b, err := workloads.ByName(name, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	build, err := compile(b, compiler.O2)
+	sp := benchSpec(b, cfg.Scale, compiler.O2)
+	without := DefaultRunConfig()
+	without.SampleOnly = true
+	without.Core = cfg.Core
+	without.RecordSeries = true
+	with := DefaultRunConfig()
+	with.ADORE = true
+	with.Core = cfg.Core
+	with.RecordSeries = true
+	runs, err := cfg.engine().RunJobs(ctx, "series/"+name, []Job{
+		{Name: name + "/without", Compile: sp, Config: without},
+		{Name: name + "/with", Compile: sp, Config: with},
+	})
 	if err != nil {
 		return nil, err
 	}
-	rc := DefaultRunConfig()
-	rc.SampleOnly = true
-	rc.Core = cfg.Core
-	rc.RecordSeries = true
-	without, err := Run(build, rc)
-	if err != nil {
-		return nil, err
-	}
-	rc.SampleOnly = false
-	rc.ADORE = true
-	with, err := Run(build, rc)
-	if err != nil {
-		return nil, err
-	}
-	return &SeriesResult{Name: name, With: with.Series, Without: without.Series}, nil
+	return &SeriesResult{Name: name, With: runs[1].Series, Without: runs[0].Series}, nil
 }
 
 // MeanCPI returns the average CPI of a series segment [from, to) as
@@ -359,28 +438,31 @@ type Fig10Result struct {
 // RunFig10 reproduces Fig. 10: the cost of reserving four registers and
 // disabling software pipelining, measured without any runtime optimization.
 func RunFig10(cfg ExpConfig) (*Fig10Result, error) {
+	return RunFig10Context(context.Background(), cfg)
+}
+
+// RunFig10Context is RunFig10 on the engine: one restricted-O2 job (the
+// compile shared with Fig. 7(a) via the cache) and one original-O2 job per
+// benchmark.
+func RunFig10Context(ctx context.Context, cfg ExpConfig) (*Fig10Result, error) {
+	benches := workloads.All(cfg.Scale)
+	jobs := make([]Job, 0, 2*len(benches))
+	for _, b := range benches {
+		orig := benchSpec(b, cfg.Scale, compiler.O2)
+		orig.Options.SWP = true
+		orig.Options.ReserveRegs = false
+		jobs = append(jobs,
+			Job{Name: b.Name + "/restricted", Compile: benchSpec(b, cfg.Scale, compiler.O2), Config: DefaultRunConfig()},
+			Job{Name: b.Name + "/original", Compile: orig, Config: DefaultRunConfig()},
+		)
+	}
+	runs, err := cfg.engine().RunJobs(ctx, "fig10", jobs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig10Result{}
-	for _, b := range workloads.All(cfg.Scale) {
-		restrictedOpts := compiler.DefaultOptions()
-		restricted, err := compiler.Build(b.Kernel, restrictedOpts)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		origOpts := compiler.DefaultOptions()
-		origOpts.SWP = true
-		origOpts.ReserveRegs = false
-		orig, err := compiler.Build(b.Kernel, origOpts)
-		if err != nil {
-			return nil, err
-		}
-		rr, err := Run(restricted, DefaultRunConfig())
-		if err != nil {
-			return nil, err
-		}
-		or, err := Run(orig, DefaultRunConfig())
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range benches {
+		rr, or := runs[2*i], runs[2*i+1]
 		res.Rows = append(res.Rows, Fig10Row{
 			Name:       b.Name,
 			Restricted: rr.CPU.Cycles,
@@ -421,24 +503,32 @@ type Fig11Result struct {
 // no patches installed — isolating the system overhead, which the paper
 // measures at 1-2%.
 func RunFig11(cfg ExpConfig) (*Fig11Result, error) {
+	return RunFig11Context(context.Background(), cfg)
+}
+
+// RunFig11Context is RunFig11 on the engine: a plain job and a
+// monitor-only job per benchmark, over one shared O2 compile.
+func RunFig11Context(ctx context.Context, cfg ExpConfig) (*Fig11Result, error) {
+	benches := workloads.All(cfg.Scale)
+	jobs := make([]Job, 0, 2*len(benches))
+	for _, b := range benches {
+		sp := benchSpec(b, cfg.Scale, compiler.O2)
+		mon := DefaultRunConfig()
+		mon.ADORE = true
+		mon.Core = cfg.Core
+		mon.Core.DisableInsertion = true
+		jobs = append(jobs,
+			Job{Name: b.Name + "/plain", Compile: sp, Config: DefaultRunConfig()},
+			Job{Name: b.Name + "/monitor", Compile: sp, Config: mon},
+		)
+	}
+	runs, err := cfg.engine().RunJobs(ctx, "fig11", jobs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig11Result{}
-	for _, b := range workloads.All(cfg.Scale) {
-		build, err := compile(b, compiler.O2)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		plain, err := Run(build, DefaultRunConfig())
-		if err != nil {
-			return nil, err
-		}
-		rc := DefaultRunConfig()
-		rc.ADORE = true
-		rc.Core = cfg.Core
-		rc.Core.DisableInsertion = true
-		mon, err := Run(build, rc)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range benches {
+		plain, mon := runs[2*i], runs[2*i+1]
 		res.Rows = append(res.Rows, Fig11Row{
 			Name:     b.Name,
 			Plain:    plain.CPU.Cycles,

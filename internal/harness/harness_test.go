@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -15,12 +16,18 @@ func TestSpeedupMath(t *testing.T) {
 		{100, 100, 0},
 		{150, 100, 0.5},
 		{100, 200, -0.5},
-		{100, 0, 0},
 	}
 	for _, c := range cases {
 		if got := Speedup(c.base, c.test); got != c.want {
 			t.Errorf("Speedup(%d,%d) = %v, want %v", c.base, c.test, got, c.want)
 		}
+	}
+	// Zero test cycles is a broken run, not a 0% speedup.
+	if got := Speedup(100, 0); !math.IsNaN(got) {
+		t.Errorf("Speedup(100,0) = %v, want NaN", got)
+	}
+	if b := bar(math.NaN()); b != "" {
+		t.Errorf("bar(NaN) = %q, want empty", b)
 	}
 }
 

@@ -4,7 +4,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
@@ -85,14 +87,28 @@ type ProfiledRun = RunResult
 // RunProfiled runs the workload with sampling only, capturing the DEAR
 // profile used by the Table 1 profile-guided compilation.
 func RunProfiled(build *compiler.BuildResult, cfg RunConfig) (*ProfiledRun, error) {
+	return RunProfiledContext(context.Background(), build, cfg)
+}
+
+// RunProfiledContext is RunProfiled with cancellation.
+func RunProfiledContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig) (*ProfiledRun, error) {
 	cfg.SampleOnly = true
 	cfg.ADORE = false
 	cfg.CaptureDear = true
-	return Run(build, cfg)
+	return RunContext(ctx, build, cfg)
 }
 
 // Run executes a compiled workload under cfg.
 func Run(build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
+	return RunContext(context.Background(), build, cfg)
+}
+
+// RunContext is Run with cancellation threaded through the simulator: the
+// CPU polls ctx between bundles, so even multi-billion-cycle simulations
+// stop promptly when ctx fires. The run never mutates build — each run gets
+// a private code-segment copy, memory, and hierarchy — so one BuildResult
+// may back any number of concurrent runs.
+func RunContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
 	img := build.Image
 	code := program.NewCodeSpace()
 	// Each run gets a private copy of the code: ADORE patches bundles in
@@ -165,7 +181,7 @@ func Run(build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
 	if maxInsts == 0 {
 		maxInsts = 2_000_000_000
 	}
-	st, err := m.Run(maxInsts)
+	st, err := m.RunContext(ctx, maxInsts)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", img.Name, err)
 	}
@@ -185,9 +201,12 @@ func Run(build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
 }
 
 // Speedup returns base/test - 1 as a fraction (positive = test faster).
+// Zero testCycles means the test run never executed; that is NaN, not
+// "no speedup" — callers rendering figures will see it instead of a
+// silently-masked broken run.
 func Speedup(baseCycles, testCycles uint64) float64 {
 	if testCycles == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(baseCycles)/float64(testCycles) - 1
 }
