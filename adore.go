@@ -20,8 +20,8 @@
 // The exported names are aliases of the internal implementation packages,
 // so everything reachable from here is usable without importing internals:
 // isa/asm/program (the simulated target), memsys/cpu/pmu (the machine),
-// compiler (the static side), core (the dynamic optimizer), workloads and
-// harness (the evaluation).
+// compiler (the static side), core (the dynamic optimizer), verify (the
+// machine-code verifier), workloads and harness (the evaluation).
 package adore
 
 import (
@@ -33,6 +33,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/memsys"
 	"repro/internal/pmu"
+	"repro/internal/verify"
 	"repro/internal/workloads"
 )
 
@@ -69,6 +70,25 @@ type (
 	// OptStats aggregates what the optimizer did (Table 2 counters).
 	OptStats = core.Stats
 )
+
+// The static machine-code verifier (DESIGN.md §9). It checks generated
+// images after every compile, guards every runtime patch installation
+// (Config.Verify, on by default), and backs cmd/adore-lint.
+type (
+	// Finding is one verifier diagnostic, addressed by bundle and slot.
+	Finding = verify.Finding
+	// VerifyRule names the check that produced a finding.
+	VerifyRule = verify.Rule
+	// VerifyOptions configures a verification pass.
+	VerifyOptions = verify.Options
+)
+
+// VerifyImage statically checks a compiled image and returns its findings
+// (nil when clean). Compile already runs this; it is exported for checking
+// images loaded or modified outside the build path.
+func VerifyImage(b *Build, opt VerifyOptions) []Finding {
+	return verify.CheckImage(b.Image, opt)
+}
 
 // The machine and harness.
 type (

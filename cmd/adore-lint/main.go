@@ -1,0 +1,151 @@
+// adore-lint runs the static machine-code verifier (internal/verify) over
+// compiled workloads and prints findings with bundle/slot coordinates. By
+// default it lints the generated image of every workload at every opt
+// level; -adore additionally runs each workload under the dynamic
+// optimizer and lints the installed trace pool plus any traces the runtime
+// verifier rejected.
+//
+// Usage:
+//
+//	adore-lint [-bench all] [-level all] [-advisory] [-adore] [-scale 0.1]
+//
+// Exit status is non-zero when any error-severity finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/cmd/internal/cli"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/pmu"
+	"repro/internal/program"
+	"repro/internal/verify"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark to lint, or \"all\": "+strings.Join(workloads.Names(), " "))
+	level := flag.String("level", "all", "opt level: O2, O3, or \"all\"")
+	scale := flag.Float64("scale", 0.1, "workload scale factor (used with -adore)")
+	swp := flag.Bool("swp", false, "compile with software pipelining")
+	noReserve := flag.Bool("noreserve", false, "compile without reserving r27-r30/p6 for the runtime")
+	advisory := flag.Bool("advisory", false, "also report advisory findings (RAW inside a bundle)")
+	dynamic := flag.Bool("adore", false, "run each workload under ADORE and lint the trace pool too")
+	flag.Parse()
+
+	var levels []compiler.OptLevel
+	switch *level {
+	case "all":
+		levels = []compiler.OptLevel{compiler.O2, compiler.O3}
+	case "O2", "o2":
+		levels = []compiler.OptLevel{compiler.O2}
+	case "O3", "o3":
+		levels = []compiler.OptLevel{compiler.O3}
+	default:
+		cli.Fatal(fmt.Errorf("unknown level %q", *level))
+	}
+	var benches []adore.WorkloadInfo
+	if *bench == "all" {
+		benches = adore.Benchmarks(*scale)
+	} else {
+		b, err := adore.Benchmark(*bench, *scale)
+		cli.Fatal(err)
+		benches = []adore.WorkloadInfo{b}
+	}
+
+	errorFindings := 0
+	report := func(tag string, fs []verify.Finding) {
+		for _, f := range fs {
+			if f.Sev == verify.SevError {
+				errorFindings++
+			}
+			fmt.Printf("%-18s %-8s %s\n", tag, f.Sev, f)
+		}
+	}
+
+	for _, b := range benches {
+		for _, lv := range levels {
+			opts := compiler.DefaultOptions()
+			opts.Level = lv
+			opts.SWP = *swp
+			opts.ReserveRegs = !*noReserve
+			tag := fmt.Sprintf("%s/%s", b.Name, lv)
+			build, err := compiler.Build(b.Kernel, opts)
+			if err != nil {
+				// Build itself verifies: a failure here IS a finding.
+				fmt.Printf("%-18s %-8s %v\n", tag, "error", err)
+				errorFindings++
+				continue
+			}
+			fs := verify.CheckImage(build.Image, verify.Options{
+				Advisory:           *advisory,
+				ReservedRegsUnused: opts.ReserveRegs,
+			})
+			report(tag, fs)
+			n := len(build.Image.Code.Bundles)
+			if *dynamic {
+				rejected, poolFs, err := lintRun(build, *advisory)
+				if err != nil {
+					cli.Fatal(fmt.Errorf("%s: %w", tag, err))
+				}
+				report(tag+"+adore", rejected)
+				report(tag+"+pool", poolFs)
+				fmt.Printf("%-18s ok: %d bundles, %d rejected trace finding(s), %d pool finding(s)\n",
+					tag, n, len(rejected), len(poolFs))
+			} else {
+				fmt.Printf("%-18s ok: %d bundles, %d finding(s)\n", tag, n, len(fs))
+			}
+		}
+	}
+	if errorFindings > 0 {
+		fmt.Printf("\n%d error finding(s)\n", errorFindings)
+		os.Exit(1)
+	}
+}
+
+// lintRun executes one workload under ADORE with runtime verification on,
+// returning the findings of rejected traces and a lint of the installed
+// trace pool.
+func lintRun(build *compiler.BuildResult, advisory bool) (rejected, pool []verify.Finding, err error) {
+	img := build.Image
+	code := program.NewCodeSpace()
+	seg := &program.Segment{Name: img.Name, Base: img.Code.Base,
+		Bundles: append([]isa.Bundle{}, img.Code.Bundles...)}
+	if err := code.AddSegment(seg); err != nil {
+		return nil, nil, err
+	}
+	mem := memsys.NewMemory()
+	if img.InitData != nil {
+		img.InitData(mem)
+	}
+	hier := memsys.NewHierarchy(memsys.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	ccfg.Verify = true
+	p := pmu.New(ccfg.Sampling)
+	m := cpu.New(cpu.DefaultConfig(), code, mem, hier, p)
+	m.SetPC(img.Entry)
+	ctrl, err := core.NewController(ccfg, code, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctrl.Attach(m)
+	if _, err := m.RunContext(cli.Context(), 2_000_000_000); err != nil {
+		return nil, nil, err
+	}
+	for _, s := range code.Segments() {
+		if s.Name != "trace-pool" {
+			continue
+		}
+		used := &program.Segment{Name: s.Name, Base: s.Base, Bundles: s.Bundles[:ctrl.Pool().Used()]}
+		pool = append(pool, verify.CheckSegment(used, verify.Options{Advisory: advisory, Code: code})...)
+	}
+	return ctrl.Findings(), pool, nil
+}

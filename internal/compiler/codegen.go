@@ -7,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/verify"
 )
 
 // OptLevel selects the compilation level.
@@ -182,6 +183,14 @@ func Build(k *Kernel, opts Options) (*BuildResult, error) {
 		})
 	}
 	img.InitData = initData(k.Arrays, c.layout)
+	// Post-codegen verification: emitted code must pass the static
+	// machine-code checks (template legality, branch targets, and — when
+	// the registers are reserved for the runtime optimizer — abstinence
+	// from r27-r30/p6). A finding here is a compiler bug, so it fails the
+	// build rather than producing a silently malformed image.
+	if fs := verify.Errors(verify.CheckImage(img, verify.Options{ReservedRegsUnused: opts.ReserveRegs})); len(fs) > 0 {
+		return nil, fmt.Errorf("compiler: generated code fails verification: %s (%d finding(s))", fs[0], len(fs))
+	}
 	c.res.Image = img
 	return c.res, nil
 }

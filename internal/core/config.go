@@ -114,6 +114,12 @@ type Config struct {
 	// an ablation knob quantifying the cost of ineffective insertion.
 	NaiveSchedule bool
 
+	// Verify runs the static machine-code verifier (internal/verify) on
+	// every edited trace before installation; a trace with findings is
+	// rejected and the original code left unpatched (fail-safe). On by
+	// default: the check is cheap relative to trace optimization.
+	Verify bool
+
 	// UnpatchSlowdown is the relative CPI regression (observed on an
 	// optimized phase vs. its pre-patch CPI) that triggers unpatching.
 	UnpatchSlowdown float64
@@ -182,6 +188,7 @@ func DefaultConfig() Config {
 		IterAheadLog2:      2,
 		MaxPrefetchIters:   64,
 		UnpatchSlowdown:    1.15,
+		Verify:             true,
 		InstrBufBase:       0x6000_0000,
 		InstrMinSamples:    2048,
 		InstrMinShare:      0.60,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/pmu"
 	"repro/internal/program"
+	"repro/internal/verify"
 )
 
 // Stats aggregates what the dynamic optimizer did during a run; the
@@ -38,6 +39,10 @@ type Stats struct {
 	SkipOptimized    int
 	SkipStaticLfetch int
 	AnalysisFailures int
+	// Static-verifier counters (Config.Verify): traces checked before
+	// installation and traces rejected for failing a rule.
+	TracesVerified int
+	VerifyRejects  int
 }
 
 // TotalPrefetches returns the number of prefetch sequences inserted.
@@ -69,6 +74,9 @@ type Controller struct {
 	// Stride-profiling extension state.
 	mem   *memsys.Memory
 	instr []*instrRecord
+
+	// Verifier findings of rejected traces (Config.Verify).
+	findings []verify.Finding
 
 	// OnWindow, when set, receives every profile window's metrics — the
 	// hook the harness uses to record the Fig. 8/9 time series.
@@ -219,6 +227,10 @@ func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
 		if events < c.cfg.MinDearEvents {
 			continue // not enough evidence of frequent misses
 		}
+		var pristine *Trace
+		if c.cfg.Verify {
+			pristine = cloneTrace(t)
+		}
 		res := c.opt.Optimize(t, loads, info.CPI)
 		if c.OnOptimize != nil {
 			c.OnOptimize(t, loads, res)
@@ -235,6 +247,9 @@ func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
 
 		if (res.Total() == 0 && instr == nil) || c.cfg.DisableInsertion {
 			continue
+		}
+		if !c.verifyTrace(t, pristine) {
+			continue // fail-safe: leave the original code unpatched
 		}
 		addr, err := c.pool.Install(t)
 		if err != nil {

@@ -217,6 +217,12 @@ func (c *Controller) pollInstrumentation() uint64 {
 		} else {
 			c.Stats.StrideProfileFailed++
 		}
+		// The profiled prefetch was spliced at runtime like any other
+		// patch: verify it against the clean copy before reinstalling,
+		// and fall back to the clean copy itself when it fails.
+		if !c.verifyTrace(t, ir.origCopy) {
+			t = cloneTrace(ir.origCopy)
+		}
 		// Either way, reinstall the un-instrumented trace (it may carry
 		// the pattern prefetches found by slice analysis).
 		if t.InstCount() <= ir.origCopy.InstCount() && !ok && c.countTracePrefetches(ir.origCopy) == 0 {

@@ -203,7 +203,10 @@ func (ed *editor) insertBundles(k int, bs []isa.Bundle) {
 // freeSlotFrom finds a nop slot in bd at or after startSlot that accepts
 // unit u, refusing to pass a branch in either direction.
 func freeSlotFrom(bd *isa.Bundle, u isa.Unit, startSlot int) int {
-	units := bd.Tmpl.SlotUnits()
+	units, ok := bd.Tmpl.SlotUnits()
+	if !ok {
+		return -1
+	}
 	for i := 0; i < 3; i++ {
 		if isa.IsBranch(bd.Slots[i].Op) {
 			return -1
@@ -284,7 +287,10 @@ func (ed *editor) placeBefore(in isa.Inst, maxBundle, maxSlot int) bool {
 		if bi == maxBundle {
 			limit = maxSlot
 		}
-		units := t.Bundles[bi].Tmpl.SlotUnits()
+		units, ok := t.Bundles[bi].Tmpl.SlotUnits()
+		if !ok {
+			continue
+		}
 		for s := 0; s < limit; s++ {
 			if isa.IsBranch(t.Bundles[bi].Slots[s].Op) {
 				break

@@ -49,12 +49,15 @@ func (t Template) String() string {
 	return fmt.Sprintf("tmpl(%d)", uint8(t))
 }
 
-// SlotUnits reports the port class of each slot under template t.
-func (t Template) SlotUnits() [3]Unit {
+// SlotUnits reports the port class of each slot under template t. The
+// second result is false when t is not one of the enumerated templates;
+// callers must not treat the zero [3]Unit of an out-of-range template as
+// a legal slot typing.
+func (t Template) SlotUnits() ([3]Unit, bool) {
 	if int(t) >= len(templateUnits) {
-		return [3]Unit{}
+		return [3]Unit{}, false
 	}
-	return templateUnits[t]
+	return templateUnits[t], true
 }
 
 // SlotAccepts reports whether an instruction needing unit u may occupy a
@@ -85,7 +88,10 @@ type Bundle struct {
 // template's slot typing. A movl (UnitLX) must sit in slot 1 of an MLX
 // bundle with slot 2 a nop.
 func (b Bundle) Validate() error {
-	units := b.Tmpl.SlotUnits()
+	units, ok := b.Tmpl.SlotUnits()
+	if !ok {
+		return fmt.Errorf("isa: unknown bundle template %s", b.Tmpl)
+	}
 	for i, in := range b.Slots {
 		need := UnitOf(in.Op)
 		if need == UnitLX {
@@ -129,7 +135,10 @@ func BranchBundle(target uint64) Bundle {
 // crosses a branch: slots after a branch instruction in the same bundle are
 // not reachable in a straightened trace, so they are not offered either.
 func (b Bundle) FreeSlot(u Unit) int {
-	units := b.Tmpl.SlotUnits()
+	units, ok := b.Tmpl.SlotUnits()
+	if !ok {
+		return -1
+	}
 	for i := 0; i < 3; i++ {
 		if IsBranch(b.Slots[i].Op) {
 			return -1

@@ -1,0 +1,72 @@
+package program_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// TestEncodeDecodeRoundTripAllWorkloads encodes every compiled workload at
+// every opt level and decodes it back, requiring bundle-for-bundle equality
+// plus identical metadata. This is the on-disk contract adore-lint and the
+// experiment cache rely on: what was verified is exactly what reloads.
+func TestEncodeDecodeRoundTripAllWorkloads(t *testing.T) {
+	for _, bench := range workloads.All(0.05) {
+		for _, lv := range []compiler.OptLevel{compiler.O2, compiler.O3} {
+			t.Run(fmt.Sprintf("%s/%s", bench.Name, lv), func(t *testing.T) {
+				opts := compiler.DefaultOptions()
+				opts.Level = lv
+				build, err := compiler.Build(bench.Kernel, opts)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				img := build.Image
+
+				var buf bytes.Buffer
+				if err := program.EncodeImage(&buf, img); err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				got, err := program.DecodeImage(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				compareImages(t, img, got)
+			})
+		}
+	}
+}
+
+func compareImages(t *testing.T, want, got *program.Image) {
+	t.Helper()
+	if got.Name != want.Name {
+		t.Errorf("Name = %q, want %q", got.Name, want.Name)
+	}
+	if got.Entry != want.Entry {
+		t.Errorf("Entry = %#x, want %#x", got.Entry, want.Entry)
+	}
+	if got.BundleCount != want.BundleCount {
+		t.Errorf("BundleCount = %d, want %d", got.BundleCount, want.BundleCount)
+	}
+	if got.Code.Base != want.Code.Base {
+		t.Errorf("Code.Base = %#x, want %#x", got.Code.Base, want.Code.Base)
+	}
+	if len(got.Code.Bundles) != len(want.Code.Bundles) {
+		t.Fatalf("len(Bundles) = %d, want %d", len(got.Code.Bundles), len(want.Code.Bundles))
+	}
+	for i := range want.Code.Bundles {
+		if got.Code.Bundles[i] != want.Code.Bundles[i] {
+			t.Errorf("bundle %d:\n got %v\nwant %v", i, got.Code.Bundles[i], want.Code.Bundles[i])
+		}
+	}
+	if !reflect.DeepEqual(got.Symbols, want.Symbols) {
+		t.Errorf("Symbols = %v, want %v", got.Symbols, want.Symbols)
+	}
+	if !reflect.DeepEqual(got.Loops, want.Loops) {
+		t.Errorf("Loops = %v, want %v", got.Loops, want.Loops)
+	}
+}

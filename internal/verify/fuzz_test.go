@@ -1,0 +1,128 @@
+package verify_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/verify"
+)
+
+// decodeInst builds an instruction from 10 raw bytes. Nothing is clamped
+// into legal ranges on purpose: the verifier must report findings, never
+// panic, no matter what the bytes decode to.
+func decodeInst(b []byte) isa.Inst {
+	return isa.Inst{
+		Op:      isa.Op(b[0]),
+		QP:      isa.PReg(b[1] & 0x3f),
+		Spec:    b[1]&0x80 != 0,
+		R1:      isa.Reg(b[2]),
+		R2:      isa.Reg(b[3]),
+		R3:      isa.Reg(b[4]),
+		P1:      isa.PReg(b[5] & 0x3f),
+		P2:      isa.PReg(b[6] & 0x3f),
+		Imm:     int64(int8(b[7])),
+		PostInc: int64(int8(b[8])),
+		// Scaled by 4, not 16, so fuzzed targets can be misaligned.
+		Target: 0x1000 + uint64(b[9])*4,
+	}
+}
+
+const fuzzBundleBytes = 1 + 3*10 // template byte + three encoded slots
+
+// decodeBundles consumes whole 31-byte records; trailing bytes are ignored.
+func decodeBundles(data []byte) []isa.Bundle {
+	var out []isa.Bundle
+	for len(data) >= fuzzBundleBytes && len(out) < 16 {
+		var bd isa.Bundle
+		bd.Tmpl = isa.Template(data[0])
+		for s := 0; s < 3; s++ {
+			bd.Slots[s] = decodeInst(data[1+s*10 : 1+(s+1)*10])
+		}
+		out = append(out, bd)
+		data = data[fuzzBundleBytes:]
+	}
+	return out
+}
+
+// FuzzVerifier feeds arbitrary bundle bytes through every checking layer.
+// Invariants: the verifier never panics, and any bundle the ISA itself
+// rejects (Bundle.Validate) yields at least one finding.
+func FuzzVerifier(f *testing.F) {
+	// Seed 1: header + one all-zero bundle (MII of nops — fully legal).
+	f.Add(append([]byte{0, 1, 0, 1}, make([]byte, fuzzBundleBytes)...))
+	// Seed 2: unknown template, branch opcode in slot 0, junk registers.
+	seed2 := append([]byte{1, 0, 1, 3}, make([]byte, 2*fuzzBundleBytes)...)
+	seed2[4] = 200                         // template way out of range
+	seed2[4+fuzzBundleBytes] = 2           // second bundle: MMI
+	seed2[4+fuzzBundleBytes+1] = byte(isa.OpBr) // ...with a branch in the M slot
+	f.Add(seed2)
+	// Seed 3: a strided load loop with an injected lfetch (reserved base,
+	// zero post-increment) — exercises the patch-safety and prefetch rules.
+	seed3 := []byte{1, 0, 1, 2}
+	ld := [10]byte{byte(isa.OpLd8), 0, 20, 0, 14, 0, 0, 0, 8, 0}
+	lf := [10]byte{byte(isa.OpLfetch), 0, 0, 0, 28, 0, 0, 0, 0, 0}
+	br := [10]byte{byte(isa.OpBrCond), 1, 0, 0, 0, 0, 0, 0, 0, 0}
+	seed3 = append(seed3, byte(isa.TmplMMI))
+	seed3 = append(seed3, ld[:]...)
+	seed3 = append(seed3, lf[:]...)
+	seed3 = append(seed3, make([]byte, 10)...)
+	seed3 = append(seed3, byte(isa.TmplMIB))
+	seed3 = append(seed3, make([]byte, 20)...)
+	seed3 = append(seed3, br[:]...)
+	f.Add(seed3)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		hdr, body := data[:4], data[4:]
+		bundles := decodeBundles(body)
+		if len(bundles) == 0 {
+			return
+		}
+		opt := verify.Options{Advisory: hdr[0]&2 != 0, ReservedRegsUnused: hdr[0]&4 != 0}
+
+		for i, bd := range bundles {
+			pc := 0x1000 + uint64(i)*isa.BundleBytes
+			fs := verify.CheckBundle(pc, bd)
+			if bd.Validate() != nil && len(fs) == 0 {
+				t.Fatalf("bundle %d rejected by isa.Validate but verifier found nothing: %v", i, bd)
+			}
+			for _, fnd := range fs {
+				_ = fnd.String() // findings must always render
+			}
+		}
+
+		// Assemble a trace view over the same bundles. LoopHead/BackEdge
+		// come from raw signed bytes so out-of-range and inverted index
+		// pairs are exercised; the verifier must bounds-guard them.
+		cur := verify.TraceView{
+			Start:    0x1000,
+			Bundles:  bundles,
+			Orig:     make([]uint64, len(bundles)),
+			IsLoop:   hdr[1]&1 != 0,
+			LoopHead: int(int8(hdr[2])),
+			BackEdge: int(int8(hdr[3])),
+		}
+		for i := range cur.Orig {
+			if hdr[1]&(1<<(uint(i%6)+1)) == 0 {
+				cur.Orig[i] = 0x1000 + uint64(i)*isa.BundleBytes
+			} // else Orig stays 0: an inserted bundle
+		}
+		verify.CheckTrace(cur, nil, opt)
+
+		// Baseline = the trace with a byte-selected set of slots blanked
+		// to nops, so the blanked instructions count as injected in cur.
+		base := cur
+		base.Bundles = append([]isa.Bundle{}, cur.Bundles...)
+		for i := range base.Bundles {
+			mask := hdr[0] >> 5
+			for s := 0; s < 3; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					base.Bundles[i].Slots[s] = isa.Nop
+				}
+			}
+		}
+		verify.CheckTrace(cur, &base, opt)
+	})
+}

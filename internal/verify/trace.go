@@ -1,0 +1,369 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// TraceView is the verifier's neutral view of a core.Trace (mirrored here
+// so verify does not import internal/core, which imports this package).
+// core.Trace.View() produces one.
+type TraceView struct {
+	Start   uint64
+	Bundles []isa.Bundle
+	Orig    []uint64 // original address per bundle; 0 for inserted bundles
+
+	IsLoop   bool
+	LoopHead int
+	BackEdge int
+}
+
+func (v TraceView) orig(bi int) uint64 {
+	if bi < len(v.Orig) {
+		return v.Orig[bi]
+	}
+	return 0
+}
+
+// injectedSet marks, per (bundle, slot), the instructions that patching
+// added relative to the baseline trace.
+type injectedSet [][3]bool
+
+// CheckTrace verifies an ADORE-edited trace before installation. cur is
+// the trace as the optimizer left it (back edge still targeting Start;
+// TracePool.Install retargets it later). baseline, when non-nil, is the
+// pristine trace the edits started from: the difference between the two
+// identifies the injected instructions, which are then held to the patch
+// safety and prefetch sanity rules. With a nil baseline only structural
+// checks run.
+func CheckTrace(cur TraceView, baseline *TraceView, opt Options) []Finding {
+	var fs []Finding
+	for bi, b := range cur.Bundles {
+		pc := cur.orig(bi)
+		fs = append(fs, checkBundleAt(pc, bi, b)...)
+		fs = append(fs, checkBundleDataflow(pc, bi, b, opt.Advisory)...)
+	}
+	fs = append(fs, checkTraceBranches(cur, opt)...)
+	if baseline != nil {
+		inj, diffFs := diffInjected(cur, baseline)
+		fs = append(fs, diffFs...)
+		fs = append(fs, checkPatchSafety(cur, inj)...)
+		fs = append(fs, checkPrefetchSanity(cur, inj)...)
+	}
+	return fs
+}
+
+// checkTraceBranches validates branch targets of a trace and, for loop
+// traces, that the back edge still targets the trace entry (Install's
+// retarget depends on it) and that the loop indices are in range.
+func checkTraceBranches(cur TraceView, opt Options) []Finding {
+	var fs []Finding
+	for bi, b := range cur.Bundles {
+		pc := cur.orig(bi)
+		for si, in := range b.Slots {
+			if !isa.IsBranch(in.Op) {
+				continue
+			}
+			if in.Target == cur.Start && (in.Op == isa.OpBr || in.Op == isa.OpBrCond) {
+				continue // back edge: retargeted into the pool at install
+			}
+			fs = append(fs, checkBranchTarget(pc, bi, si, in, nil, opt)...)
+		}
+	}
+	if !cur.IsLoop {
+		return fs
+	}
+	if cur.BackEdge < 0 || cur.BackEdge >= len(cur.Bundles) ||
+		cur.LoopHead < 0 || cur.LoopHead > cur.BackEdge {
+		fs = append(fs, Finding{Rule: RuleBranchTarget, Bundle: cur.BackEdge,
+			Detail: fmt.Sprintf("loop indices out of range (head %d, back edge %d of %d bundles)",
+				cur.LoopHead, cur.BackEdge, len(cur.Bundles))})
+		return fs
+	}
+	found := false
+	for _, in := range cur.Bundles[cur.BackEdge].Slots {
+		if (in.Op == isa.OpBr || in.Op == isa.OpBrCond) && in.Target == cur.Start {
+			found = true
+		}
+	}
+	if !found {
+		fs = append(fs, Finding{Rule: RuleBranchTarget, PC: cur.orig(cur.BackEdge), Bundle: cur.BackEdge,
+			Detail: "loop back edge no longer targets the trace entry"})
+	}
+	return fs
+}
+
+// diffInjected computes which instructions of cur were added relative to
+// baseline. Bundles with an original address are matched positionally by
+// that address (duplicates consumed in order); patching may only fill nop
+// slots of those, so any other difference is a RuleSlotReuse finding.
+// Inserted bundles (Orig == 0) are compared as an instruction multiset
+// against the baseline's own inserted bundles, so incremental verification
+// (instrumentation added on top of earlier prefetches) attributes only the
+// new instructions.
+func diffInjected(cur TraceView, baseline *TraceView) (injectedSet, []Finding) {
+	inj := make(injectedSet, len(cur.Bundles))
+	var fs []Finding
+	byAddr := make(map[uint64][]int)
+	pool := make(map[isa.Inst]int)
+	for i := range baseline.Bundles {
+		if a := baseline.orig(i); a != 0 {
+			byAddr[a] = append(byAddr[a], i)
+			continue
+		}
+		for _, in := range baseline.Bundles[i].Slots {
+			if in.Op != isa.OpNop {
+				pool[in]++
+			}
+		}
+	}
+	for bi := range cur.Bundles {
+		cb := cur.Bundles[bi]
+		a := cur.orig(bi)
+		if a == 0 {
+			for si, in := range cb.Slots {
+				if in.Op == isa.OpNop {
+					continue
+				}
+				if pool[in] > 0 {
+					pool[in]--
+					continue
+				}
+				inj[bi][si] = true
+			}
+			continue
+		}
+		idxs := byAddr[a]
+		if len(idxs) == 0 {
+			// An original-addressed bundle the baseline never had:
+			// treat its contents as injected so they face full checks.
+			for si, in := range cb.Slots {
+				if in.Op != isa.OpNop {
+					inj[bi][si] = true
+				}
+			}
+			continue
+		}
+		ob := baseline.Bundles[idxs[0]]
+		byAddr[a] = idxs[1:]
+		if ob.Tmpl != cb.Tmpl {
+			fs = append(fs, Finding{Rule: RuleSlotReuse, PC: a, Bundle: bi,
+				Detail: fmt.Sprintf("original bundle template changed %s -> %s", ob.Tmpl, cb.Tmpl)})
+		}
+		for si := 0; si < 3; si++ {
+			if ob.Slots[si] == cb.Slots[si] {
+				continue
+			}
+			if ob.Slots[si].Op == isa.OpNop {
+				inj[bi][si] = true
+				continue
+			}
+			fs = append(fs, Finding{Rule: RuleSlotReuse, PC: a, Bundle: bi, Slot: si,
+				Detail: fmt.Sprintf("original instruction %q overwritten", ob.Slots[si])})
+		}
+	}
+	return inj, fs
+}
+
+func (s injectedSet) at(bi, si int) bool {
+	return bi < len(s) && s[bi][si]
+}
+
+// checkPatchSafety holds every injected instruction to the patch rules:
+// writes confined to reserved registers that are dead in the original
+// trace, no injected branches, only speculative/non-faulting memory
+// operations, post-increments only on reserved cursors, and no read of a
+// reserved register before the trace defines it.
+func checkPatchSafety(cur TraceView, inj injectedSet) []Finding {
+	var fs []Finding
+
+	// Live-in of the ORIGINAL instructions: a register they read before
+	// any original definition is program state the patch must preserve.
+	var liveGR, defGR [isa.NumGR]bool
+	var liveP, defP [isa.NumPR]bool
+	var uses []isa.Reg
+	for bi, b := range cur.Bundles {
+		for si, in := range b.Slots {
+			if in.Op == isa.OpNop || inj.at(bi, si) {
+				continue
+			}
+			// Out-of-range register numbers (reported separately by
+			// checkRegRange) are skipped rather than indexed.
+			uses = in.RegUses(uses[:0])
+			for _, r := range uses {
+				if r != 0 && int(r) < isa.NumGR && !defGR[r] {
+					liveGR[r] = true
+				}
+			}
+			if in.QP != 0 && int(in.QP) < isa.NumPR && !defP[in.QP] {
+				liveP[in.QP] = true
+			}
+			if d, ok := in.RegDef(); ok && int(d) < isa.NumGR {
+				defGR[d] = true
+			}
+			if d, ok := in.PostIncDef(); ok && int(d) < isa.NumGR {
+				defGR[d] = true
+			}
+			ps, n := predDefs(in)
+			for k := 0; k < n; k++ {
+				if int(ps[k]) < isa.NumPR {
+					defP[ps[k]] = true
+				}
+			}
+		}
+	}
+
+	// Reserved registers start undefined (the reservation convention says
+	// the program leaves them dead) unless the original trace itself
+	// reads them first — then they are live program state.
+	var okGR [isa.NumGR]bool
+	var okP [isa.NumPR]bool
+	for r := range okGR {
+		okGR[r] = !reservedGR(isa.Reg(r)) || liveGR[r]
+	}
+	for p := range okP {
+		okP[p] = isa.PReg(p) != isa.ReservedPR || liveP[p]
+	}
+
+	for bi, b := range cur.Bundles {
+		pc := cur.orig(bi)
+		for si, in := range b.Slots {
+			if in.Op == isa.OpNop {
+				continue
+			}
+			if inj.at(bi, si) {
+				add := func(rule Rule, detail string) {
+					fs = append(fs, Finding{Rule: rule, PC: pc, Bundle: bi, Slot: si, Detail: detail})
+				}
+				if isa.IsBranch(in.Op) {
+					add(RuleInjectedOp, fmt.Sprintf("injected %s: runtime patching must not add branches", in.Op))
+				}
+				if isa.IsLoad(in.Op) && in.Op != isa.OpLdS && !in.Spec {
+					add(RuleInjectedOp, fmt.Sprintf("injected %s is not speculative/non-faulting", in.Op))
+				}
+				if isa.IsStore(in.Op) && !reservedGR(in.R3) {
+					add(RuleInjectedOp, fmt.Sprintf("injected %s through non-reserved base r%d", in.Op, in.R3))
+				}
+				if d, ok := in.RegDef(); ok {
+					switch {
+					case !reservedGR(d):
+						add(RuleClobber, fmt.Sprintf("injected %s writes non-reserved r%d", in.Op, d))
+					case liveGR[d]:
+						add(RuleClobber, fmt.Sprintf("injected %s writes r%d, live in the original trace", in.Op, d))
+					}
+				}
+				if d, ok := in.PostIncDef(); ok {
+					switch {
+					case !reservedGR(d):
+						add(RulePostInc, fmt.Sprintf("injected post-increment mutates non-reserved r%d", d))
+					case liveGR[d]:
+						add(RuleClobber, fmt.Sprintf("injected post-increment writes r%d, live in the original trace", d))
+					}
+				}
+				if f, ok := in.FRegDef(); ok {
+					add(RuleClobber, fmt.Sprintf("injected %s writes floating register f%d", in.Op, f))
+				}
+				ps, n := predDefs(in)
+				for k := 0; k < n; k++ {
+					switch {
+					case ps[k] != isa.ReservedPR:
+						add(RuleClobber, fmt.Sprintf("injected compare writes non-reserved p%d", ps[k]))
+					case liveP[ps[k]]:
+						add(RuleClobber, fmt.Sprintf("injected compare writes p%d, live in the original trace", ps[k]))
+					}
+				}
+				uses = in.RegUses(uses[:0])
+				for _, r := range uses {
+					if reservedGR(r) && !okGR[r] {
+						add(RuleUseBeforeDef, fmt.Sprintf("injected %s reads r%d before any definition", in.Op, r))
+					}
+				}
+				if in.QP == isa.ReservedPR && !okP[in.QP] {
+					add(RuleUseBeforeDef, fmt.Sprintf("injected %s predicated on p%d before any definition", in.Op, in.QP))
+				}
+			}
+			if d, ok := in.RegDef(); ok && int(d) < isa.NumGR {
+				okGR[d] = true
+			}
+			if d, ok := in.PostIncDef(); ok && int(d) < isa.NumGR {
+				okGR[d] = true
+			}
+			ps, n := predDefs(in)
+			for k := 0; k < n; k++ {
+				if int(ps[k]) < isa.NumPR {
+					okP[ps[k]] = true
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// checkPrefetchSanity validates every injected lfetch. A self-advancing
+// lfetch (non-zero post-increment) is paired with the injected add that
+// anchors its cursor; the anchoring distance must be non-zero, agree in
+// sign with the stride, and be a multiple of the stride or of the 64-byte
+// L1D line the §3.3 alignment rounds integer distances to. A non-advancing
+// lfetch inside a loop must have its address register recomputed each
+// iteration, or it prefetches the same line forever (zero effective
+// stride).
+func checkPrefetchSanity(cur TraceView, inj injectedSet) []Finding {
+	var fs []Finding
+
+	// Injected cursor anchors: add rd = dist, rs with rs != rd.
+	anchors := make(map[isa.Reg][]int64)
+	for bi, b := range cur.Bundles {
+		for si, in := range b.Slots {
+			if inj.at(bi, si) && in.Op == isa.OpAddI && in.R1 != in.R3 {
+				anchors[in.R1] = append(anchors[in.R1], in.Imm)
+			}
+		}
+	}
+
+	// Registers redefined inside the loop body by any instruction.
+	var bodyDef [isa.NumGR]bool
+	if cur.IsLoop && cur.LoopHead >= 0 && cur.BackEdge < len(cur.Bundles) {
+		for bi := cur.LoopHead; bi <= cur.BackEdge; bi++ {
+			for _, in := range cur.Bundles[bi].Slots {
+				if d, ok := in.RegDef(); ok && int(d) < isa.NumGR {
+					bodyDef[d] = true
+				}
+				if d, ok := in.PostIncDef(); ok && int(d) < isa.NumGR {
+					bodyDef[d] = true
+				}
+			}
+		}
+	}
+
+	const line = 64 // L1D line size the §3.3 alignment rounds to
+	for bi, b := range cur.Bundles {
+		pc := cur.orig(bi)
+		for si, in := range b.Slots {
+			if !inj.at(bi, si) || in.Op != isa.OpLfetch {
+				continue
+			}
+			add := func(detail string) {
+				fs = append(fs, Finding{Rule: RulePrefetchDist, PC: pc, Bundle: bi, Slot: si, Detail: detail})
+			}
+			if stride := in.PostInc; stride != 0 {
+				dists := anchors[in.R3]
+				if len(dists) == 0 {
+					continue // cursor not anchored by an injected add: nothing to relate
+				}
+				dist := dists[0]
+				switch {
+				case dist == 0:
+					add("zero prefetch distance")
+				case (dist < 0) != (stride < 0):
+					add(fmt.Sprintf("distance %d opposes stride %d", dist, stride))
+				case dist%stride != 0 && dist%line != 0:
+					add(fmt.Sprintf("distance %d is neither a multiple of stride %d nor line-aligned", dist, stride))
+				}
+			} else if cur.IsLoop && int(in.R3) < isa.NumGR && !bodyDef[in.R3] {
+				add(fmt.Sprintf("lfetch address r%d never advances in the loop (zero effective stride)", in.R3))
+			}
+		}
+	}
+	return fs
+}

@@ -1,0 +1,390 @@
+// Package verify is the static machine-code verifier for the ADORE
+// reproduction: an analysis pass over bundles, program images and selected
+// traces that checks the invariants the rest of the system silently relies
+// on. It runs at three boundaries — after static code generation in
+// internal/compiler, after runtime optimization/instrumentation in
+// internal/core (behind Config.Verify), and on demand from cmd/adore-lint —
+// and reports typed findings so tests can assert on specific rules.
+//
+// The rule families mirror the ways live-patching can go wrong:
+//
+//   - template legality: slot units versus Template.SlotUnits, MLX pairing,
+//     branches only in B slots;
+//   - register dataflow: predicate WAW inside a bundle, advisory RAW inside
+//     a bundle (the interpreter executes slots sequentially, so these are
+//     legal here but would split an issue group on real hardware), and
+//     use-before-def of the runtime-reserved registers on a trace;
+//   - patch safety: runtime-injected code must confine its writes to the
+//     reserved registers r27-r30/p6 and must not touch one that the original
+//     trace reads before defining; injected memory operations are limited to
+//     lfetch, speculative loads and stores through a reserved cursor;
+//     branch targets must stay mapped after cloning;
+//   - prefetch sanity: injected lfetch distances are non-zero, agree in
+//     sign with the stride they chase, and are multiples of it (or of the
+//     64-byte L1D line, which the §3.3 alignment rounds to).
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Rule names one verifier check. Findings carry the rule that produced
+// them so tests can assert a fixture is rejected for the expected reason.
+type Rule string
+
+const (
+	// RuleTemplate: unknown template, or a slot holding an instruction
+	// whose unit the template's slot typing cannot accept.
+	RuleTemplate Rule = "template"
+	// RuleMLX: a movl outside slot 1 of an MLX bundle, or an MLX slot 2
+	// that is not the nop half of the L+X pair.
+	RuleMLX Rule = "mlx-pair"
+	// RuleBranchSlot: a branch instruction in a non-B slot.
+	RuleBranchSlot Rule = "branch-slot"
+	// RuleBranchTarget: a branch target that is unmapped, not
+	// bundle-aligned, or a loop trace whose back edge no longer targets
+	// the trace entry (Install could not retarget it).
+	RuleBranchTarget Rule = "branch-target"
+	// RulePredWAW: two predicate writes to the same register inside one
+	// bundle (including a compare with P1 == P2).
+	RulePredWAW Rule = "pred-waw"
+	// RuleRAWGroup (advisory): a general register written and then read
+	// inside the same bundle. The simulated CPU executes slots
+	// sequentially, so this is legal here; on real IA-64 it would need a
+	// stop bit. Reported only when Options.Advisory is set.
+	RuleRAWGroup Rule = "raw-in-group"
+	// RuleReservedUse: code compiled under register reservation touches
+	// r27-r30 or p6, which belong to the runtime optimizer.
+	RuleReservedUse Rule = "reserved-use"
+	// RuleUseBeforeDef: injected code reads a reserved register before
+	// anything defines it on the trace.
+	RuleUseBeforeDef Rule = "use-before-def"
+	// RuleClobber: injected code writes a register outside the reserved
+	// set, or a reserved register the original trace reads before
+	// defining (live-in).
+	RuleClobber Rule = "clobber"
+	// RuleInjectedOp: injected code contains an operation ADORE must
+	// never add — a branch, a non-speculative load, or a store whose
+	// base is not a reserved cursor register.
+	RuleInjectedOp Rule = "injected-op"
+	// RulePostInc: an injected post-increment mutates a base register
+	// outside the reserved set.
+	RulePostInc Rule = "postinc"
+	// RulePrefetchDist: an injected lfetch with a zero distance, a
+	// distance opposing the stride's sign, a distance that is neither a
+	// stride multiple nor line-aligned, or a loop-invariant address
+	// (zero effective stride).
+	RulePrefetchDist Rule = "prefetch-dist"
+	// RuleSlotReuse: patching overwrote a non-nop original instruction
+	// or changed an original bundle's template.
+	RuleSlotReuse Rule = "slot-reuse"
+	// RuleRegRange: an instruction names a register outside the
+	// architectural files (r >= 128 or p >= 64).
+	RuleRegRange Rule = "reg-range"
+)
+
+// Severity splits findings into errors (invariant violations) and
+// advisories (legal in this simulator but notable, like RAW inside a
+// bundle).
+type Severity uint8
+
+const (
+	SevError Severity = iota
+	SevAdvisory
+)
+
+func (s Severity) String() string {
+	if s == SevAdvisory {
+		return "advisory"
+	}
+	return "error"
+}
+
+// Finding is one verifier diagnostic, addressed by bundle and slot. PC is
+// the bundle's code address; for trace bundles inserted at runtime (no
+// original address) PC is zero and Bundle still gives the trace index.
+type Finding struct {
+	Rule   Rule
+	Sev    Severity
+	PC     uint64
+	Bundle int
+	Slot   int
+	Detail string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%#06x[%d.%d] %s: %s", f.PC, f.Bundle, f.Slot, f.Rule, f.Detail)
+}
+
+// Errors filters a finding list down to SevError entries.
+func Errors(fs []Finding) []Finding {
+	out := fs[:0:0]
+	for _, f := range fs {
+		if f.Sev == SevError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Options configures a verification pass.
+type Options struct {
+	// Advisory includes SevAdvisory findings (RAW inside a bundle).
+	Advisory bool
+
+	// ReservedRegsUnused additionally checks that the code never touches
+	// the runtime-reserved registers r27-r30/p6 — set when verifying
+	// output of a compiler run with register reservation enabled.
+	ReservedRegsUnused bool
+
+	// Code, when non-nil, resolves branch targets that leave the checked
+	// segment or trace (trace exits back into the original binary).
+	// Without it, cross-segment targets are not checked.
+	Code *program.CodeSpace
+}
+
+// CheckBundle checks template legality of a single bundle at pc: a known
+// template, units matching the slot typing, branches confined to B slots,
+// and a well-formed MLX pair.
+func CheckBundle(pc uint64, b isa.Bundle) []Finding {
+	return checkBundleAt(pc, 0, b)
+}
+
+func checkBundleAt(pc uint64, bi int, b isa.Bundle) []Finding {
+	var fs []Finding
+	units, ok := b.Tmpl.SlotUnits()
+	if !ok {
+		return []Finding{{Rule: RuleTemplate, PC: pc, Bundle: bi,
+			Detail: fmt.Sprintf("unknown template %s", b.Tmpl)}}
+	}
+	for i, in := range b.Slots {
+		need := isa.UnitOf(in.Op)
+		if isa.IsBranch(in.Op) && units[i] != isa.UnitB {
+			fs = append(fs, Finding{Rule: RuleBranchSlot, PC: pc, Bundle: bi, Slot: i,
+				Detail: fmt.Sprintf("%s in %v slot of %s bundle", in.Op, units[i], b.Tmpl)})
+			continue
+		}
+		if need == isa.UnitLX {
+			if b.Tmpl != isa.TmplMLX || i != 1 {
+				fs = append(fs, Finding{Rule: RuleMLX, PC: pc, Bundle: bi, Slot: i,
+					Detail: fmt.Sprintf("movl in slot %d of %s bundle", i, b.Tmpl)})
+			}
+			continue
+		}
+		if b.Tmpl == isa.TmplMLX && i == 2 {
+			if in.Op != isa.OpNop {
+				fs = append(fs, Finding{Rule: RuleMLX, PC: pc, Bundle: bi, Slot: i,
+					Detail: fmt.Sprintf("%s in the X half of an MLX pair", in.Op)})
+			}
+			continue
+		}
+		if !isa.SlotAccepts(units[i], need) {
+			fs = append(fs, Finding{Rule: RuleTemplate, PC: pc, Bundle: bi, Slot: i,
+				Detail: fmt.Sprintf("%s (unit %v) in %v slot of %s bundle", in.Op, need, units[i], b.Tmpl)})
+		}
+		fs = append(fs, checkRegRange(pc, bi, i, in)...)
+	}
+	return fs
+}
+
+// checkRegRange reports registers named by in that fall outside the
+// architectural register files. Only semantically-used fields are checked
+// (unused operand fields of an encoding carry no meaning). The dataflow
+// passes bounds-guard their index arrays independently, so a bundle
+// carrying such a register yields this finding rather than a panic.
+func checkRegRange(pc uint64, bi, si int, in isa.Inst) []Finding {
+	if in.Op == isa.OpNop {
+		return nil
+	}
+	var fs []Finding
+	bad := func(what string) {
+		fs = append(fs, Finding{Rule: RuleRegRange, PC: pc, Bundle: bi, Slot: si,
+			Detail: fmt.Sprintf("%s names %s outside the register file", in.Op, what)})
+	}
+	regs := in.RegUses(nil)
+	if d, ok := in.RegDef(); ok {
+		regs = append(regs, d)
+	}
+	if d, ok := in.PostIncDef(); ok {
+		regs = append(regs, d)
+	}
+	for _, r := range regs {
+		if int(r) >= isa.NumGR {
+			bad(fmt.Sprintf("r%d", r))
+		}
+	}
+	if int(in.QP) >= isa.NumPR {
+		bad(fmt.Sprintf("p%d", in.QP))
+	}
+	ps, n := predDefs(in)
+	for k := 0; k < n; k++ {
+		if int(ps[k]) >= isa.NumPR {
+			bad(fmt.Sprintf("p%d", ps[k]))
+		}
+	}
+	return fs
+}
+
+// predDefs returns the predicate registers written by in (compares only).
+func predDefs(in isa.Inst) (ps [2]isa.PReg, n int) {
+	if in.Op == isa.OpCmp || in.Op == isa.OpCmpI {
+		if in.P1 != 0 {
+			ps[n] = in.P1
+			n++
+		}
+		if in.P2 != 0 {
+			ps[n] = in.P2
+			n++
+		}
+	}
+	return ps, n
+}
+
+// checkBundleDataflow reports predicate WAW inside a bundle and, when
+// advisory is set, general-register RAW between slots of the same bundle.
+func checkBundleDataflow(pc uint64, bi int, b isa.Bundle, advisory bool) []Finding {
+	var fs []Finding
+	var predWritten [isa.NumPR]bool
+	var grWritten [isa.NumGR]bool
+	var uses []isa.Reg
+	for i, in := range b.Slots {
+		if in.Op == isa.OpNop {
+			continue
+		}
+		if advisory {
+			uses = in.RegUses(uses[:0])
+			for _, r := range uses {
+				if r != 0 && int(r) < isa.NumGR && grWritten[r] {
+					fs = append(fs, Finding{Rule: RuleRAWGroup, Sev: SevAdvisory, PC: pc, Bundle: bi, Slot: i,
+						Detail: fmt.Sprintf("r%d written earlier in this bundle and read by %s", r, in.Op)})
+				}
+			}
+		}
+		ps, n := predDefs(in)
+		for k := 0; k < n; k++ {
+			if int(ps[k]) >= isa.NumPR {
+				continue // reported by checkRegRange
+			}
+			if predWritten[ps[k]] {
+				fs = append(fs, Finding{Rule: RulePredWAW, PC: pc, Bundle: bi, Slot: i,
+					Detail: fmt.Sprintf("p%d written twice in one bundle", ps[k])})
+			}
+			predWritten[ps[k]] = true
+		}
+		if in.P1 != 0 && in.P1 == in.P2 {
+			fs = append(fs, Finding{Rule: RulePredWAW, PC: pc, Bundle: bi, Slot: i,
+				Detail: fmt.Sprintf("compare writes p%d as both results", in.P1)})
+		}
+		if d, ok := in.RegDef(); ok && int(d) < isa.NumGR {
+			grWritten[d] = true
+		}
+		if d, ok := in.PostIncDef(); ok && int(d) < isa.NumGR {
+			grWritten[d] = true
+		}
+	}
+	return fs
+}
+
+// reservedGR reports whether r is one of the runtime-reserved scratch
+// registers r27-r30.
+func reservedGR(r isa.Reg) bool {
+	return r >= isa.ReservedGRFirst && r <= isa.ReservedGRLast
+}
+
+// checkReservedUse flags any contact with the reserved registers.
+func checkReservedUse(pc uint64, bi int, b isa.Bundle) []Finding {
+	var fs []Finding
+	var uses []isa.Reg
+	for i, in := range b.Slots {
+		if in.Op == isa.OpNop {
+			continue
+		}
+		bad := func(what string) {
+			fs = append(fs, Finding{Rule: RuleReservedUse, PC: pc, Bundle: bi, Slot: i,
+				Detail: fmt.Sprintf("%s touches runtime-reserved %s", in.Op, what)})
+		}
+		uses = in.RegUses(uses[:0])
+		for _, r := range uses {
+			if reservedGR(r) {
+				bad(fmt.Sprintf("r%d", r))
+			}
+		}
+		if d, ok := in.RegDef(); ok && reservedGR(d) {
+			bad(fmt.Sprintf("r%d", d))
+		}
+		if d, ok := in.PostIncDef(); ok && reservedGR(d) {
+			bad(fmt.Sprintf("r%d", d))
+		}
+		if in.QP == isa.ReservedPR {
+			bad(fmt.Sprintf("p%d", in.QP))
+		}
+		ps, n := predDefs(in)
+		for k := 0; k < n; k++ {
+			if ps[k] == isa.ReservedPR {
+				bad(fmt.Sprintf("p%d", ps[k]))
+			}
+		}
+	}
+	return fs
+}
+
+// checkBranchTarget validates one branch's target: bundle-aligned and
+// mapped (inside seg, or anywhere in opt.Code when provided).
+func checkBranchTarget(pc uint64, bi, si int, in isa.Inst, seg *program.Segment, opt Options) []Finding {
+	switch in.Op {
+	case isa.OpBr, isa.OpBrCond, isa.OpBrCall:
+	default:
+		return nil // br.ret and halt carry no static target
+	}
+	if in.Target%isa.BundleBytes != 0 {
+		return []Finding{{Rule: RuleBranchTarget, PC: pc, Bundle: bi, Slot: si,
+			Detail: fmt.Sprintf("target %#x not bundle-aligned", in.Target)}}
+	}
+	mapped := false
+	switch {
+	case opt.Code != nil:
+		_, mapped = opt.Code.SegmentAt(in.Target)
+	case seg != nil:
+		mapped = seg.Contains(in.Target)
+	default:
+		return nil
+	}
+	if !mapped {
+		return []Finding{{Rule: RuleBranchTarget, PC: pc, Bundle: bi, Slot: si,
+			Detail: fmt.Sprintf("target %#x outside mapped code", in.Target)}}
+	}
+	return nil
+}
+
+// CheckSegment verifies every bundle of a code segment: template legality,
+// intra-bundle dataflow, branch targets and (optionally) reserved-register
+// abstinence.
+func CheckSegment(seg *program.Segment, opt Options) []Finding {
+	var fs []Finding
+	for i, b := range seg.Bundles {
+		pc := seg.Base + uint64(i)*isa.BundleBytes
+		fs = append(fs, checkBundleAt(pc, i, b)...)
+		fs = append(fs, checkBundleDataflow(pc, i, b, opt.Advisory)...)
+		if opt.ReservedRegsUnused {
+			fs = append(fs, checkReservedUse(pc, i, b)...)
+		}
+		for si, in := range b.Slots {
+			fs = append(fs, checkBranchTarget(pc, i, si, in, seg, opt)...)
+		}
+	}
+	return fs
+}
+
+// CheckImage verifies a compiled program image: its code segment plus a
+// mapped, aligned entry point.
+func CheckImage(img *program.Image, opt Options) []Finding {
+	fs := CheckSegment(img.Code, opt)
+	if img.Entry%isa.BundleBytes != 0 || !img.Code.Contains(img.Entry) {
+		fs = append(fs, Finding{Rule: RuleBranchTarget, PC: img.Entry,
+			Detail: fmt.Sprintf("entry point %#x unmapped or misaligned", img.Entry)})
+	}
+	return fs
+}
