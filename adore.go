@@ -26,12 +26,14 @@ package adore
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/harness"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/verify"
 	"repro/internal/workloads"
@@ -70,6 +72,47 @@ type (
 	// OptStats aggregates what the optimizer did (Table 2 counters).
 	OptStats = core.Stats
 )
+
+// The observability layer (DESIGN.md §10): a cycle-stamped event recorder
+// threaded through the controller, CPI-stack accounting in the CPU, and
+// exporters for Perfetto (Chrome trace format), JSONL, and a text timeline.
+type (
+	// ObsEvent is one recorded controller/counter event.
+	ObsEvent = obs.Event
+	// ObsKind identifies what an ObsEvent records.
+	ObsKind = obs.Kind
+	// ObsCapture is one run's complete event stream.
+	ObsCapture = obs.Capture
+	// Recorder is the fixed-capacity event ring buffer.
+	Recorder = obs.Recorder
+	// CPIStack partitions elapsed cycles into busy / load-stall /
+	// flush / fetch (cpu.Config.Accounting).
+	CPIStack = cpu.CPIStack
+	// PrefetchStats aggregates prefetch-usefulness counters.
+	PrefetchStats = memsys.PrefetchStats
+)
+
+// WithObserve enables the observability layer on a run configuration:
+// RunResult.Obs carries the event stream (on ADORE runs) and
+// RunResult.CPIStack/LoopCPI the cycle accounting.
+func WithObserve(rc RunConfig) RunConfig {
+	rc.Observe = true
+	return rc
+}
+
+// WriteChromeTrace writes a capture in Chrome trace-event format, loadable
+// in Perfetto and chrome://tracing.
+func WriteChromeTrace(w io.Writer, c *ObsCapture) error { return obs.WriteChromeTrace(w, c) }
+
+// WriteEventsJSONL writes a capture as JSON Lines (one event per line).
+func WriteEventsJSONL(w io.Writer, c *ObsCapture) error { return obs.WriteJSONL(w, c) }
+
+// ValidateChromeTrace checks that data is a well-formed Chrome trace with
+// per-track monotonic timestamps, returning the timestamped event count.
+func ValidateChromeTrace(data []byte) (int, error) { return obs.ValidateChromeTrace(data) }
+
+// Timeline renders a capture as a plain-text per-window history.
+func Timeline(c *ObsCapture) string { return obs.Timeline(c) }
 
 // The static machine-code verifier (DESIGN.md §9). It checks generated
 // images after every compile, guards every runtime patch installation

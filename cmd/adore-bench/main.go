@@ -3,12 +3,18 @@
 // Usage:
 //
 //	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|all] [-scale 1.0] [-j 0] [-json]
+//	adore-bench -bench mcf [-scale 1.0] -trace out.json [-events out.jsonl]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison. Sweeps run on the
 // experiment engine: -j sets the worker-pool width (0 = all cores,
 // 1 = serial), one build cache is shared across all selected experiments,
 // and ^C cancels in-flight simulations cleanly.
+//
+// The second form runs ONE benchmark under ADORE with the observability
+// layer on and exports the recorded event stream: -trace writes a Chrome
+// trace-event file loadable in Perfetto (ui.perfetto.dev), -events a JSONL
+// stream. See DESIGN.md §10.
 package main
 
 import (
@@ -17,12 +23,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro"
 	"repro/cmd/internal/cli"
 	"repro/internal/compiler"
 	"repro/internal/harness"
+	"repro/internal/workloads"
 )
 
 func main() {
@@ -31,9 +40,17 @@ func main() {
 	jobs := flag.Int("j", 0, "parallel jobs (0 = one per core, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	progress := flag.Bool("progress", true, "print live per-job progress to stderr")
+	benchName := flag.String("bench", "", "observed-run mode: run this one benchmark under ADORE ("+strings.Join(workloads.Names(), " ")+")")
+	traceOut := flag.String("trace", "", "observed-run mode: write a Perfetto-loadable Chrome trace to this file")
+	eventsOut := flag.String("events", "", "observed-run mode: write the event stream as JSONL to this file")
 	flag.Parse()
 
 	ctx := cli.Context()
+
+	if *benchName != "" || *traceOut != "" || *eventsOut != "" {
+		cli.Fatal(observedRun(ctx, *benchName, *scale, *traceOut, *eventsOut))
+		return
+	}
 
 	var jobsDone atomic.Int64
 	onProgress := func(p harness.Progress) {
@@ -131,3 +148,65 @@ func main() {
 
 // renderer is any experiment result that can print itself as text.
 type renderer interface{ Render() string }
+
+// observedRun executes one benchmark under ADORE with the observability
+// layer enabled and exports the recorded stream.
+func observedRun(ctx context.Context, name string, scale float64, tracePath, eventsPath string) error {
+	if name == "" {
+		name = "mcf"
+	}
+	bench, err := adore.Benchmark(name, scale)
+	if err != nil {
+		return err
+	}
+	build, err := adore.Compile(bench.Kernel, adore.CompileOptions())
+	if err != nil {
+		return err
+	}
+	res, err := adore.RunContext(ctx, build, adore.WithObserve(adore.WithADORE(adore.RunOptions())))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d cycles, %d instructions (CPI %.3f)\n",
+		bench.Name, res.CPU.Cycles, res.CPU.Retired, res.CPU.CPI())
+	if s := res.CPIStack; s != nil {
+		t := float64(s.Total())
+		fmt.Printf("cpi stack: busy %.1f%%, load-stall %.1f%%, flush %.1f%%, fetch %.1f%%\n",
+			100*float64(s.Busy)/t, 100*float64(s.LoadStall)/t, 100*float64(s.Flush)/t, 100*float64(s.Fetch)/t)
+	}
+	if res.Obs != nil {
+		fmt.Printf("events: %d recorded, %d dropped\n", len(res.Obs.Events), res.Obs.Dropped)
+	}
+	pf := res.Mem.Prefetch()
+	fmt.Printf("prefetch: %d issued, %d useful, %d late, %d evicted unused\n",
+		pf.Issued, pf.Useful, pf.Late, pf.EvictedUnused)
+
+	write := func(path string, render func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(tracePath, func(f *os.File) error { return adore.WriteChromeTrace(f, res.Obs) }); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		fmt.Printf("wrote %s (load in ui.perfetto.dev)\n", tracePath)
+	}
+	if err := write(eventsPath, func(f *os.File) error { return adore.WriteEventsJSONL(f, res.Obs) }); err != nil {
+		return err
+	}
+	if eventsPath != "" {
+		fmt.Printf("wrote %s\n", eventsPath)
+	}
+	return nil
+}

@@ -39,7 +39,19 @@ func main() {
 	noReserve := flag.Bool("noreserve", false, "compile without reserving r27-r30/p6 for the runtime")
 	advisory := flag.Bool("advisory", false, "also report advisory findings (RAW inside a bundle)")
 	dynamic := flag.Bool("adore", false, "run each workload under ADORE and lint the trace pool too")
+	traceFile := flag.String("trace", "", "validate a Chrome trace-event file (as written by adore-bench -trace) and exit")
 	flag.Parse()
+
+	if *traceFile != "" {
+		data, err := os.ReadFile(*traceFile)
+		cli.Fatal(err)
+		n, err := adore.ValidateChromeTrace(data)
+		if err != nil {
+			cli.Fatal(fmt.Errorf("%s: %w", *traceFile, err))
+		}
+		fmt.Printf("%s: valid Chrome trace, %d timestamped events\n", *traceFile, n)
+		return
+	}
 
 	var levels []compiler.OptLevel
 	switch *level {

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	adore-profile -bench gcc [-scale 1.0] [-cover 0.98]
+//	adore-profile -bench mcf -timeline
+//
+// With -timeline the workload instead runs under ADORE with the
+// observability layer on, and the recorded event stream prints as a
+// per-window text timeline (windows, CPI-stack shares, prefetch deltas,
+// phase/patch events).
 package main
 
 import (
@@ -22,12 +28,21 @@ import (
 func main() {
 	name := flag.String("bench", "gcc", "benchmark: "+strings.Join(workloads.Names(), " "))
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	timeline := flag.Bool("timeline", false, "run under ADORE with observability and print the event timeline")
 	flag.Parse()
 
 	bench, err := adore.Benchmark(*name, *scale)
 	fatal(err)
 	build, err := adore.Compile(bench.Kernel, adore.CompileOptions())
 	fatal(err)
+
+	if *timeline {
+		res, err := adore.RunContext(cli.Context(), build,
+			adore.WithObserve(adore.WithADORE(adore.RunOptions())))
+		fatal(err)
+		fmt.Print(adore.Timeline(res.Obs))
+		return
+	}
 
 	rc := adore.RunOptions()
 	rc.Core = adore.DefaultConfig()

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	adore-trace -bench mcf [-scale 0.3] [-pool]
+//	adore-trace -bench mcf [-scale 0.3] [-pool] [-trace out.json] [-events out.jsonl]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 
 	"repro"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/program"
 	"repro/internal/workloads"
@@ -27,7 +30,10 @@ func main() {
 	name := flag.String("bench", "mcf", "benchmark: "+strings.Join(workloads.Names(), " "))
 	scale := flag.Float64("scale", 0.3, "workload scale factor")
 	dumpPool := flag.Bool("pool", false, "disassemble the trace pool at exit")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
+	eventsOut := flag.String("events", "", "write the event stream as JSONL to this file")
 	flag.Parse()
+	observe := *traceOut != "" || *eventsOut != ""
 
 	bench, err := adore.Benchmark(*name, *scale)
 	fatal(err)
@@ -43,11 +49,16 @@ func main() {
 	img.InitData(mem)
 	hier := memsys.NewHierarchy(memsys.DefaultConfig())
 	ccfg := core.DefaultConfig()
+	ccfg.Observe = observe
+	mcfg := cpu.DefaultConfig()
+	mcfg.Accounting = observe
 	p := pmu.New(ccfg.Sampling)
-	m := cpu.New(cpu.DefaultConfig(), code, mem, hier, p)
+	m := cpu.New(mcfg, code, mem, hier, p)
 	m.SetPC(img.Entry)
+	m.SetImage(img)
 	ctrl, err := core.NewController(ccfg, code, p)
 	fatal(err)
+	ctrl.SetImage(img)
 
 	ctrl.OnOptimize = func(t *core.Trace, loads []core.DelinquentLoad, res core.OptimizeResult) {
 		fmt.Printf("[%12d] optimize trace @%#x (loop=%v, %d bundles, %d insts)\n",
@@ -65,6 +76,11 @@ func main() {
 
 	fmt.Printf("\nrun: %d cycles, %d instructions (CPI %.3f)\n", st.Cycles, st.Retired, st.CPI())
 	fmt.Printf("ADORE: %+v\n", ctrl.Stats)
+	fmt.Printf("prefetches inserted: %d (%d direct, %d indirect, %d pointer-chasing)\n",
+		ctrl.Stats.TotalPrefetches(), ctrl.Stats.DirectPrefetches,
+		ctrl.Stats.IndirectPrefetches, ctrl.Stats.PointerPrefetches)
+	fmt.Printf("verifier: %d traces checked, %d rejected\n",
+		ctrl.Stats.TracesVerified, ctrl.Stats.VerifyRejects)
 	for _, rec := range ctrl.Patches() {
 		fmt.Printf("patch @%#x -> trace %#x..%#x (active %v)\n", rec.Entry, rec.TraceAddr, rec.TraceEnd, rec.Active)
 	}
@@ -78,6 +94,23 @@ func main() {
 			fmt.Printf("\ntrace pool (%d bundles):\n%s", n, program.Listing(sub))
 		}
 	}
+	if observe {
+		cap := ctrl.Capture()
+		export(*traceOut, cap, obs.WriteChromeTrace)
+		export(*eventsOut, cap, obs.WriteJSONL)
+	}
+}
+
+// export writes the capture through render when path is set.
+func export(path string, c *obs.Capture, render func(w io.Writer, c *obs.Capture) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	fatal(err)
+	fatal(render(f, c))
+	fatal(f.Close())
+	fmt.Printf("wrote %s\n", path)
 }
 
 func fatal(err error) { cli.Fatal(err) }

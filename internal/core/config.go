@@ -124,6 +124,18 @@ type Config struct {
 	// optimized phase vs. its pre-patch CPI) that triggers unpatching.
 	UnpatchSlowdown float64
 
+	// Observe records a cycle-stamped structured event stream of the
+	// controller's pipeline (internal/obs): profile windows, phase events,
+	// trace selection, patching, and — when the CPU runs with
+	// cpu.Config.Accounting — per-window CPI-stack and prefetch-usefulness
+	// counters. Off by default; when off no recorder exists and the
+	// controller's behaviour and timing are bit-identical to a build
+	// without the observability layer.
+	Observe bool
+
+	// ObserveCapacity bounds the event ring (obs.DefaultCapacity when 0).
+	ObserveCapacity int
+
 	// ---- §6 future-work extensions (all off by default: the paper's
 	// published system) ----
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/program"
 	"repro/internal/verify"
@@ -43,6 +44,12 @@ type Stats struct {
 	// installation and traces rejected for failing a rule.
 	TracesVerified int
 	VerifyRejects  int
+	// SamplesDropped counts PMU samples lost to SSB overflows that fired
+	// with no handler attached (pmu.PMU.SamplesDropped). Always zero while
+	// a controller is attached — it exists so observability runs can tell
+	// "no events" from "events lost" — and omitted from JSON when zero so
+	// experiment output is unchanged.
+	SamplesDropped uint64 `json:",omitempty"`
 }
 
 // TotalPrefetches returns the number of prefetch sequences inserted.
@@ -78,6 +85,9 @@ type Controller struct {
 	// Verifier findings of rejected traces (Config.Verify).
 	findings []verify.Finding
 
+	// Observability state (Config.Observe; see observe.go).
+	obs observeState
+
 	// OnWindow, when set, receives every profile window's metrics — the
 	// hook the harness uses to record the Fig. 8/9 time series.
 	OnWindow func(WindowMetrics)
@@ -96,7 +106,7 @@ func NewController(cfg Config, code *program.CodeSpace, p *pmu.PMU) (*Controller
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{
+	c := &Controller{
 		cfg:  cfg,
 		code: code,
 		pmu:  p,
@@ -104,7 +114,12 @@ func NewController(cfg Config, code *program.CodeSpace, p *pmu.PMU) (*Controller
 		det:  NewPhaseDetector(cfg),
 		pool: pool,
 		opt:  NewOptimizer(cfg),
-	}, nil
+	}
+	if cfg.Observe {
+		c.obs.rec = obs.NewRecorder(cfg.ObserveCapacity)
+		c.obs.prevLoop = make(map[int]cpu.CPIStack)
+	}
+	return c, nil
 }
 
 // Attach installs the signal handler and the poll hook on the CPU and
@@ -113,6 +128,7 @@ func (c *Controller) Attach(m *cpu.CPU) {
 	c.pmu.SetHandler(c.onOverflow)
 	m.AddPollHook(c.cfg.PollInterval, c.poll)
 	c.mem = m.Mem // instrumentation buffers live in program memory
+	c.obs.m = m   // per-window CPI-stack and prefetch sampling
 	c.pmu.Start(m.Now())
 }
 
@@ -123,6 +139,7 @@ func (c *Controller) onOverflow(samples []pmu.Sample) {
 	w := c.ueb.AddWindow(samples)
 	c.Stats.WindowsObserved++
 	c.newWindows = append(c.newWindows, w)
+	c.observeWindow(w)
 	if c.OnWindow != nil {
 		c.OnWindow(w)
 	}
@@ -137,15 +154,20 @@ func (c *Controller) poll(now uint64) uint64 {
 		ev, info := c.det.Observe(w)
 		switch ev {
 		case PhaseStable:
-			charge += c.onStablePhase(info)
+			c.observePhaseDetected(now, info)
+			charge += c.onStablePhase(now, info)
 		case PhaseChanged:
 			c.Stats.PhaseChanges++
+			c.observePhaseChange(now)
 		}
 	}
 	c.newWindows = c.newWindows[:0]
 	charge += c.pollInstrumentation()
 	c.Stats.TableHits = c.det.TableHits
 	c.Stats.TableMisses = c.det.TableMisses
+	if c.pmu != nil {
+		c.Stats.SamplesDropped = c.pmu.SamplesDropped
+	}
 	if c.Stats.FirstPatchCycle == 0 && c.Stats.TracesPatched > 0 {
 		c.Stats.FirstPatchCycle = now
 	}
@@ -163,8 +185,8 @@ func sigMatches(list []float64, sig, tol float64) bool {
 }
 
 // onStablePhase runs trace selection and optimization for a newly stable
-// phase, per §2.3-§3.
-func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
+// phase, per §2.3-§3. now is the polling cycle, used to stamp events.
+func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 	c.Stats.PhasesDetected++
 	tol := c.cfg.PCDev
 
@@ -174,7 +196,7 @@ func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
 	// nonprofitable ones").
 	if c.pool.Contains(uint64(info.PCCenter)) {
 		c.Stats.SkipInPool++
-		return c.checkProfitability(info)
+		return c.checkProfitability(now, info)
 	}
 	if sigMatches(c.blacklist, info.PCCenter, tol) {
 		return 0
@@ -205,6 +227,9 @@ func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
 	sel := NewTraceSelector(c.cfg, c.code)
 	traces := sel.Select(samples)
 	c.Stats.TracesSelected += len(traces)
+	for _, t := range traces {
+		c.observeTraceSelected(now, t)
+	}
 
 	var charge uint64
 	anyInserted := false
@@ -248,7 +273,9 @@ func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
 		if (res.Total() == 0 && instr == nil) || c.cfg.DisableInsertion {
 			continue
 		}
+		preFindings := len(c.findings)
 		if !c.verifyTrace(t, pristine) {
+			c.observeVerifyReject(now, t, len(c.findings)-preFindings)
 			continue // fail-safe: leave the original code unpatched
 		}
 		addr, err := c.pool.Install(t)
@@ -262,6 +289,7 @@ func (c *Controller) onStablePhase(info *PhaseInfo) uint64 {
 		rec.TraceEnd = c.pool.seg.Base + uint64(c.pool.next)*16
 		c.patches = append(c.patches, rec)
 		c.Stats.TracesPatched++
+		c.observePatchInstalled(now, rec, res.Total())
 		charge += c.cfg.PatchCharge
 		if instr != nil {
 			instr.patch = rec
@@ -290,7 +318,7 @@ func (c *Controller) isPatched(entry uint64) bool {
 
 // checkProfitability unpatches traces whose phase now runs slower than
 // before patching.
-func (c *Controller) checkProfitability(info *PhaseInfo) uint64 {
+func (c *Controller) checkProfitability(now uint64, info *PhaseInfo) uint64 {
 	pc := uint64(info.PCCenter)
 	for _, rec := range c.patches {
 		if !rec.Active || pc < rec.TraceAddr || pc >= rec.TraceEnd {
@@ -300,6 +328,7 @@ func (c *Controller) checkProfitability(info *PhaseInfo) uint64 {
 			if err := undoPatch(c.code, rec); err == nil {
 				c.Stats.Unpatches++
 				c.blacklist = append(c.blacklist, info.PCCenter)
+				c.observeUnpatch(now, rec, info.CPI)
 				return c.cfg.PatchCharge
 			}
 		}

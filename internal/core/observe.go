@@ -1,0 +1,188 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+	"repro/internal/obs"
+	"repro/internal/program"
+)
+
+// Observability wiring (Config.Observe): the controller stamps every step
+// of its pipeline — windows, phase events, trace selection, patching — into
+// an obs.Recorder on the simulated clock, and samples the CPU's CPI stack
+// and the hierarchy's prefetch-usefulness counters once per profile window.
+// With Observe off, rec stays nil and every emit call is a nil-receiver
+// no-op: the pipeline's behaviour and timing are untouched.
+
+// observeState is the controller's recorder plus the previous-window
+// snapshots the per-window counter deltas difference against.
+type observeState struct {
+	rec *obs.Recorder
+	m   *cpu.CPU
+	img *program.Image
+
+	prevStack cpu.CPIStack
+	prevLoop  map[int]cpu.CPIStack
+	prevPf    memsys.PrefetchStats
+	prevL1D   memsys.CacheStats
+}
+
+// SetImage attaches compiler loop metadata so events carry loop IDs and the
+// exporters can label per-loop tracks. Harmless without Observe.
+func (c *Controller) SetImage(img *program.Image) { c.obs.img = img }
+
+// Recording reports whether this controller records events.
+func (c *Controller) Recording() bool { return c.obs.rec != nil }
+
+// Capture returns the recorded event stream, or nil without Config.Observe.
+func (c *Controller) Capture() *obs.Capture {
+	if c.obs.rec == nil {
+		return nil
+	}
+	cp := &obs.Capture{
+		Events:  c.obs.rec.Events(),
+		Dropped: c.obs.rec.Dropped(),
+	}
+	if img := c.obs.img; img != nil {
+		cp.Meta.Program = img.Name
+		for i := range img.Loops {
+			l := &img.Loops[i]
+			cp.Meta.Loops = append(cp.Meta.Loops, obs.LoopLabel{ID: l.ID, Name: l.Name})
+		}
+	}
+	return cp
+}
+
+// loopOf maps a code address to its compiler loop ID (-1 when unknown).
+func (c *Controller) loopOf(pc uint64) int32 {
+	if c.obs.img == nil {
+		return -1
+	}
+	if l, ok := c.obs.img.LoopAt(pc); ok {
+		return int32(l.ID)
+	}
+	return -1
+}
+
+// observeWindow emits the per-window events: the window itself (stamped at
+// its end cycle), then the CPI-stack deltas (whole-core and per loop, when
+// the CPU runs with Accounting), then the prefetch-usefulness deltas. The
+// counter events are stamped at the snapshot instant — the CPU clock at
+// overflow delivery, which can trail EndCycle by the monitoring cycles
+// charged between windows (patch installation, handler cost) — so
+// consecutive core-level CPIStack deltas sum exactly to the cycles between
+// their stamps.
+func (c *Controller) observeWindow(w WindowMetrics) {
+	o := &c.obs
+	if o.rec == nil {
+		return
+	}
+	o.rec.Emit(obs.Event{
+		Cycle: w.EndCycle, Kind: obs.KindWindowObserved, Loop: -1,
+		A: uint64(w.Seq), B: uint64(w.DearEvents), C: w.Retired,
+		V: w.CPI, W: w.DPI,
+	})
+
+	if o.m != nil {
+		now := o.m.Now()
+		if stack, ok := o.m.Accounting(); ok {
+			d := stack.Sub(o.prevStack)
+			o.prevStack = stack
+			o.rec.Emit(obs.Event{
+				Cycle: now, Kind: obs.KindCPIStack, Loop: -1,
+				A: d.Busy, B: d.LoadStall, C: d.Flush, D: d.Fetch,
+			})
+			loops := o.m.LoopAccounting()
+			for _, id := range o.m.LoopIDs() {
+				ld := loops[id].Sub(o.prevLoop[id])
+				o.prevLoop[id] = loops[id]
+				if ld.Total() == 0 || id < 0 {
+					continue // idle loop this window; core already emitted
+				}
+				o.rec.Emit(obs.Event{
+					Cycle: now, Kind: obs.KindCPIStack, Loop: int32(id),
+					A: ld.Busy, B: ld.LoadStall, C: ld.Flush, D: ld.Fetch,
+				})
+			}
+		}
+
+		if h := o.m.Hier; h != nil {
+			pf := h.Prefetch()
+			d := pf.Sub(o.prevPf)
+			o.prevPf = pf
+			l1d := h.L1D.Stats
+			var missRatio float64
+			if acc := l1d.Accesses - o.prevL1D.Accesses; acc > 0 {
+				missRatio = float64(l1d.Misses-o.prevL1D.Misses) / float64(acc)
+			}
+			o.prevL1D = l1d
+			o.rec.Emit(obs.Event{
+				Cycle: now, Kind: obs.KindPrefetchWindow, Loop: -1,
+				A: d.Issued, B: d.Useful, C: d.Late, D: d.EvictedUnused,
+				V: missRatio,
+			})
+		}
+	}
+}
+
+func (c *Controller) observePhaseDetected(now uint64, info *PhaseInfo) {
+	if c.obs.rec == nil {
+		return
+	}
+	pc := uint64(info.PCCenter)
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindPhaseDetected, Loop: c.loopOf(pc), PC: pc,
+		A: uint64(len(info.Windows)), V: info.CPI, W: info.DearPerK,
+	})
+}
+
+func (c *Controller) observePhaseChange(now uint64) {
+	if c.obs.rec == nil {
+		return
+	}
+	c.obs.rec.Emit(obs.Event{Cycle: now, Kind: obs.KindPhaseChange, Loop: -1})
+}
+
+func (c *Controller) observeTraceSelected(now uint64, t *Trace) {
+	if c.obs.rec == nil {
+		return
+	}
+	var isLoop uint64
+	if t.IsLoop {
+		isLoop = 1
+	}
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindTraceSelected, Loop: c.loopOf(t.Start),
+		PC: t.Start, A: uint64(len(t.Bundles)), B: isLoop,
+	})
+}
+
+func (c *Controller) observeVerifyReject(now uint64, t *Trace, findings int) {
+	if c.obs.rec == nil {
+		return
+	}
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindVerifyReject, Loop: c.loopOf(t.Start),
+		PC: t.Start, A: uint64(findings),
+	})
+}
+
+func (c *Controller) observePatchInstalled(now uint64, rec *PatchRecord, prefetches int) {
+	if c.obs.rec == nil {
+		return
+	}
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindPatchInstalled, Loop: c.loopOf(rec.Entry),
+		PC: rec.Entry, A: rec.TraceAddr, B: rec.TraceEnd, C: uint64(prefetches),
+	})
+}
+
+func (c *Controller) observeUnpatch(now uint64, rec *PatchRecord, cpi float64) {
+	if c.obs.rec == nil {
+		return
+	}
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindUnpatch, Loop: c.loopOf(rec.Entry),
+		PC: rec.Entry, A: rec.TraceAddr, V: cpi, W: rec.PrePatch,
+	})
+}

@@ -1,0 +1,147 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/memsys"
+	"repro/internal/program"
+)
+
+// buildAccounted assembles b into a full machine with Config.Accounting on.
+func buildAccounted(t *testing.T, b *asm.Builder) (*CPU, *asm.Result) {
+	t.Helper()
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := program.NewCodeSpace()
+	seg := &program.Segment{Name: "main", Base: r.Base, Bundles: r.Bundles}
+	if err := cs.AddSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Accounting = true
+	c := New(cfg, cs, memsys.NewMemory(), memsys.NewHierarchy(memsys.DefaultConfig()), nil)
+	c.SetPC(r.Base)
+	return c, r
+}
+
+// TestAccountingSumsToCycles pins the central invariant: with accounting
+// on, the four CPI-stack categories partition the elapsed cycles exactly.
+func TestAccountingSumsToCycles(t *testing.T) {
+	const base, n = 0x10000, 200
+	c, _ := buildAccounted(t, sumLoop(base, n))
+	for i := 0; i < n; i++ {
+		c.Mem.WriteN(base+uint64(i*8), 8, uint64(i))
+	}
+	st := run(t, c)
+
+	stack, ok := c.Accounting()
+	if !ok {
+		t.Fatal("Accounting() reports disabled with cfg.Accounting set")
+	}
+	if stack.Total() != st.Cycles {
+		t.Fatalf("stack total %d != cycles %d (stack %+v)", stack.Total(), st.Cycles, stack)
+	}
+	// A cold strided loop must show issue work, load stalls (cold misses),
+	// and front-end time (taken back edges).
+	if stack.Busy == 0 || stack.LoadStall == 0 || stack.Fetch == 0 {
+		t.Fatalf("degenerate stack %+v", stack)
+	}
+}
+
+// TestAccountingPerLoop attaches an Image with loop metadata and checks the
+// per-loop split: loop stacks partition the whole-core stack, loop IDs come
+// out sorted, and prologue/halt time lands on loop -1.
+func TestAccountingPerLoop(t *testing.T) {
+	const base, n = 0x20000, 150
+	c, r := buildAccounted(t, sumLoop(base, n))
+	for i := 0; i < n; i++ {
+		c.Mem.WriteN(base+uint64(i*8), 8, uint64(i))
+	}
+
+	head, ok := r.AddrOf("loop")
+	if !ok {
+		t.Fatal("no loop label")
+	}
+	img := program.NewImage("sum", &program.Segment{Name: "main", Base: r.Base, Bundles: r.Bundles}, r.Base)
+	img.Loops = []program.LoopInfo{{
+		ID:        3,
+		Name:      "sum",
+		Head:      head,
+		BodyStart: head,
+		BodyEnd:   r.Base + uint64(len(r.Bundles))*16,
+	}}
+	c.SetImage(img)
+	st := run(t, c)
+
+	loops := c.LoopAccounting()
+	if len(loops) == 0 {
+		t.Fatal("no per-loop accounting recorded")
+	}
+	var sum uint64
+	for _, s := range loops {
+		sum += s.Total()
+	}
+	if sum != st.Cycles {
+		t.Fatalf("per-loop totals %d != cycles %d (%+v)", sum, st.Cycles, loops)
+	}
+	if loops[3].Total() == 0 {
+		t.Fatalf("loop 3 got no time: %+v", loops)
+	}
+	if loops[-1].Total() == 0 {
+		t.Fatalf("prologue time not attributed to loop -1: %+v", loops)
+	}
+	if loops[3].Total() <= loops[-1].Total() {
+		t.Fatalf("loop body %d cycles <= prologue %d cycles", loops[3].Total(), loops[-1].Total())
+	}
+	if ids := c.LoopIDs(); !reflect.DeepEqual(ids, []int{-1, 3}) {
+		t.Fatalf("LoopIDs = %v, want [-1 3]", ids)
+	}
+}
+
+// TestAccountingOffIsInert checks the disabled path: Accounting() reports
+// off, no per-loop state appears, SetImage is a no-op, and — the
+// bit-identical-when-off contract — Stats match an accounting-on run.
+func TestAccountingOffIsInert(t *testing.T) {
+	const base, n = 0x30000, 100
+	fill := func(c *CPU) {
+		for i := 0; i < n; i++ {
+			c.Mem.WriteN(base+uint64(i*8), 8, uint64(i))
+		}
+	}
+
+	off, rOff := buildMachine(t, sumLoop(base, n), nil)
+	off.SetImage(program.NewImage("sum", &program.Segment{Name: "main", Base: rOff.Base, Bundles: rOff.Bundles}, rOff.Base))
+	fill(off)
+	stOff := run(t, off)
+
+	if _, ok := off.Accounting(); ok {
+		t.Fatal("Accounting() reports enabled on default config")
+	}
+	if off.LoopAccounting() != nil || off.LoopIDs() != nil {
+		t.Fatal("disabled CPU accumulated per-loop state")
+	}
+
+	on, _ := buildAccounted(t, sumLoop(base, n))
+	fill(on)
+	stOn := run(t, on)
+	if stOff != stOn {
+		t.Fatalf("accounting changed Stats:\noff %+v\non  %+v", stOff, stOn)
+	}
+}
+
+// TestAccountingSub checks snapshot deltas, the per-window emission path.
+func TestAccountingSub(t *testing.T) {
+	a := CPIStack{Busy: 10, LoadStall: 20, Flush: 3, Fetch: 4}
+	b := CPIStack{Busy: 25, LoadStall: 21, Flush: 3, Fetch: 9}
+	d := b.Sub(a)
+	if (d != CPIStack{Busy: 15, LoadStall: 1, Flush: 0, Fetch: 5}) {
+		t.Fatalf("Sub = %+v", d)
+	}
+	if d.Total() != b.Total()-a.Total() {
+		t.Fatalf("delta total %d != %d", d.Total(), b.Total()-a.Total())
+	}
+}

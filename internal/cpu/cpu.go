@@ -33,6 +33,13 @@ type Config struct {
 	TakenBubble       int // front-end bubble on a correctly predicted taken branch
 	FPLatency         int // FP op result latency (fma: 4)
 	ModelICache       bool
+
+	// Accounting enables CPI-stack cycle attribution (see accounting.go):
+	// every elapsed cycle is split into busy / load-stall / flush / fetch,
+	// whole-core and — with SetImage — per compiler loop. Off by default;
+	// when off the accounting code is never reached and Stats are
+	// bit-identical to a run without it.
+	Accounting bool
 }
 
 // DefaultConfig returns the standard core model.
@@ -116,6 +123,8 @@ type CPU struct {
 	lastFetchLine uint64
 	hooks         []pollEntry
 
+	acct accounting // CPI-stack attribution (Config.Accounting)
+
 	Stats Stats
 }
 
@@ -125,6 +134,7 @@ func New(cfg Config, code *program.CodeSpace, mem *memsys.Memory, hier *memsys.H
 	c := &CPU{cfg: cfg, Code: code, Mem: mem, Hier: hier, PMU: p}
 	c.FR[1] = 1.0
 	c.lastFetchLine = ^uint64(0)
+	c.acct.curLoop = -1
 	return c
 }
 
@@ -148,10 +158,17 @@ func (c *CPU) AddPollHook(interval uint64, fn PollHook) {
 }
 
 // advanceCycle moves time forward to at least target and resets the issue
-// window when the cycle changes.
-func (c *CPU) advanceCycle(target uint64) {
+// window when the cycle changes. cat names the CPI-stack category the
+// skipped cycles belong to; with Config.Accounting off it is ignored.
+func (c *CPU) advanceCycle(target uint64, cat acctCat) {
 	if target <= c.cycle {
 		return
+	}
+	// Busy is the residual accounting category (computed on read), so
+	// busy advances — the per-cycle hot path — skip attribution; cat is a
+	// constant at every call site, folding this branch away when inlined.
+	if cat != acctBusy && c.cfg.Accounting {
+		c.attribute(cat, target-c.cycle)
 	}
 	c.cycle = target
 	c.bundlesUsed = 0
@@ -161,8 +178,9 @@ func (c *CPU) advanceCycle(target uint64) {
 	c.brUsed = 0
 }
 
-// nextCycle bumps time by one cycle and opens a fresh issue window.
-func (c *CPU) nextCycle() { c.advanceCycle(c.cycle + 1) }
+// nextCycle bumps time by one cycle and opens a fresh issue window. The
+// cycle left behind was issue progress, so it accounts as busy.
+func (c *CPU) nextCycle() { c.advanceCycle(c.cycle+1, acctBusy) }
 
 // chargeBundle accounts the issue of one more bundle in this cycle.
 func (c *CPU) chargeBundle() {
@@ -220,7 +238,9 @@ func (c *CPU) step() error {
 		h := &c.hooks[i]
 		if c.cycle >= h.next {
 			if charge := h.fn(c.cycle); charge > 0 {
-				c.advanceCycle(c.cycle + charge)
+				// Runtime charges (patching) account as busy: the
+				// thread is executing the runtime's work.
+				c.advanceCycle(c.cycle+charge, acctBusy)
 			}
 			for h.next <= c.cycle {
 				h.next += h.interval
@@ -237,6 +257,9 @@ func (c *CPU) step() error {
 	if !ok {
 		return fmt.Errorf("cpu: fetch from unmapped address %#x", bundleAddr)
 	}
+	if c.cfg.Accounting {
+		c.noteFetch(bundleAddr)
+	}
 
 	// Instruction cache: charge when fetch moves to a new I-line.
 	if c.cfg.ModelICache && c.Hier != nil {
@@ -246,7 +269,7 @@ func (c *CPU) step() error {
 			r := c.Hier.Access(c.cycle, bundleAddr, memsys.KindInst)
 			if r.Latency > 0 {
 				c.Stats.ICacheStalls += r.Latency
-				c.advanceCycle(c.cycle + r.Latency)
+				c.advanceCycle(c.cycle+r.Latency, acctFetch)
 			}
 		}
 	}
@@ -269,7 +292,7 @@ func (c *CPU) step() error {
 func (c *CPU) wait(r isa.Reg) {
 	if t := c.grReady[r]; t > c.cycle {
 		c.Stats.LoadStalls += t - c.cycle
-		c.advanceCycle(t)
+		c.advanceCycle(t, acctLoadStall)
 	}
 }
 
@@ -277,7 +300,7 @@ func (c *CPU) wait(r isa.Reg) {
 func (c *CPU) waitF(r isa.FReg) {
 	if t := c.frReady[r]; t > c.cycle {
 		c.Stats.LoadStalls += t - c.cycle
-		c.advanceCycle(t)
+		c.advanceCycle(t, acctLoadStall)
 	}
 }
 
@@ -570,14 +593,14 @@ func (c *CPU) redirect(target uint64, mispredicted bool) {
 	if mispredicted {
 		c.mispredict()
 	} else if c.cfg.TakenBubble > 0 {
-		c.advanceCycle(c.cycle + uint64(c.cfg.TakenBubble))
+		c.advanceCycle(c.cycle+uint64(c.cfg.TakenBubble), acctFetch)
 	}
 	c.pc = target
 }
 
 func (c *CPU) mispredict() {
 	c.Stats.Mispredicts++
-	c.advanceCycle(c.cycle + uint64(c.cfg.MispredictPenalty))
+	c.advanceCycle(c.cycle+uint64(c.cfg.MispredictPenalty), acctFlush)
 }
 
 func (c *CPU) postInc(in *isa.Inst) {
@@ -606,7 +629,9 @@ func (c *CPU) retire(pc uint64) {
 		c.PMU.TakeSample(pc, c.cycle)
 		if d := c.PMU.OverheadCycles - before; d > 0 {
 			c.Stats.SampleCharges += d
-			c.advanceCycle(c.cycle + d)
+			// Sample-handler charges account as busy, like any other
+			// runtime work billed to the thread.
+			c.advanceCycle(c.cycle+d, acctBusy)
 		}
 	}
 }

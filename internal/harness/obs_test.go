@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// obsBuild compiles one benchmark for the observability tests.
+func obsBuild(t *testing.T, name string, scale float64) *compiler.BuildResult {
+	t.Helper()
+	b, err := workloads.ByName(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := compiler.Build(b.Kernel, compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return build
+}
+
+// TestObservedRunDeterminism: the recorder is stamped on the simulated
+// clock, so two observed runs of the same build must produce bit-identical
+// event streams — and an unobserved run of the same build must produce the
+// exact same cpu.Stats, because observing may not perturb the simulation.
+func TestObservedRunDeterminism(t *testing.T) {
+	build := obsBuild(t, "art", 0.1)
+	rc := DefaultRunConfig()
+	rc.ADORE = true
+	rc.Observe = true
+
+	first, err := Run(build, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(build, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CPU != second.CPU {
+		t.Errorf("cpu stats diverged:\n  first:  %+v\n  second: %+v", first.CPU, second.CPU)
+	}
+	if first.Obs == nil || second.Obs == nil {
+		t.Fatal("observed run returned nil capture")
+	}
+	if !reflect.DeepEqual(first.Obs, second.Obs) {
+		t.Errorf("event streams diverged: %d vs %d events (dropped %d vs %d)",
+			len(first.Obs.Events), len(second.Obs.Events), first.Obs.Dropped, second.Obs.Dropped)
+	}
+	if !reflect.DeepEqual(first.CPIStack, second.CPIStack) {
+		t.Errorf("CPI stacks diverged:\n  first:  %+v\n  second: %+v", first.CPIStack, second.CPIStack)
+	}
+
+	plain := DefaultRunConfig()
+	plain.ADORE = true
+	unobserved, err := Run(build, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unobserved.CPU != first.CPU {
+		t.Errorf("observing perturbed the run:\n  observed:   %+v\n  unobserved: %+v",
+			first.CPU, unobserved.CPU)
+	}
+	if !reflect.DeepEqual(unobserved.Core, first.Core) {
+		t.Errorf("observing perturbed controller stats:\n  observed:   %+v\n  unobserved: %+v",
+			first.Core, unobserved.Core)
+	}
+	if unobserved.Obs != nil || unobserved.CPIStack != nil || unobserved.LoopCPI != nil {
+		t.Error("unobserved run carries observability outputs")
+	}
+}
+
+// TestObservedRunAcceptance is the PR's acceptance run: mcf at scale 0.1
+// under ADORE with observability on must record the pipeline milestones,
+// keep the per-window CPI-stack deltas consistent with the window clock,
+// and export a valid Chrome trace.
+func TestObservedRunAcceptance(t *testing.T) {
+	build := obsBuild(t, "mcf", 0.1)
+	rc := DefaultRunConfig()
+	rc.ADORE = true
+	rc.Observe = true
+
+	res, err := Run(build, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs == nil {
+		t.Fatal("no capture")
+	}
+	if res.CPIStack == nil {
+		t.Fatal("no CPI stack")
+	}
+	if got, want := res.CPIStack.Total(), res.CPU.Cycles; got != want {
+		t.Errorf("whole-run CPI stack total %d != cycles %d", got, want)
+	}
+
+	counts := map[obs.Kind]int{}
+	for _, e := range res.Obs.Events {
+		counts[e.Kind]++
+	}
+	for _, k := range []obs.Kind{
+		obs.KindWindowObserved, obs.KindPhaseDetected, obs.KindPatchInstalled,
+		obs.KindCPIStack, obs.KindPrefetchWindow,
+	} {
+		if counts[k] == 0 {
+			t.Errorf("no %v event recorded (counts %v)", k, counts)
+		}
+	}
+
+	// Each core-level (Loop == -1) CPIStack event carries the cycles
+	// accounted since the previous snapshot, and is stamped at the snapshot
+	// instant — so consecutive stamps bound the delta exactly (well inside
+	// the 1%-per-window acceptance bar).
+	var prevCycle uint64
+	checked := 0
+	for _, e := range res.Obs.Events {
+		if e.Kind != obs.KindCPIStack || e.Loop != -1 {
+			continue
+		}
+		sum := e.A + e.B + e.C + e.D
+		want := e.Cycle - prevCycle
+		prevCycle = e.Cycle
+		if sum != want {
+			t.Errorf("window snapshot @%d: CPI-stack delta %d vs cycle delta %d",
+				e.Cycle, sum, want)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no core-level CPIStack windows checked")
+	}
+
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, res.Obs); err != nil {
+		t.Fatal(err)
+	}
+	n, err := obs.ValidateChromeTrace(trace.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if n == 0 {
+		t.Error("exported trace has no timestamped events")
+	}
+	var jsonl bytes.Buffer
+	if err := obs.WriteJSONL(&jsonl, res.Obs); err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Len() == 0 {
+		t.Error("empty JSONL export")
+	}
+}
+
+// TestObserveOverhead guards the "low-overhead" claim: enabling the full
+// observability layer (recorder + CPI-stack accounting + per-window
+// sampling) on a serial Fig. 7 benchmark may cost at most 5% wall clock.
+// Min-of-N timing filters scheduler noise.
+func TestObserveOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: timed simulation runs")
+	}
+	build := obsBuild(t, "mcf", 0.1)
+
+	timeRun := func(observe bool) time.Duration {
+		rc := DefaultRunConfig()
+		rc.ADORE = true
+		rc.Observe = observe
+		start := time.Now()
+		if _, err := Run(build, rc); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+
+	// Interleave the two configurations and keep the best of each, so
+	// host-load drift during the test hits both sides alike.
+	best := func(a, b time.Duration) time.Duration {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	off, on := time.Duration(1<<63-1), time.Duration(1<<63-1)
+	for i := 0; i < 5; i++ {
+		off = best(off, timeRun(false))
+		on = best(on, timeRun(true))
+	}
+	overhead := float64(on-off) / float64(off)
+	t.Logf("observe off %v, on %v: overhead %.2f%%", off, on, 100*overhead)
+	if overhead > 0.05 {
+		t.Errorf("observability overhead %.2f%% exceeds 5%% (off %v, on %v)",
+			100*overhead, off, on)
+	}
+}

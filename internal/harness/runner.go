@@ -13,6 +13,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/program"
 )
@@ -38,6 +39,13 @@ type RunConfig struct {
 	// OnOptimize, when set with ADORE, observes every trace
 	// optimization attempt (tooling/debugging hook).
 	OnOptimize func(*core.Trace, []core.DelinquentLoad, core.OptimizeResult)
+
+	// Observe turns on the observability layer for this run: the CPU's
+	// CPI-stack accounting (cpu.Config.Accounting), the controller's event
+	// recorder (core.Config.Observe), and loop metadata on both, filling
+	// RunResult.Obs / CPIStack / LoopCPI. Off by default; when off the run
+	// is bit-identical to one built without the layer.
+	Observe bool
 }
 
 // DearEvent is one captured miss event of a training profile.
@@ -75,6 +83,12 @@ type RunResult struct {
 	Series     []SeriesPoint
 	Mem        *memsys.Hierarchy
 	DearEvents []DearEvent // non-nil only with CaptureDear
+
+	// Observability outputs, non-nil only with RunConfig.Observe (and
+	// omitted from JSON otherwise, keeping unobserved output unchanged).
+	Obs      *obs.Capture         `json:",omitempty"` // controller event stream (ADORE runs)
+	CPIStack *cpu.CPIStack        `json:",omitempty"` // whole-run cycle accounting
+	LoopCPI  map[int]cpu.CPIStack `json:",omitempty"` // per-loop cycle accounting
 
 	// FinalMemory is the simulated data memory after the run — the
 	// observable program results, used by semantics-preservation tests.
@@ -131,12 +145,17 @@ func RunContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig)
 	var ctrl *core.Controller
 	res := &RunResult{Name: img.Name, Mem: hier}
 
+	if cfg.Observe {
+		cfg.Core.Observe = true
+		cfg.CPU.Accounting = true
+	}
 	needPMU := cfg.ADORE || cfg.SampleOnly
 	if needPMU {
 		p = pmu.New(cfg.Core.Sampling)
 	}
 	m := cpu.New(cfg.CPU, code, mem, hier, p)
 	m.SetPC(img.Entry)
+	m.SetImage(img) // no-op without Accounting
 
 	record := func(w core.WindowMetrics) {
 		if !cfg.RecordSeries {
@@ -161,6 +180,7 @@ func RunContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig)
 		}
 		ctrl.OnWindow = record
 		ctrl.OnOptimize = cfg.OnOptimize
+		ctrl.SetImage(img)
 		ctrl.Attach(m)
 	case cfg.SampleOnly:
 		ueb := core.NewUEB(cfg.Core.W)
@@ -196,6 +216,12 @@ func RunContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig)
 	if ctrl != nil {
 		cs := ctrl.Stats
 		res.Core = &cs
+		res.Obs = ctrl.Capture() // nil unless Core.Observe
+	}
+	if stack, ok := m.Accounting(); ok {
+		s := stack
+		res.CPIStack = &s
+		res.LoopCPI = m.LoopAccounting()
 	}
 	return res, nil
 }

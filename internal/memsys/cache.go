@@ -14,10 +14,13 @@ type CacheConfig struct {
 // line is one cache line's tag state. readyAt records when an in-flight
 // fill completes: a "hit" on a line still being filled waits for it, which
 // is how prefetch-too-late and miss coalescing behave on real hardware.
+// pf marks a line installed by lfetch that no demand access has touched
+// yet — the bit behind the prefetch-usefulness counters.
 type line struct {
 	tag     uint64
 	valid   bool
 	dirty   bool
+	pf      bool
 	readyAt uint64
 	lastUse uint64 // LRU timestamp
 }
@@ -30,6 +33,13 @@ type CacheStats struct {
 	Prefetches uint64 // fills initiated by lfetch
 	LatePfHits uint64 // demand hits on a still-in-flight prefetch fill
 	Writebacks uint64
+	// Prefetch usefulness: where each prefetched line's first demand touch
+	// found it — fill already complete (useful), fill still in flight
+	// (late), or never touched before eviction (unused). Useful + Late +
+	// Unused converges on Prefetches as lines age out.
+	PfUseful uint64
+	PfLate   uint64
+	PfUnused uint64
 }
 
 // Cache is one set-associative, write-back, write-allocate cache level.
@@ -100,6 +110,16 @@ func (c *Cache) Probe(addr uint64) bool { return c.lookup(addr) != -1 }
 // returns (false, 0); the caller must Fill the line after resolving the
 // next level. Stores mark the line dirty.
 func (c *Cache) Access(now uint64, addr uint64, isWrite bool) (hit bool, readyAt uint64) {
+	return c.access(now, addr, isWrite, true)
+}
+
+// accessPf is the lookup lfetch uses: identical timing, but it does not
+// consume a line's pf bit — only demand accesses decide usefulness.
+func (c *Cache) accessPf(now uint64, addr uint64) (hit bool, readyAt uint64) {
+	return c.access(now, addr, false, false)
+}
+
+func (c *Cache) access(now uint64, addr uint64, isWrite, demand bool) (hit bool, readyAt uint64) {
 	c.Stats.Accesses++
 	c.useTick++
 	idx := c.lookup(addr)
@@ -115,6 +135,14 @@ func (c *Cache) Access(now uint64, addr uint64, isWrite bool) (hit bool, readyAt
 	c.Stats.Hits++
 	if l.readyAt > now {
 		c.Stats.LatePfHits++
+	}
+	if demand && l.pf {
+		l.pf = false
+		if l.readyAt > now {
+			c.Stats.PfLate++
+		} else {
+			c.Stats.PfUseful++
+		}
 	}
 	return true, l.readyAt
 }
@@ -145,8 +173,11 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, dirty bool, isPrefetch bool) (
 	if evictedDirty {
 		c.Stats.Writebacks++
 	}
+	if v.valid && v.pf {
+		c.Stats.PfUnused++
+	}
 	c.useTick++
-	*v = line{tag: tag, valid: true, dirty: dirty, readyAt: readyAt, lastUse: c.useTick}
+	*v = line{tag: tag, valid: true, dirty: dirty, pf: isPrefetch, readyAt: readyAt, lastUse: c.useTick}
 	return evictedDirty
 }
 

@@ -85,6 +85,7 @@ type Hierarchy struct {
 
 	// Aggregate statistics beyond the per-cache counters.
 	DroppedPrefetches uint64
+	PrefetchesIssued  uint64 // lfetch accesses presented to the hierarchy
 	MemAccesses       uint64
 	BusWaitCycles     uint64
 	MSHRWaitCycles    uint64
@@ -213,14 +214,15 @@ func (h *Hierarchy) Access(now uint64, addr uint64, kind AccessKind) Result {
 // hardware. The line is installed at all levels with its fill-completion
 // time so that later demand accesses wait only for the remaining portion.
 func (h *Hierarchy) accessPrefetch(now uint64, addr uint64) Result {
-	if hit, _ := h.L1D.Access(now, addr, false); hit {
+	h.PrefetchesIssued++
+	if hit, _ := h.L1D.accessPf(now, addr); hit {
 		return Result{Latency: 0, Level: LevelL1}
 	}
-	if hit, ready := h.L2.Access(now, addr, false); hit {
+	if hit, ready := h.L2.accessPf(now, addr); hit {
 		h.L1D.Fill(addr, max64(ready, now+uint64(h.cfg.L2.HitLat)), false, true)
 		return Result{Latency: 0, Level: LevelL2}
 	}
-	if hit, ready := h.L3.Access(now, addr, false); hit {
+	if hit, ready := h.L3.accessPf(now, addr); hit {
 		at := max64(ready, now+uint64(h.cfg.L3.HitLat))
 		h.L2.Fill(addr, at, false, true)
 		h.L1D.Fill(addr, at, false, true)
@@ -267,6 +269,38 @@ func (h *Hierarchy) accessInst(now uint64, addr uint64) Result {
 	return Result{Latency: ready - now, Level: LevelMem}
 }
 
+// PrefetchStats is the aggregate usefulness view the controller samples
+// once per profile window for the observability counter track.
+type PrefetchStats struct {
+	Issued        uint64 // lfetches presented to the hierarchy
+	Useful        uint64 // first demand touch found the fill complete
+	Late          uint64 // first demand touch waited on an in-flight fill
+	EvictedUnused uint64 // prefetched lines evicted before any demand touch
+}
+
+// Prefetch returns the usefulness counters aggregated over L1D and L2 —
+// the levels lfetch installs into for integer and FP streams respectively.
+// A line can be counted at both levels (it exists in both), so the split
+// is indicative, not an exact partition of Issued.
+func (h *Hierarchy) Prefetch() PrefetchStats {
+	return PrefetchStats{
+		Issued:        h.PrefetchesIssued,
+		Useful:        h.L1D.Stats.PfUseful + h.L2.Stats.PfUseful,
+		Late:          h.L1D.Stats.PfLate + h.L2.Stats.PfLate,
+		EvictedUnused: h.L1D.Stats.PfUnused + h.L2.Stats.PfUnused,
+	}
+}
+
+// Sub returns s - prev per counter (per-window deltas).
+func (s PrefetchStats) Sub(prev PrefetchStats) PrefetchStats {
+	return PrefetchStats{
+		Issued:        s.Issued - prev.Issued,
+		Useful:        s.Useful - prev.Useful,
+		Late:          s.Late - prev.Late,
+		EvictedUnused: s.EvictedUnused - prev.EvictedUnused,
+	}
+}
+
 // Reset clears all cache contents and statistics.
 func (h *Hierarchy) Reset() {
 	h.L1D.Reset()
@@ -276,6 +310,7 @@ func (h *Hierarchy) Reset() {
 	h.busNextFree = 0
 	h.inflight = nil
 	h.DroppedPrefetches = 0
+	h.PrefetchesIssued = 0
 	h.MemAccesses = 0
 	h.BusWaitCycles = 0
 	h.MSHRWaitCycles = 0

@@ -272,3 +272,78 @@ func TestLevelLatencyOrdering(t *testing.T) {
 		t.Fatalf("latency ordering violated: L1=%d L2=%d MEM=%d", l1Lat, fp, memLat)
 	}
 }
+
+func TestPrefetchUsefulnessCounters(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+
+	// Useful: demand touch long after the fill completed.
+	h.Access(0, 0xc000, KindPrefetch)
+	h.Access(1000, 0xc000, KindLoad)
+	if h.L1D.Stats.PfUseful != 1 {
+		t.Fatalf("PfUseful = %d, want 1", h.L1D.Stats.PfUseful)
+	}
+
+	// Late: demand touch while the fill is still in flight.
+	h.Access(2000, 0x10000, KindPrefetch)
+	h.Access(2100, 0x10000, KindLoad)
+	if h.L1D.Stats.PfLate != 1 {
+		t.Fatalf("PfLate = %d, want 1", h.L1D.Stats.PfLate)
+	}
+
+	// The first demand touch consumes the pf bit: re-touching the same
+	// line is an ordinary hit, not another useful prefetch.
+	h.Access(3000, 0xc000, KindLoad)
+	if h.L1D.Stats.PfUseful != 1 {
+		t.Fatalf("second touch recounted: PfUseful = %d", h.L1D.Stats.PfUseful)
+	}
+
+	// A prefetch probing its own line must not consume the bit.
+	h.Access(4000, 0x20000, KindPrefetch)
+	h.Access(5000, 0x20000, KindPrefetch)
+	h.Access(6000, 0x20000, KindLoad)
+	if h.L1D.Stats.PfUseful != 2 {
+		t.Fatalf("prefetch probe consumed pf bit: PfUseful = %d, want 2", h.L1D.Stats.PfUseful)
+	}
+
+	// Unused: prefetched line evicted (1 KB / 64 B / 2-way L1D -> 8 sets,
+	// 512-byte set stride) before any demand touch.
+	h.Access(7000, 0x30000, KindPrefetch)
+	h.Access(8000, 0x30200, KindLoad)
+	h.Access(9000, 0x30400, KindLoad)
+	if h.L1D.Stats.PfUnused != 1 {
+		t.Fatalf("PfUnused = %d, want 1", h.L1D.Stats.PfUnused)
+	}
+
+	agg := h.Prefetch()
+	if agg.Issued != 5 {
+		t.Fatalf("Issued = %d, want 5", agg.Issued)
+	}
+	if agg.Useful < 2 || agg.Late < 1 || agg.EvictedUnused < 1 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+
+	// Deltas for per-window sampling.
+	before := agg
+	h.Access(10000, 0x40000, KindPrefetch)
+	d := h.Prefetch().Sub(before)
+	if d.Issued != 1 || d.Useful != 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+
+	h.Reset()
+	if got := h.Prefetch(); got != (PrefetchStats{}) {
+		t.Fatalf("Reset left counters: %+v", got)
+	}
+}
+
+func TestDemandFillNotCountedUnused(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	// Demand-filled lines evicted untouched-again are not "unused
+	// prefetches": the pf bit is only set by lfetch fills.
+	h.Access(0, 0x50000, KindLoad)
+	h.Access(1000, 0x50200, KindLoad)
+	h.Access(2000, 0x50400, KindLoad)
+	if h.L1D.Stats.PfUnused != 0 {
+		t.Fatalf("PfUnused = %d, want 0", h.L1D.Stats.PfUnused)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders a Capture in two interchange formats:
+//
+//   - JSONL: one self-describing JSON object per event, preceded by one
+//     meta line — the grep/jq-friendly form.
+//   - Chrome trace-event format (the JSON object form, {"traceEvents":
+//     [...]}), loadable in Perfetto and chrome://tracing: instant events on
+//     a controller track and one track per loop, plus counter tracks for
+//     the CPI stack, CPI, L1D miss rate, and prefetch usefulness.
+//
+// Both writers emit fields in a fixed order with strconv-formatted numbers,
+// so identical captures serialize to identical bytes (the golden-file and
+// determinism tests rely on this).
+
+// fnum formats a float like encoding/json does (shortest round-trip form).
+func fnum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSONL writes the capture as JSON Lines. The first line is a meta
+// record carrying the program name, the event count, and how many events
+// the ring dropped; each following line is one event.
+func WriteJSONL(w io.Writer, c *Capture) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `{"meta":true,"program":%q,"events":%d,"dropped":%d}`+"\n",
+		c.Meta.Program, len(c.Events), c.Dropped)
+	for i := range c.Events {
+		e := &c.Events[i]
+		fmt.Fprintf(bw,
+			`{"cycle":%d,"kind":%q,"loop":%d,"pc":"0x%x","a":%d,"b":%d,"c":%d,"d":%d,"v":%s,"w":%s}`+"\n",
+			e.Cycle, e.Kind.String(), e.Loop, e.PC, e.A, e.B, e.C, e.D, fnum(e.V), fnum(e.W))
+	}
+	return bw.Flush()
+}
+
+// Track/pid layout of the Chrome trace. One fake process holds everything;
+// the controller gets tid 1 and each compiler loop gets 100+ID, so
+// Perfetto shows the dynopt's actions per loop.
+const (
+	tracePid      = 1
+	controllerTid = 1
+	loopTidBase   = 100
+)
+
+func loopTid(loop int32) int {
+	if loop < 0 {
+		return controllerTid
+	}
+	return loopTidBase + int(loop)
+}
+
+// chromeWriter assembles the traceEvents array with deterministic
+// formatting.
+type chromeWriter struct {
+	bw    *bufio.Writer
+	first bool
+}
+
+func (cw *chromeWriter) event(fields string) {
+	if !cw.first {
+		cw.bw.WriteString(",\n")
+	}
+	cw.first = false
+	cw.bw.WriteString("  {")
+	cw.bw.WriteString(fields)
+	cw.bw.WriteString("}")
+}
+
+func (cw *chromeWriter) meta(name string, tid int, value string) {
+	cw.event(fmt.Sprintf(`"name":%q,"ph":"M","pid":%d,"tid":%d,"args":{"name":%q}`,
+		name, tracePid, tid, value))
+}
+
+func (cw *chromeWriter) instant(name string, ts uint64, tid int, args string) {
+	cw.event(fmt.Sprintf(`"name":%q,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{%s}`,
+		name, ts, tracePid, tid, args))
+}
+
+func (cw *chromeWriter) counter(name string, ts uint64, args string) {
+	cw.event(fmt.Sprintf(`"name":%q,"ph":"C","ts":%d,"pid":%d,"args":{%s}`,
+		name, ts, tracePid, args))
+}
+
+// WriteChromeTrace writes the capture in Chrome trace-event format.
+// Timestamps map one simulated cycle to one microsecond; Perfetto's time
+// axis therefore reads directly in simulated megacycles.
+func WriteChromeTrace(w io.Writer, c *Capture) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\": [\n")
+	cw := &chromeWriter{bw: bw, first: true}
+
+	cw.meta("process_name", 0, "adore: "+c.Meta.Program)
+	cw.meta("thread_name", controllerTid, "controller")
+	for _, l := range c.Meta.Loops {
+		cw.meta("thread_name", loopTidBase+l.ID, fmt.Sprintf("loop %d: %s", l.ID, l.Name))
+	}
+
+	for i := range c.Events {
+		e := &c.Events[i]
+		switch e.Kind {
+		case KindWindowObserved:
+			cw.counter("cpi", e.Cycle, `"cpi":`+fnum(e.V))
+			cw.counter("miss_rate", e.Cycle, `"dpi":`+fnum(e.W))
+		case KindCPIStack:
+			if e.Loop >= 0 {
+				// Per-loop stacks stay out of the counter tracks (one
+				// counter per name); the JSONL stream carries them.
+				continue
+			}
+			cw.counter("cpi_stack", e.Cycle, fmt.Sprintf(
+				`"busy":%d,"load_stall":%d,"flush":%d,"fetch":%d`, e.A, e.B, e.C, e.D))
+		case KindPrefetchWindow:
+			cw.counter("prefetch", e.Cycle, fmt.Sprintf(
+				`"issued":%d,"useful":%d,"late":%d,"evicted_unused":%d`, e.A, e.B, e.C, e.D))
+		case KindPhaseDetected:
+			cw.instant("PhaseDetected", e.Cycle, controllerTid, fmt.Sprintf(
+				`"pc_center":"0x%x","windows":%d,"cpi":%s,"dear_per_k":%s`, e.PC, e.A, fnum(e.V), fnum(e.W)))
+		case KindPhaseChange:
+			cw.instant("PhaseChange", e.Cycle, controllerTid, "")
+		case KindTraceSelected:
+			cw.instant("TraceSelected", e.Cycle, loopTid(e.Loop), fmt.Sprintf(
+				`"start":"0x%x","bundles":%d,"loop_trace":%t`, e.PC, e.A, e.B != 0))
+		case KindPatchInstalled:
+			cw.instant("PatchInstalled", e.Cycle, loopTid(e.Loop), fmt.Sprintf(
+				`"entry":"0x%x","trace":"0x%x","trace_end":"0x%x","prefetches":%d`, e.PC, e.A, e.B, e.C))
+		case KindVerifyReject:
+			cw.instant("VerifyReject", e.Cycle, loopTid(e.Loop), fmt.Sprintf(
+				`"start":"0x%x","findings":%d`, e.PC, e.A))
+		case KindUnpatch:
+			cw.instant("Unpatch", e.Cycle, loopTid(e.Loop), fmt.Sprintf(
+				`"entry":"0x%x","trace":"0x%x","cpi":%s,"pre_patch_cpi":%s`, e.PC, e.A, fnum(e.V), fnum(e.W)))
+		}
+	}
+
+	fmt.Fprintf(bw, "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"program\": %q, \"dropped\": %d}}\n",
+		c.Meta.Program, c.Dropped)
+	return bw.Flush()
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureCapture is a small hand-built stream exercising every event kind,
+// shared by the golden, validation, and timeline tests.
+func fixtureCapture() *Capture {
+	return &Capture{
+		Meta: Meta{
+			Program: "mcf",
+			Loops:   []LoopLabel{{ID: 0, Name: "arcs"}, {ID: 1, Name: "nodes"}},
+		},
+		Dropped: 0,
+		Events: []Event{
+			{Cycle: 1000, Kind: KindWindowObserved, Loop: -1, A: 0, B: 12, C: 500, V: 2.125, W: 0.015},
+			{Cycle: 1000, Kind: KindCPIStack, Loop: -1, A: 400, B: 500, C: 60, D: 40},
+			{Cycle: 1000, Kind: KindCPIStack, Loop: 0, A: 300, B: 450, C: 10, D: 5},
+			{Cycle: 1000, Kind: KindPrefetchWindow, Loop: -1, A: 0, B: 0, C: 0, D: 0, V: 0.25},
+			{Cycle: 2000, Kind: KindWindowObserved, Loop: -1, A: 1, B: 14, C: 510, V: 2.0, W: 0.014},
+			{Cycle: 2000, Kind: KindCPIStack, Loop: -1, A: 420, B: 480, C: 55, D: 45},
+			{Cycle: 2000, Kind: KindPrefetchWindow, Loop: -1, A: 0, B: 0, C: 0, D: 0, V: 0.24},
+			{Cycle: 2500, Kind: KindPhaseDetected, Loop: 0, PC: 0x10040, A: 4, V: 2.06, W: 1.5},
+			{Cycle: 2500, Kind: KindTraceSelected, Loop: 0, PC: 0x10040, A: 6, B: 1},
+			{Cycle: 2500, Kind: KindVerifyReject, Loop: 1, PC: 0x10200, A: 2},
+			{Cycle: 2500, Kind: KindPatchInstalled, Loop: 0, PC: 0x10040, A: 0x4000_0000, B: 0x4000_0070, C: 2},
+			{Cycle: 3000, Kind: KindWindowObserved, Loop: -1, A: 2, B: 3, C: 520, V: 1.25, W: 0.004},
+			{Cycle: 3000, Kind: KindCPIStack, Loop: -1, A: 600, B: 40, C: 10, D: 0},
+			{Cycle: 3000, Kind: KindPrefetchWindow, Loop: -1, A: 64, B: 60, C: 3, D: 1, V: 0.05},
+			{Cycle: 3500, Kind: KindPhaseChange, Loop: -1},
+			{Cycle: 4000, Kind: KindUnpatch, Loop: 0, PC: 0x10040, A: 0x4000_0000, V: 2.5, W: 2.0},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/obs -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file.\n-- got --\n%s\n-- want --\n%s", name, got, want)
+	}
+}
+
+// TestChromeTraceGolden pins the Perfetto export byte-for-byte.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, fixtureCapture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.trace.json", buf.Bytes())
+
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace fails own validator: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("validator saw no timestamped events")
+	}
+}
+
+// TestJSONLGolden pins the JSONL export byte-for-byte.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixtureCapture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fixture.events.jsonl", buf.Bytes())
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != len(fixtureCapture().Events)+1 {
+		t.Fatalf("JSONL has %d lines, want %d", lines, len(fixtureCapture().Events)+1)
+	}
+}
+
+func TestValidateRejectsBackwardsTimestamps(t *testing.T) {
+	bad := `{"traceEvents": [
+	  {"name":"cpi","ph":"C","ts":2000,"pid":1,"args":{"cpi":1}},
+	  {"name":"cpi","ph":"C","ts":1000,"pid":1,"args":{"cpi":2}}
+	]}`
+	if _, err := ValidateChromeTrace([]byte(bad)); err == nil {
+		t.Fatal("backwards counter timestamps not rejected")
+	}
+	// Same timestamps on different tracks are fine.
+	ok := `{"traceEvents": [
+	  {"name":"cpi","ph":"C","ts":2000,"pid":1,"args":{"cpi":1}},
+	  {"name":"miss_rate","ph":"C","ts":1000,"pid":1,"args":{"dpi":2}}
+	]}`
+	if _, err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Fatalf("independent tracks rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":    `{"traceEvents": [`,
+		"no array":    `{"events": []}`,
+		"no name":     `{"traceEvents": [{"ph":"i","ts":1,"pid":1,"tid":1}]}`,
+		"no pid":      `{"traceEvents": [{"name":"x","ph":"i","ts":1,"tid":1}]}`,
+		"no ts":       `{"traceEvents": [{"name":"x","ph":"i","pid":1,"tid":1}]}`,
+		"unknown ph":  `{"traceEvents": [{"name":"x","ph":"Z","ts":1,"pid":1,"tid":1}]}`,
+		"instant tid": `{"traceEvents": [{"name":"x","ph":"i","ts":1,"pid":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ValidateChromeTrace([]byte(doc)); err == nil {
+			t.Errorf("%s: not rejected", name)
+		}
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out := Timeline(fixtureCapture())
+	for _, want := range []string{
+		"timeline of mcf",
+		"phase detected: pc-center 0x10040",
+		"patch installed @0x10040",
+		"verifier rejected trace @0x10200",
+		"unpatched @0x10040",
+		"64/60/3/1", // prefetch window deltas
+		"phase change",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeTrace checks a serialized Chrome trace (as produced by
+// WriteChromeTrace, or any schema-compatible producer) for the properties
+// Perfetto needs: well-formed JSON with a traceEvents array, every event
+// carrying a name, a known phase, and pid/tid, and per-track timestamps
+// that never run backwards. It returns the event count on success — CI
+// runs this over the trace artifact before uploading it.
+func ValidateChromeTrace(data []byte) (events int, err error) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+
+	type ev struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		Ts   *float64 `json:"ts"`
+		Pid  *int     `json:"pid"`
+		Tid  *int     `json:"tid"`
+	}
+	// Timestamps must be non-decreasing per track: per (pid,tid) for
+	// instants/durations, per (pid,name) for counters (a counter is its
+	// own track regardless of tid).
+	lastTs := map[string]float64{}
+	for i, raw := range doc.TraceEvents {
+		var e ev
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return 0, fmt.Errorf("obs: traceEvents[%d] malformed: %w", i, err)
+		}
+		if e.Name == "" {
+			return 0, fmt.Errorf("obs: traceEvents[%d] has no name", i)
+		}
+		if e.Pid == nil {
+			return 0, fmt.Errorf("obs: traceEvents[%d] %q has no pid", i, e.Name)
+		}
+		var track string
+		switch e.Ph {
+		case "M": // metadata carries no timestamp
+			continue
+		case "C":
+			track = fmt.Sprintf("C/%d/%s", *e.Pid, e.Name)
+		case "i", "I", "X", "B", "E":
+			if e.Tid == nil {
+				return 0, fmt.Errorf("obs: traceEvents[%d] %q has no tid", i, e.Name)
+			}
+			track = fmt.Sprintf("T/%d/%d", *e.Pid, *e.Tid)
+		default:
+			return 0, fmt.Errorf("obs: traceEvents[%d] %q has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts == nil {
+			return 0, fmt.Errorf("obs: traceEvents[%d] %q has no ts", i, e.Name)
+		}
+		if prev, seen := lastTs[track]; seen && *e.Ts < prev {
+			return 0, fmt.Errorf("obs: traceEvents[%d] %q: ts %v runs backwards on track %s (prev %v)",
+				i, e.Name, *e.Ts, track, prev)
+		}
+		lastTs[track] = *e.Ts
+		events++
+	}
+	return events, nil
+}

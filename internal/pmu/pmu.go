@@ -112,6 +112,11 @@ type PMU struct {
 	OverheadCycles uint64
 	TotalSamples   uint64
 	Overflows      uint64
+	// SamplesDropped counts samples discarded because the SSB overflowed
+	// with no handler attached — the kernel buffer wrapped before any
+	// consumer read it. Surfaced through core.Stats so observability runs
+	// can tell "no events" from "events lost".
+	SamplesDropped uint64
 }
 
 // New returns a PMU with the given configuration, disabled until Start.
@@ -223,6 +228,8 @@ func (p *PMU) overflow() {
 	p.OverheadCycles += uint64(len(p.ssb)) * p.cfg.HandlerCyclesPerSample
 	if p.handler != nil {
 		p.handler(p.ssb)
+	} else {
+		p.SamplesDropped += uint64(len(p.ssb))
 	}
 	p.ssb = p.ssb[:0]
 }

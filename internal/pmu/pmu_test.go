@@ -201,3 +201,39 @@ func TestSampleIndexSequenceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSamplesDroppedOnUnconsumedOverflow pins the overflow path with no
+// handler: the SSB wraps, the samples are lost, and SamplesDropped says so.
+func TestSamplesDroppedOnUnconsumedOverflow(t *testing.T) {
+	cfg := testConfig() // SSBSize 4
+	p := New(cfg)
+	p.Start(0)
+	for i := 0; i < 10; i++ {
+		p.TakeSample(uint64(i), uint64((i+1)*100))
+	}
+	// Two overflows of 4 samples each fired unconsumed; 2 samples remain.
+	if p.SamplesDropped != 8 {
+		t.Fatalf("SamplesDropped = %d, want 8", p.SamplesDropped)
+	}
+	if p.PendingSamples() != 2 {
+		t.Fatalf("PendingSamples = %d, want 2", p.PendingSamples())
+	}
+	// Stop flushes the tail, still unconsumed.
+	p.Stop()
+	if p.SamplesDropped != 10 {
+		t.Fatalf("after Stop: SamplesDropped = %d, want 10", p.SamplesDropped)
+	}
+
+	// With a handler attached, nothing is ever dropped.
+	p2 := New(testConfig())
+	var got int
+	p2.SetHandler(func(s []Sample) { got += len(s) })
+	p2.Start(0)
+	for i := 0; i < 10; i++ {
+		p2.TakeSample(uint64(i), uint64((i+1)*100))
+	}
+	p2.Stop()
+	if p2.SamplesDropped != 0 || got != 10 {
+		t.Fatalf("handled path: SamplesDropped = %d, delivered = %d", p2.SamplesDropped, got)
+	}
+}
