@@ -1,0 +1,186 @@
+// adore-fuzz drives the differential-correctness harness from the command
+// line: it generates constrained random programs (internal/progfuzz), runs
+// each through the reference oracle and the full machine — plain and with
+// the ADORE optimizer attached — and reports any divergence. CI uses it for
+// a deterministic ≥500-program smoke sweep; developers point it at a saved
+// input to replay a reproducer.
+//
+// Usage:
+//
+//	adore-fuzz [-n 500] [-seed 1] [-adore] [-v] [-out dir]
+//	adore-fuzz -replay file
+//
+// Exit status is non-zero if any program diverges; the failing input is
+// written under -out as a Go fuzz corpus file, ready to drop into
+// internal/progfuzz/testdata/fuzz/FuzzDifferential/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pmu"
+	"repro/internal/progfuzz"
+	"repro/internal/program"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 500, "number of random programs to check")
+		seed   = flag.Int64("seed", 1, "PRNG seed for program generation")
+		adore  = flag.Bool("adore", true, "also run each program with the runtime optimizer attached")
+		maxIn  = flag.Int("bytes", 256, "maximum generator input length")
+		out    = flag.String("out", "", "directory for failing-input corpus files (default: temp dir)")
+		replay = flag.String("replay", "", "replay one corpus file instead of generating")
+		verb   = flag.Bool("v", false, "log every program")
+	)
+	flag.Parse()
+	ctx := cli.Context()
+
+	if *replay != "" {
+		data, err := os.ReadFile(*replay)
+		cli.Fatal(err)
+		if body, ok := parseCorpusFile(data); ok {
+			data = body
+		}
+		rep, err := check(ctx, data, *adore)
+		cli.Fatal(err)
+		if rep != "" {
+			fmt.Println(rep)
+			os.Exit(1)
+		}
+		fmt.Println("replay: ok")
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	divergences := 0
+	for i := 0; i < *n; i++ {
+		if ctx.Err() != nil {
+			cli.Fatal(ctx.Err())
+		}
+		data := make([]byte, rng.Intn(*maxIn))
+		rng.Read(data)
+		rep, err := check(ctx, data, *adore)
+		cli.Fatal(err)
+		if *verb {
+			fmt.Printf("program %d: %d bytes, %s\n", i, len(data), statusOf(rep))
+		}
+		if rep != "" {
+			divergences++
+			fmt.Fprintf(os.Stderr, "program %d DIVERGED:\n%s\n", i, rep)
+			path, err := writeCorpusFile(*out, data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "could not save reproducer:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "reproducer saved to", path)
+			}
+		}
+	}
+	fmt.Printf("adore-fuzz: %d programs, %d divergences, %s\n", *n, divergences, time.Since(start).Round(time.Millisecond))
+	if divergences > 0 {
+		os.Exit(1)
+	}
+}
+
+func statusOf(rep string) string {
+	if rep == "" {
+		return "ok"
+	}
+	return "DIVERGED"
+}
+
+// fuzzCore mirrors the scaled-down ADORE parameters of the fuzz tests.
+func fuzzCore() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Sampling = pmu.Config{SampleInterval: 2000, SSBSize: 64, DearLatencyMin: 8, HandlerCyclesPerSample: 30}
+	cfg.W = 8
+	cfg.PollInterval = 20_000
+	cfg.StableWindows = 3
+	return cfg
+}
+
+// check runs one generated program through every differential leg and
+// returns a non-empty report if the engines disagree.
+func check(ctx context.Context, data []byte, adore bool) (string, error) {
+	p, err := progfuzz.Generate(data)
+	if err != nil {
+		return "", err
+	}
+	if fs := verify.CheckImage(p.Image, verify.Options{ReservedRegsUnused: true}); len(fs) != 0 {
+		return fmt.Sprintf("generated program has verifier findings: %v\nlisting:\n%s",
+			fs, program.Listing(p.Image.Code)), nil
+	}
+	or, err := harness.RunOracle(p.Image, 4_000_000)
+	if err != nil {
+		return "", err
+	}
+
+	cfg := harness.DefaultRunConfig()
+	cfg.MaxInsts = 4_000_000
+	rep, err := harness.DiffAgainstContext(ctx, or, p.Image, cfg)
+	if err != nil {
+		return "", err
+	}
+	if rep.Failed() {
+		return rep.String(), nil
+	}
+	if adore {
+		cfg.ADORE = true
+		cfg.Core = fuzzCore()
+		rep, err = harness.DiffAgainstContext(ctx, or, p.Image, cfg)
+		if err != nil {
+			return "", err
+		}
+		if rep.Failed() {
+			return "with ADORE: " + rep.String(), nil
+		}
+	}
+	return "", nil
+}
+
+// writeCorpusFile saves data in the Go fuzz corpus encoding so the file can
+// be checked straight into testdata/fuzz/FuzzDifferential/.
+func writeCorpusFile(dir string, data []byte) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("diverge-%d", time.Now().UnixNano())
+	path := filepath.Join(dir, name)
+	content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	return path, os.WriteFile(path, []byte(content), 0o644)
+}
+
+// parseCorpusFile extracts the []byte literal from a Go fuzz corpus file;
+// raw files fall through untouched.
+func parseCorpusFile(data []byte) ([]byte, bool) {
+	const header = "go test fuzz v1\n[]byte("
+	s := string(data)
+	if len(s) < len(header) || s[:len(header)] != header {
+		return nil, false
+	}
+	rest := s[len(header):]
+	end := len(rest) - 1
+	for end >= 0 && (rest[end] == '\n' || rest[end] == ')') {
+		end--
+	}
+	body, err := strconv.Unquote(rest[:end+1])
+	if err != nil {
+		return nil, false
+	}
+	return []byte(body), true
+}

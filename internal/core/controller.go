@@ -339,6 +339,23 @@ func (c *Controller) checkProfitability(now uint64, info *PhaseInfo) uint64 {
 // Patches returns the installed patch records (active and undone).
 func (c *Controller) Patches() []*PatchRecord { return c.patches }
 
+// UnpatchAll restores the saved original bundle of every active patch —
+// the dyn_close path, and the hook the differential harness uses to check
+// that patching is fully reversible: after UnpatchAll the main code segment
+// must be bundle-for-bundle identical to the image as built.
+func (c *Controller) UnpatchAll() error {
+	for _, rec := range c.patches {
+		if !rec.Active {
+			continue
+		}
+		if err := undoPatch(c.code, rec); err != nil {
+			return err
+		}
+		c.Stats.Unpatches++
+	}
+	return nil
+}
+
 // Pool returns the trace pool, for inspection.
 func (c *Controller) Pool() *TracePool { return c.pool }
 

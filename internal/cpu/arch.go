@@ -1,0 +1,18 @@
+package cpu
+
+import "repro/internal/isa"
+
+// ArchState snapshots the architectural register state for differential
+// comparison against the reference oracle (internal/oracle). Timing state —
+// cycle counts, scoreboard ready times, issue-window counters — is
+// deliberately excluded: two engines that agree architecturally may disagree
+// on every one of those.
+func (c *CPU) ArchState() isa.ArchState {
+	return isa.ArchState{
+		PC: c.pc,
+		GR: c.GR,
+		FR: c.FR,
+		PR: c.PR,
+		BR: c.BR,
+	}
+}

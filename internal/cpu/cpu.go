@@ -636,24 +636,4 @@ func (c *CPU) retire(pc uint64) {
 	}
 }
 
-func compare(rel isa.CmpRel, a, b uint64) bool {
-	switch rel {
-	case isa.CmpEq:
-		return a == b
-	case isa.CmpNe:
-		return a != b
-	case isa.CmpLt:
-		return int64(a) < int64(b)
-	case isa.CmpLe:
-		return int64(a) <= int64(b)
-	case isa.CmpGt:
-		return int64(a) > int64(b)
-	case isa.CmpGe:
-		return int64(a) >= int64(b)
-	case isa.CmpLtU:
-		return a < b
-	case isa.CmpGeU:
-		return a >= b
-	}
-	return false
-}
+func compare(rel isa.CmpRel, a, b uint64) bool { return isa.Compare(rel, a, b) }

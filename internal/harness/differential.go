@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/oracle"
+	"repro/internal/program"
+)
+
+// This file is the differential harness: it runs one program image through
+// the reference oracle (internal/oracle) and through the full machine
+// (internal/cpu wired by RunImageContext), then compares everything the
+// architecture defines — final register state, final data memory, and the
+// architecturally-determined counters. The paper's transparency claim
+// (§3.4: patching never changes results, only cycles) becomes a mechanical
+// check: with ADORE attached the comparison simply excludes the reserved
+// scratch registers r27-r30/p6 and additionally requires that unpatching
+// restores the original text bundle-for-bundle.
+
+// OracleResult is one completed oracle run, reusable across any number of
+// machine configurations of the same image.
+type OracleResult struct {
+	Stats oracle.Stats
+	Arch  isa.ArchState
+	Mem   *memsys.Memory
+}
+
+// RunOracle executes img on the reference interpreter until halt.
+func RunOracle(img *program.Image, maxInsts uint64) (*OracleResult, error) {
+	if maxInsts == 0 {
+		maxInsts = 2_000_000_000
+	}
+	m, err := oracle.FromImage(img)
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.Run(maxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: %s: %w", img.Name, err)
+	}
+	if !m.Halted() {
+		return nil, fmt.Errorf("oracle: %s did not halt within %d instructions", img.Name, maxInsts)
+	}
+	return &OracleResult{Stats: st, Arch: m.ArchState(), Mem: m.Mem}, nil
+}
+
+// DiffReport is the outcome of one differential comparison. Divergences is
+// empty when the two engines agree.
+type DiffReport struct {
+	Name        string
+	Divergences []string
+	CPU         *RunResult
+	Oracle      *OracleResult
+}
+
+// Failed reports whether any divergence was found.
+func (r *DiffReport) Failed() bool { return len(r.Divergences) > 0 }
+
+func (r *DiffReport) String() string {
+	if !r.Failed() {
+		return fmt.Sprintf("differential %s: ok", r.Name)
+	}
+	s := fmt.Sprintf("differential %s: %d divergences", r.Name, len(r.Divergences))
+	for _, d := range r.Divergences {
+		s += "\n  " + d
+	}
+	return s
+}
+
+// DiffImage runs img through both engines under cfg and compares. See
+// DiffAgainst for the checks performed.
+func DiffImage(img *program.Image, cfg RunConfig) (*DiffReport, error) {
+	return DiffImageContext(context.Background(), img, cfg)
+}
+
+// DiffImageContext is DiffImage with cancellation (CPU side only; the
+// oracle runs orders of magnitude faster than the machine it checks).
+func DiffImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*DiffReport, error) {
+	or, err := RunOracle(img, cfg.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	return DiffAgainstContext(ctx, or, img, cfg)
+}
+
+// DiffAgainst compares one machine run against an already-computed oracle
+// result — the cheap path when sweeping many machine configurations (O2/O3
+// × patching × observability) over the same image. The checks:
+//
+//   - Final architectural register state must match bit-for-bit; with ADORE
+//     attached, the runtime-reserved scratch state (r27-r30, p6) is excluded.
+//   - Final data memory must match byte-for-byte over every resident page.
+//     (ADORE's prefetch code may read through reserved registers but never
+//     stores, so this holds with patching on too — unless the §6
+//     StrideProfiling extension is enabled, whose instrumentation buffers
+//     legitimately write simulated memory; then the comparison masks the
+//     instrumentation region.)
+//   - Retired/load/store/prefetch/branch counts must match exactly on a
+//     plain run. Under ADORE the injected code legitimately adds loads and
+//     prefetches, so the check weakens to inequalities — but stores must
+//     still match exactly: prefetch code that stores is a bug wherever it
+//     hides.
+//   - Under ADORE, Controller.UnpatchAll must restore the original text
+//     segment bundle-for-bundle (the paper's "the replaced bundle is saved").
+func DiffAgainst(or *OracleResult, img *program.Image, cfg RunConfig) (*DiffReport, error) {
+	return DiffAgainstContext(context.Background(), or, img, cfg)
+}
+
+// DiffAgainstContext is DiffAgainst with cancellation.
+func DiffAgainstContext(ctx context.Context, or *OracleResult, img *program.Image, cfg RunConfig) (*DiffReport, error) {
+	res, err := RunImageContext(ctx, img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DiffReport{Name: img.Name, CPU: res, Oracle: or}
+	diverge := func(format string, args ...interface{}) {
+		rep.Divergences = append(rep.Divergences, fmt.Sprintf(format, args...))
+	}
+
+	// Register state.
+	cmp := isa.StateCompare{IgnoreReserved: cfg.ADORE}
+	for _, d := range or.Arch.Diff(res.Arch, cmp) {
+		diverge("arch state (oracle vs cpu): %s", d)
+	}
+
+	// Data memory. The stride-profiling extension writes instrumentation
+	// buffers into simulated memory from injected code; mask that region
+	// when the extension is on.
+	if cfg.ADORE && cfg.Core.StrideProfiling {
+		if addr, ov, cv, diff := memsys.FirstDiffBelow(or.Mem, res.FinalMemory, cfg.Core.InstrBufBase); diff {
+			diverge("memory at %#x: oracle %#x vs cpu %#x", addr, ov, cv)
+		}
+	} else if addr, ov, cv, diff := memsys.FirstDiff(or.Mem, res.FinalMemory); diff {
+		diverge("memory at %#x: oracle %#x vs cpu %#x", addr, ov, cv)
+	}
+
+	// Architecturally-determined counters.
+	cs := res.CPU
+	os := or.Stats
+	if cfg.ADORE {
+		if cs.Stores != os.Stores {
+			diverge("stores: oracle %d vs cpu %d (injected code must not store)", os.Stores, cs.Stores)
+		}
+		if cs.Retired < os.Retired {
+			diverge("retired: oracle %d vs cpu %d (patched run retired fewer)", os.Retired, cs.Retired)
+		}
+		if cs.Loads < os.Loads {
+			diverge("loads: oracle %d vs cpu %d (patched run loaded fewer)", os.Loads, cs.Loads)
+		}
+	} else {
+		if os.Retired != cs.Retired || os.Loads != cs.Loads || os.Stores != cs.Stores ||
+			os.Prefetches != cs.Prefetches || os.Branches != cs.Branches {
+			diverge("counters: oracle %+v vs cpu {Retired:%d Loads:%d Stores:%d Prefetches:%d Branches:%d}",
+				os, cs.Retired, cs.Loads, cs.Stores, cs.Prefetches, cs.Branches)
+		}
+	}
+
+	// Patch reversibility.
+	if cfg.ADORE && res.Controller != nil {
+		if err := res.Controller.UnpatchAll(); err != nil {
+			diverge("unpatch: %v", err)
+		} else if seg, ok := res.Code.SegmentAt(img.Entry); !ok {
+			diverge("unpatch: entry %#x unmapped after UnpatchAll", img.Entry)
+		} else if len(seg.Bundles) != len(img.Code.Bundles) {
+			diverge("unpatch: text length %d bundles vs original %d", len(seg.Bundles), len(img.Code.Bundles))
+		} else {
+			for i := range seg.Bundles {
+				if seg.Bundles[i] != img.Code.Bundles[i] {
+					diverge("unpatch: bundle %d (%#x) not restored:\n    ran:      %s\n    original: %s",
+						i, seg.Base+uint64(i)*isa.BundleBytes,
+						seg.Bundles[i].String(), img.Code.Bundles[i].String())
+					break
+				}
+			}
+		}
+	}
+	return rep, nil
+}

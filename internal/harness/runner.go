@@ -93,6 +93,13 @@ type RunResult struct {
 	// FinalMemory is the simulated data memory after the run — the
 	// observable program results, used by semantics-preservation tests.
 	FinalMemory *memsys.Memory `json:"-"`
+
+	// Differential-harness outputs (never serialized): the final
+	// architectural register state, the run's private code space (patched
+	// state included), and the controller when ADORE was attached.
+	Arch       *isa.ArchState     `json:"-"`
+	Code       *program.CodeSpace `json:"-"`
+	Controller *core.Controller   `json:"-"`
 }
 
 // ProfiledRun is a training run carrying its miss profile.
@@ -123,7 +130,18 @@ func Run(build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
 // a private code-segment copy, memory, and hierarchy — so one BuildResult
 // may back any number of concurrent runs.
 func RunContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
-	img := build.Image
+	return RunImageContext(ctx, build.Image, cfg)
+}
+
+// RunImage executes a bare program image under cfg — the entry point for
+// programs that never went through the compiler, such as fuzz-generated
+// images (internal/progfuzz) and hand-assembled tests.
+func RunImage(img *program.Image, cfg RunConfig) (*RunResult, error) {
+	return RunImageContext(context.Background(), img, cfg)
+}
+
+// RunImageContext is RunImage with cancellation.
+func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*RunResult, error) {
 	code := program.NewCodeSpace()
 	// Each run gets a private copy of the code: ADORE patches bundles in
 	// place, and runs must not contaminate each other.
@@ -213,6 +231,10 @@ func RunContext(ctx context.Context, build *compiler.BuildResult, cfg RunConfig)
 	}
 	res.CPU = st
 	res.FinalMemory = mem
+	arch := m.ArchState()
+	res.Arch = &arch
+	res.Code = code
+	res.Controller = ctrl
 	if ctrl != nil {
 		cs := ctrl.Stats
 		res.Core = &cs

@@ -165,6 +165,32 @@ func (r CmpRel) String() string {
 	return fmt.Sprintf("rel(%d)", uint8(r))
 }
 
+// Compare evaluates rel over two register values. It is the single
+// definition of comparison semantics, shared by the pipelined interpreter
+// (internal/cpu) and the reference oracle (internal/oracle) so the two
+// cannot drift apart.
+func Compare(rel CmpRel, a, b uint64) bool {
+	switch rel {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return int64(a) < int64(b)
+	case CmpLe:
+		return int64(a) <= int64(b)
+	case CmpGt:
+		return int64(a) > int64(b)
+	case CmpGe:
+		return int64(a) >= int64(b)
+	case CmpLtU:
+		return a < b
+	case CmpGeU:
+		return a >= b
+	}
+	return false
+}
+
 // Inst is one instruction. Field roles follow IA-64 conventions:
 //
 //	R1: integer destination

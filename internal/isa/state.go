@@ -1,0 +1,88 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// ArchState is a snapshot of the architectural register state: everything a
+// program can observe through its registers, and nothing the timing model
+// adds. Both execution engines — the pipelined interpreter in internal/cpu
+// and the reference oracle in internal/oracle — can extract one, which is
+// what makes differential testing possible: two engines agree exactly when
+// their ArchStates and data memories are bit-identical.
+type ArchState struct {
+	PC uint64
+	GR [NumGR]uint64
+	FR [NumFR]float64
+	PR [NumPR]bool
+	BR [NumBR]uint64
+}
+
+// StateCompare configures an architectural-state comparison.
+type StateCompare struct {
+	// IgnoreReserved excludes the runtime-reserved scratch state (r27-r30
+	// and p6) from the comparison. ADORE's injected prefetch code is
+	// allowed — required, even — to leave values there; a patched run is
+	// architecturally equivalent to the plain run everywhere else.
+	IgnoreReserved bool
+
+	// MaxDiffs bounds the report length (default 8).
+	MaxDiffs int
+}
+
+// Diff compares two snapshots and describes every mismatch, up to
+// opt.MaxDiffs entries. Floating registers compare by bit pattern, so NaNs
+// with different payloads are a difference and -0 != +0.
+func (a *ArchState) Diff(b *ArchState, opt StateCompare) []string {
+	max := opt.MaxDiffs
+	if max <= 0 {
+		max = 8
+	}
+	var out []string
+	add := func(format string, args ...interface{}) bool {
+		if len(out) < max {
+			out = append(out, fmt.Sprintf(format, args...))
+		}
+		return len(out) < max
+	}
+	if a.PC != b.PC {
+		add("pc: %#x vs %#x", a.PC, b.PC)
+	}
+	for r := 0; r < NumGR; r++ {
+		if opt.IgnoreReserved && Reg(r) >= ReservedGRFirst && Reg(r) <= ReservedGRLast {
+			continue
+		}
+		if a.GR[r] != b.GR[r] && !add("r%d: %#x vs %#x", r, a.GR[r], b.GR[r]) {
+			return out
+		}
+	}
+	for r := 0; r < NumFR; r++ {
+		if math.Float64bits(a.FR[r]) != math.Float64bits(b.FR[r]) &&
+			!add("f%d: %v (%#x) vs %v (%#x)", r,
+				a.FR[r], math.Float64bits(a.FR[r]), b.FR[r], math.Float64bits(b.FR[r])) {
+			return out
+		}
+	}
+	for p := 0; p < NumPR; p++ {
+		if opt.IgnoreReserved && PReg(p) == ReservedPR {
+			continue
+		}
+		if a.PR[p] != b.PR[p] && !add("p%d: %v vs %v", p, a.PR[p], b.PR[p]) {
+			return out
+		}
+	}
+	for r := 0; r < NumBR; r++ {
+		if a.BR[r] != b.BR[r] && !add("b%d: %#x vs %#x", r, a.BR[r], b.BR[r]) {
+			return out
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two snapshots match under opt.
+func (a *ArchState) Equal(b *ArchState, opt StateCompare) bool {
+	o := opt
+	o.MaxDiffs = 1
+	return len(a.Diff(b, o)) == 0
+}

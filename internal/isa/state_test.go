@@ -1,0 +1,75 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestArchStateDiff(t *testing.T) {
+	var a, b ArchState
+	if d := a.Diff(&b, StateCompare{}); len(d) != 0 {
+		t.Fatalf("zero states differ: %v", d)
+	}
+	if !a.Equal(&b, StateCompare{}) {
+		t.Fatal("Equal false on identical states")
+	}
+
+	b.PC = 0x1234
+	b.GR[5] = 7
+	b.FR[9] = 2.5
+	b.PR[8] = true
+	b.BR[1] = 0x2000
+	d := a.Diff(&b, StateCompare{})
+	if len(d) != 5 {
+		t.Fatalf("want 5 diffs, got %d: %v", len(d), d)
+	}
+	for i, want := range []string{"pc:", "r5:", "f9:", "p8:", "b1:"} {
+		if !strings.HasPrefix(d[i], want) {
+			t.Errorf("diff[%d] = %q, want prefix %q", i, d[i], want)
+		}
+	}
+	if a.Equal(&b, StateCompare{}) {
+		t.Error("Equal true on differing states")
+	}
+}
+
+func TestArchStateDiffIgnoreReserved(t *testing.T) {
+	var a, b ArchState
+	for r := ReservedGRFirst; r <= ReservedGRLast; r++ {
+		b.GR[r] = 0xdead
+	}
+	b.PR[ReservedPR] = true
+	if d := a.Diff(&b, StateCompare{IgnoreReserved: true}); len(d) != 0 {
+		t.Errorf("reserved-state diffs not ignored: %v", d)
+	}
+	if d := a.Diff(&b, StateCompare{}); len(d) != 5 {
+		t.Errorf("strict compare: want 5 diffs, got %v", d)
+	}
+}
+
+func TestArchStateDiffBitExactFloats(t *testing.T) {
+	var a, b ArchState
+	a.FR[3], b.FR[3] = 0.0, math.Copysign(0, -1) // +0 vs -0
+	if d := a.Diff(&b, StateCompare{}); len(d) != 1 {
+		t.Errorf("+0 vs -0 not detected: %v", d)
+	}
+	a.FR[3] = b.FR[3]
+	a.FR[4], b.FR[4] = math.NaN(), math.NaN() // identical NaN bits
+	if d := a.Diff(&b, StateCompare{}); len(d) != 0 {
+		t.Errorf("identical NaNs reported: %v", d)
+	}
+}
+
+func TestArchStateDiffBounded(t *testing.T) {
+	var a, b ArchState
+	for r := 1; r < NumGR; r++ {
+		b.GR[r] = uint64(r)
+	}
+	if d := a.Diff(&b, StateCompare{}); len(d) != 8 {
+		t.Errorf("default bound: got %d diffs", len(d))
+	}
+	if d := a.Diff(&b, StateCompare{MaxDiffs: 3}); len(d) != 3 {
+		t.Errorf("MaxDiffs 3: got %d diffs", len(d))
+	}
+}

@@ -1,0 +1,71 @@
+package memsys
+
+import "sort"
+
+// FirstDiff compares two memories byte-for-byte over the union of their
+// resident pages and returns the lowest differing address. A page resident
+// in one memory and absent in the other compares against zeros, matching the
+// read semantics of unmapped addresses — so a memory that wrote an explicit
+// zero equals one that never touched the location.
+func FirstDiff(a, b *Memory) (addr uint64, av, bv byte, ok bool) {
+	return FirstDiffBelow(a, b, ^uint64(0))
+}
+
+// FirstDiffBelow is FirstDiff restricted to addresses strictly below limit:
+// pages at or past the limit are excluded from the walk. It exists so the
+// differential harness can mask a high scratch region (instrumentation
+// buffers) without giving up the cheap page-granular comparison.
+func FirstDiffBelow(a, b *Memory, limit uint64) (addr uint64, av, bv byte, ok bool) {
+	idxSet := make(map[uint64]struct{}, len(a.pages)+len(b.pages))
+	for idx := range a.pages {
+		idxSet[idx] = struct{}{}
+	}
+	for idx := range b.pages {
+		idxSet[idx] = struct{}{}
+	}
+	idxs := make([]uint64, 0, len(idxSet))
+	for idx := range idxSet {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+
+	var zero page
+	for _, idx := range idxs {
+		if idx<<pageBits >= limit {
+			break
+		}
+		pa, pb := a.pages[idx], b.pages[idx]
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		if *pa == *pb {
+			continue
+		}
+		for off := 0; off < pageSize; off++ {
+			byteAddr := idx<<pageBits + uint64(off)
+			if byteAddr >= limit {
+				break
+			}
+			if pa[off] != pb[off] {
+				return byteAddr, pa[off], pb[off], true
+			}
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// FirstDiffRange is FirstDiff restricted to [base, base+length): the first
+// differing byte inside the window, if any. Use it to compare a declared
+// output buffer while ignoring scratch regions.
+func FirstDiffRange(a, b *Memory, base, length uint64) (addr uint64, av, bv byte, ok bool) {
+	for off := uint64(0); off < length; off++ {
+		x, y := a.readByte(base+off), b.readByte(base+off)
+		if x != y {
+			return base + off, x, y, true
+		}
+	}
+	return 0, 0, 0, false
+}

@@ -1,0 +1,50 @@
+package memsys
+
+import "testing"
+
+func TestFirstDiff(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if _, _, _, diff := FirstDiff(a, b); diff {
+		t.Fatal("empty memories differ")
+	}
+
+	// An explicit zero equals an untouched page.
+	a.Write64(0x5000, 0)
+	if _, _, _, diff := FirstDiff(a, b); diff {
+		t.Fatal("explicit zero vs unmapped reported as diff")
+	}
+
+	// Identical contents on both sides, different pages resident.
+	a.Write64(0x10_0000, 42)
+	b.Write64(0x10_0000, 42)
+	b.Write64(0x20_0000, 0)
+	if _, _, _, diff := FirstDiff(a, b); diff {
+		t.Fatal("identical contents differ")
+	}
+
+	// Two mismatches: the lowest address wins.
+	b.WriteN(0x10_0003, 1, 9)
+	a.WriteN(0x30_0000, 1, 5)
+	addr, av, bv, diff := FirstDiff(a, b)
+	if !diff || addr != 0x10_0003 {
+		t.Fatalf("FirstDiff = %#x,%v, want 0x100003", addr, diff)
+	}
+	if av != 0 || bv != 9 {
+		t.Errorf("bytes %#x vs %#x, want 0 vs 9", av, bv)
+	}
+}
+
+func TestFirstDiffRange(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.Write64(0x1000, 0x1122334455667788)
+	b.Write64(0x1000, 0x1122334455667788)
+	b.WriteN(0x1100, 1, 0xff)
+
+	if _, _, _, diff := FirstDiffRange(a, b, 0x1000, 0x100); diff {
+		t.Error("window excluding the mismatch reported a diff")
+	}
+	addr, av, bv, diff := FirstDiffRange(a, b, 0x1000, 0x200)
+	if !diff || addr != 0x1100 || av != 0 || bv != 0xff {
+		t.Errorf("FirstDiffRange = %#x %#x %#x %v", addr, av, bv, diff)
+	}
+}

@@ -1,0 +1,260 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/program"
+)
+
+// assemble builds an image from an asm program rooted at 0x1000.
+func assemble(t *testing.T, emit func(b *asm.Builder)) *program.Image {
+	t.Helper()
+	b := asm.New(0x1000)
+	emit(b)
+	res, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := &program.Segment{Name: "text", Base: res.Base, Bundles: res.Bundles}
+	return program.NewImage("test", seg, res.Base)
+}
+
+// runBoth executes img on the oracle and on the pipelined CPU (no hierarchy,
+// no PMU) and returns both machines after halt.
+func runBoth(t *testing.T, img *program.Image) (*Machine, *cpu.CPU) {
+	t.Helper()
+	o, err := FromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Run(1_000_000); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !o.Halted() {
+		t.Fatal("oracle did not halt")
+	}
+
+	code := program.NewCodeSpace()
+	seg := &program.Segment{
+		Name:    img.Code.Name,
+		Base:    img.Code.Base,
+		Bundles: append([]isa.Bundle{}, img.Code.Bundles...),
+	}
+	if err := code.AddSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	mem := memsys.NewMemory()
+	if img.InitData != nil {
+		img.InitData(mem)
+	}
+	c := cpu.New(cpu.DefaultConfig(), code, mem, nil, nil)
+	c.SetPC(img.Entry)
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatalf("cpu: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("cpu did not halt")
+	}
+	return o, c
+}
+
+// checkAgree asserts bit-identical architectural state, memory, and
+// architectural counters between the oracle and the CPU.
+func checkAgree(t *testing.T, o *Machine, c *cpu.CPU) {
+	t.Helper()
+	oa, ca := o.ArchState(), c.ArchState()
+	for _, d := range oa.Diff(&ca, isa.StateCompare{}) {
+		t.Errorf("state diff (oracle vs cpu): %s", d)
+	}
+	if addr, ov, cv, diff := memsys.FirstDiff(o.Mem, c.Mem); diff {
+		t.Errorf("memory diff at %#x: oracle %#x vs cpu %#x", addr, ov, cv)
+	}
+	cs := c.Stats
+	if o.Stats.Retired != cs.Retired || o.Stats.Loads != cs.Loads ||
+		o.Stats.Stores != cs.Stores || o.Stats.Prefetches != cs.Prefetches ||
+		o.Stats.Branches != cs.Branches {
+		t.Errorf("counter diff: oracle %+v vs cpu {Retired:%d Loads:%d Stores:%d Prefetches:%d Branches:%d}",
+			o.Stats, cs.Retired, cs.Loads, cs.Stores, cs.Prefetches, cs.Branches)
+	}
+}
+
+func TestStridedLoopAgainstCPU(t *testing.T) {
+	const base, n = 0x2000, 64
+	img := assemble(t, func(b *asm.Builder) {
+		b.MovI(4, base)     // src cursor
+		b.MovI(5, base+n*8) // dst cursor
+		b.MovI(6, n)        // trip count
+		b.MovI(7, 0)        // checksum
+		b.Label("top")
+		b.Ld(8, 8, 4, 8) // r8 = [r4], r4 += 8
+		b.Add(7, 7, 8)
+		b.St(8, 5, 8, 8) // [r5] = r8, r5 += 8
+		b.AddI(6, -1, 6)
+		b.CmpI(isa.CmpLt, 8, 9, 0, 6) // p8 = 0 < r6
+		b.BrCond(8, "top")
+		b.Halt()
+	})
+	img.InitData = func(m *memsys.Memory) {
+		for i := uint64(0); i < n; i++ {
+			m.Write64(base+i*8, i*i+3)
+		}
+	}
+	o, c := runBoth(t, img)
+	checkAgree(t, o, c)
+
+	// And the loop did what it says: dst is a copy of src, checksum in r7.
+	var want uint64
+	for i := uint64(0); i < n; i++ {
+		want += i*i + 3
+		if got := o.Mem.Read64(base + n*8 + i*8); got != i*i+3 {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i*i+3)
+		}
+	}
+	if o.GR[7] != want {
+		t.Errorf("checksum r7 = %d, want %d", o.GR[7], want)
+	}
+}
+
+func TestPredicationCallAndFP(t *testing.T) {
+	const base = 0x3000
+	img := assemble(t, func(b *asm.Builder) {
+		b.MovI(4, base)
+		b.MovI(8, 10)
+		b.MovI(9, 20)
+		b.Cmp(isa.CmpLt, 8, 9, 8, 9) // p8 = r8 < r9 (true), p9 = false
+		// True predicate fires; false predicate suppresses both the write
+		// and the post-increment.
+		b.Emit(isa.Inst{Op: isa.OpAddI, QP: 8, R1: 10, Imm: 111, R3: 0})
+		b.Emit(isa.Inst{Op: isa.OpLd8, QP: 9, R1: 11, R3: 4, PostInc: 8})
+		b.Emit(isa.Inst{Op: isa.OpAddI, QP: 9, R1: 12, Imm: 999, R3: 0})
+		// FP path: f4 = 2.5, f5 = f4*f4 + 1.0, store, convert.
+		b.MovI(13, 0x4004000000000000) // bits of 2.5
+		b.SetF(4, 13)
+		b.Fma(5, 4, 4, 1)
+		b.StF(4, 5, 0)
+		b.FCvtFX(14, 5)
+		// Call/return linkage.
+		b.BrCall(1, "fn")
+		b.Lfetch(4, 64)
+		b.Halt()
+		b.Label("fn")
+		b.AddI(15, 7, 0)
+		b.BrRet(1)
+	})
+	o, c := runBoth(t, img)
+	checkAgree(t, o, c)
+
+	if o.GR[10] != 111 {
+		t.Errorf("predicated-on addi: r10 = %d, want 111", o.GR[10])
+	}
+	if o.GR[11] != 0 || o.GR[12] != 0 {
+		t.Errorf("predicated-off ops wrote: r11=%d r12=%d", o.GR[11], o.GR[12])
+	}
+	if o.GR[4] != base+64 {
+		t.Errorf("r4 = %#x: predicated-off load post-incremented (or lfetch did not)", o.GR[4])
+	}
+	if want := 2.5*2.5 + 1.0; o.Mem.ReadFloat(base) != want {
+		t.Errorf("fma result %v, want %v", o.Mem.ReadFloat(base), want)
+	}
+	if o.GR[14] != 7 {
+		t.Errorf("fcvt.fx r14 = %d, want 7", o.GR[14])
+	}
+	if o.GR[15] != 7 {
+		t.Errorf("callee did not run: r15 = %d", o.GR[15])
+	}
+}
+
+func TestHardwiredRegisters(t *testing.T) {
+	img := assemble(t, func(b *asm.Builder) {
+		b.MovI(4, 42)
+		b.Emit(isa.Inst{Op: isa.OpMov, R1: 0, R3: 4})                                 // write to r0 discarded
+		b.FCvtXF(0, 4)                                                                // write to f0 discarded
+		b.FCvtXF(1, 4)                                                                // write to f1 discarded
+		b.Emit(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 0, P2: 8, Imm: 1, R3: 0}) // p0 ignored
+		b.Add(5, 0, 4)
+		b.Halt()
+	})
+	o, c := runBoth(t, img)
+	checkAgree(t, o, c)
+
+	if o.GR[0] != 0 {
+		t.Errorf("r0 = %d", o.GR[0])
+	}
+	if o.FR[0] != 0 || o.FR[1] != 1 {
+		t.Errorf("f0 = %v, f1 = %v", o.FR[0], o.FR[1])
+	}
+	if o.PR[0] {
+		t.Error("p0 array slot set")
+	}
+	if !o.PR[8] {
+		t.Error("p8 not set by compare")
+	}
+	if o.GR[5] != 42 {
+		t.Errorf("r5 = %d, want 42", o.GR[5])
+	}
+}
+
+// TestHaltByOuterReturn: a br.ret through a zero branch register is the
+// outermost-frame return and halts the machine, same as on the CPU.
+func TestHaltByOuterReturn(t *testing.T) {
+	img := assemble(t, func(b *asm.Builder) {
+		b.MovI(4, 5)
+		b.BrRet(0)
+	})
+	o, c := runBoth(t, img)
+	checkAgree(t, o, c)
+	if !o.Halted() {
+		t.Error("not halted")
+	}
+}
+
+// TestLoadPostIncSameRegister: when a load's destination is its own base
+// register, the loaded value lands first and the post-increment applies on
+// top of it — in both engines.
+func TestLoadPostIncSameRegister(t *testing.T) {
+	const base = 0x4000
+	img := assemble(t, func(b *asm.Builder) {
+		b.MovI(4, base)
+		b.Ld(8, 4, 4, 16) // r4 = [r4], then r4 += 16
+		b.Halt()
+	})
+	img.InitData = func(m *memsys.Memory) { m.Write64(base, 1000) }
+	o, c := runBoth(t, img)
+	checkAgree(t, o, c)
+	if o.GR[4] != 1016 {
+		t.Errorf("r4 = %d, want 1016 (loaded value + post-increment)", o.GR[4])
+	}
+}
+
+func TestRunMaxInstructions(t *testing.T) {
+	img := assemble(t, func(b *asm.Builder) {
+		b.Label("spin")
+		b.Br("spin")
+	})
+	o, err := FromImage(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := o.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Halted() {
+		t.Error("infinite loop halted")
+	}
+	if st.Retired < 100 {
+		t.Errorf("retired %d < 100", st.Retired)
+	}
+}
+
+func TestUnmappedFetchErrors(t *testing.T) {
+	o := New(program.NewCodeSpace(), memsys.NewMemory())
+	o.SetPC(0xdead0)
+	if err := o.Step(); err == nil {
+		t.Error("no error on unmapped fetch")
+	}
+}

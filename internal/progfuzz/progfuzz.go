@@ -1,0 +1,346 @@
+// Package progfuzz generates constrained random programs for differential
+// testing: every output is a template-legal, verifier-clean image that
+// always halts within a bounded instruction count, yet exercises the
+// machine's interesting corners — counted loop nests, post-increment
+// addressing, predication, strided and pointer-chasing access patterns,
+// floating-point dataflow, and call/return linkage.
+//
+// Generation is a pure function of the input bytes (an exhausted byte
+// stream reads as zeros), which makes it a natural `go test -fuzz` target:
+// the fuzzer mutates bytes, the generator maps them onto the grammar, and
+// internal/harness/differential.go checks the oracle and the machine agree
+// on the result. The grammar deliberately stays inside the legality rules
+// of internal/verify — the same rules ADORE's own patch verifier enforces —
+// so a generated program is also a valid subject for runtime patching.
+package progfuzz
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/program"
+)
+
+// Data-region layout. Code and data are separate address spaces, so these
+// only need to avoid the compiler's DataBase (0x1000_0000) to keep fuzz
+// programs distinguishable from workload data in dumps.
+const (
+	CodeBase  = 0x1000
+	InBase    = 0x0200_0000 // pseudorandom input array
+	InBytes   = 1 << 16
+	OutBase   = 0x0210_0000 // output / scratch, stores land here
+	ChainBase = 0x0220_0000 // circular linked list for pointer chasing
+	ChainLen  = 256         // nodes
+	NodeBytes = 64          // one cache line per node; next pointer at +0, payload at +8
+)
+
+// Register discipline. Everything stays clear of the runtime-reserved set
+// (r27-r30, p6) so generated programs verify with ReservedRegsUnused and
+// ADORE may patch them.
+const (
+	curIn    isa.Reg = 11 // input cursor
+	curOut   isa.Reg = 12 // output cursor
+	curFP    isa.Reg = 13 // FP stream cursor
+	curPf    isa.Reg = 14 // lfetch cursor
+	curChase isa.Reg = 15 // pointer-chase cursor
+
+	cntRepeat isa.Reg = 20 // whole-program repeat counter
+	cntOuter  isa.Reg = 21 // outer loop counter
+	cntInner  isa.Reg = 22 // inner loop counter
+
+	tmpFirst isa.Reg = 32 // integer temporaries r32..r47
+	tmpCount         = 16
+
+	fpFirst isa.FReg = 8 // floating temporaries f8..f15
+	fpCount          = 8
+
+	predA     isa.PReg = 8 // body compare pair
+	predB     isa.PReg = 9
+	predC     isa.PReg = 10 // alternate body pair: consecutive compares
+	predD     isa.PReg = 11 // rotate pairs so no bundle holds two writes
+	predLoop  isa.PReg = 16 // inner back edge pair
+	predLoopN isa.PReg = 17
+	predOut   isa.PReg = 18 // outer back edge pair
+	predOutN  isa.PReg = 19
+	predRep   isa.PReg = 20 // repeat back edge pair
+	predRepN  isa.PReg = 21
+)
+
+// Bounds. The worst-case retired-slot count (every knob at maximum, every
+// bundle nop-padded) stays well under the 2M-instruction differential cap:
+// 24 repeats × 3 nests × 4 outer × 64 inner × ~8 ops × 3 slots ≈ 1.1M.
+const (
+	maxRepeat = 24
+	maxNests  = 3
+	maxOuter  = 4
+	maxInner  = 64
+	maxOps    = 8
+)
+
+// Program is one generated fuzz subject.
+type Program struct {
+	Image *program.Image
+	Seed  uint64 // data-memory initialization seed (drawn from the input)
+
+	// Shape, for logging and corpus minimization.
+	Repeat int
+	Nests  int
+	Ops    int // total body operations across nests
+}
+
+// reader turns the fuzz input into an endless byte stream: exhausted input
+// reads as zeros, so every prefix of a crasher is itself a valid program.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) byte() byte {
+	if r.off >= len(r.data) {
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+// rng returns a value in [0, n).
+func (r *reader) rng(n int) int { return int(r.byte()) % n }
+
+// rng1 returns a value in [1, n].
+func (r *reader) rng1(n int) int { return 1 + r.rng(n) }
+
+func (r *reader) bit() bool { return r.byte()&1 != 0 }
+
+func (r *reader) u64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(r.byte())
+	}
+	return v
+}
+
+// gen carries generation state.
+type gen struct {
+	r       *reader
+	b       *asm.Builder
+	prog    *Program
+	label   int  // unique label counter
+	cmpFlip bool // body-compare predicate-pair rotation
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+// temp picks an integer temporary.
+func (g *gen) temp() isa.Reg { return tmpFirst + isa.Reg(g.r.rng(tmpCount)) }
+
+// ftemp picks a floating temporary.
+func (g *gen) ftemp() isa.FReg { return fpFirst + isa.FReg(g.r.rng(fpCount)) }
+
+// qp picks a qualifying predicate for a body op: usually none, sometimes
+// one of the body compare pair. Both engines treat a false predicate as a
+// retired no-op, so predication is always safe to sprinkle.
+func (g *gen) qp() isa.PReg {
+	switch g.r.rng(4) {
+	case 0:
+		return predA
+	case 1:
+		return predB
+	default:
+		return 0
+	}
+}
+
+// Generate maps data onto the program grammar. The result always halts,
+// always passes the static verifier, and touches memory only inside the
+// fuzz data regions.
+func Generate(data []byte) (*Program, error) {
+	g := &gen{r: &reader{data: data}, b: asm.New(CodeBase), prog: &Program{}}
+	g.prog.Seed = g.r.u64()
+
+	b := g.b
+	// Cursor initialization: small 8-aligned offsets into each region.
+	b.MovI(curIn, InBase+int64(g.r.rng(256))*8)
+	b.MovI(curOut, OutBase+int64(g.r.rng(256))*8)
+	b.MovI(curFP, InBase+int64(g.r.rng(256))*8)
+	b.MovI(curPf, InBase+int64(g.r.rng(256))*8)
+	b.MovI(curChase, ChainBase+int64(g.r.rng(ChainLen))*NodeBytes)
+	// Seed two temporaries and the body predicates so predicated ops have
+	// defined behaviour from the first iteration.
+	b.MovI(g.temp(), int64(g.r.byte()))
+	b.MovI(g.temp(), int64(g.r.byte()))
+	b.CmpI(isa.CmpLt, predA, predB, int64(g.r.rng(128)), tmpFirst)
+
+	g.prog.Repeat = g.r.rng1(maxRepeat)
+	g.prog.Nests = g.r.rng1(maxNests)
+
+	hasCall := g.r.bit()
+
+	b.MovI(cntRepeat, int64(g.prog.Repeat))
+	repTop := g.fresh("rep")
+	b.Label(repTop)
+
+	for n := 0; n < g.prog.Nests; n++ {
+		g.nest()
+	}
+
+	if hasCall {
+		b.BrCall(1, "sub")
+	}
+
+	b.AddI(cntRepeat, -1, cntRepeat)
+	b.CmpI(isa.CmpLt, predRep, predRepN, 0, cntRepeat)
+	b.BrCond(predRep, repTop)
+	b.Halt()
+
+	if hasCall {
+		// A tiny leaf routine: a little ALU noise, then return. Placed
+		// after halt so straight-line execution can't fall into it.
+		b.Label("sub")
+		t := g.temp()
+		b.AddI(t, int64(g.r.byte()), t)
+		b.Emit(isa.Inst{Op: isa.OpXor, R1: g.temp(), R2: t, R3: tmpFirst})
+		b.BrRet(1)
+	}
+
+	res, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("progfuzz: %w", err)
+	}
+	seg := &program.Segment{Name: "fuzz", Base: res.Base, Bundles: res.Bundles}
+	img := program.NewImage("fuzz", seg, res.Base)
+	seed := g.prog.Seed
+	img.InitData = func(m *memsys.Memory) { InitData(m, seed) }
+	g.prog.Image = img
+	return g.prog, nil
+}
+
+// nest emits one loop nest: an optional counted outer loop around a counted
+// inner loop whose body is drawn from the operation menu.
+func (g *gen) nest() {
+	b := g.b
+	outerTrip := 0
+	if g.r.bit() {
+		outerTrip = g.r.rng1(maxOuter)
+	}
+	innerTrip := g.r.rng1(maxInner)
+	nOps := g.r.rng1(maxOps)
+	g.prog.Ops += nOps
+
+	var outTop string
+	if outerTrip > 0 {
+		b.MovI(cntOuter, int64(outerTrip))
+		outTop = g.fresh("outer")
+		b.Label(outTop)
+	}
+	b.MovI(cntInner, int64(innerTrip))
+	inTop := g.fresh("inner")
+	b.Label(inTop)
+
+	for i := 0; i < nOps; i++ {
+		g.bodyOp()
+	}
+
+	b.AddI(cntInner, -1, cntInner)
+	b.CmpI(isa.CmpLt, predLoop, predLoopN, 0, cntInner)
+	b.BrCond(predLoop, inTop)
+
+	if outerTrip > 0 {
+		b.AddI(cntOuter, -1, cntOuter)
+		b.CmpI(isa.CmpLt, predOut, predOutN, 0, cntOuter)
+		b.BrCond(predOut, outTop)
+	}
+}
+
+// strides a memory op may advance its cursor by.
+var strides = [...]int64{8, 16, 24, 32, 64}
+
+// bodyOp emits one operation from the menu.
+func (g *gen) bodyOp() {
+	b := g.b
+	switch g.r.rng(10) {
+	case 0: // strided load, optional predication, post-increment
+		b.Emit(isa.Inst{Op: isa.OpLd8, QP: g.qp(), R1: g.temp(), R3: curIn,
+			PostInc: strides[g.r.rng(len(strides))]})
+	case 1: // strided store of a temporary
+		b.Emit(isa.Inst{Op: isa.OpSt8, QP: g.qp(), R2: g.temp(), R3: curOut, PostInc: 8})
+	case 2: // pointer chase: read payload, then follow the next pointer
+		t := g.temp()
+		b.AddI(t, 8, curChase)
+		b.Emit(isa.Inst{Op: isa.OpLd8, R1: g.temp(), R3: t})
+		b.Emit(isa.Inst{Op: isa.OpLd8, R1: curChase, R3: curChase})
+	case 3: // ALU
+		ops := [...]isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor}
+		b.Emit(isa.Inst{Op: ops[g.r.rng(len(ops))], QP: g.qp(),
+			R1: g.temp(), R2: g.temp(), R3: g.temp()})
+	case 4: // shladd / shifts
+		if g.r.bit() {
+			b.ShlAdd(g.temp(), g.temp(), int64(g.r.rng(4)), g.temp())
+		} else {
+			b.Emit(isa.Inst{Op: isa.OpShr, R1: g.temp(), R2: g.temp(), Imm: int64(g.r.rng(8))})
+		}
+	case 5: // compare feeding the body predicates, then a predicated op.
+		// Alternate between two predicate pairs: two of these compares can
+		// share a bundle, and a repeated pair would be a pred-WAW finding.
+		p1, p2 := predA, predB
+		if g.cmpFlip = !g.cmpFlip; g.cmpFlip {
+			p1, p2 = predC, predD
+		}
+		b.Cmp(isa.CmpRel(g.r.rng(8)), p1, p2, g.temp(), g.temp())
+		b.Emit(isa.Inst{Op: isa.OpAdd, QP: p1, R1: g.temp(), R2: g.temp(), R3: g.temp()})
+	case 6: // FP stream: load, fma against f1 (=1.0), store
+		f := g.ftemp()
+		b.LdF(f, curFP, 8)
+		b.Fma(g.ftemp(), f, 1, g.ftemp())
+		if g.r.bit() {
+			b.StF(curOut, g.ftemp(), 8)
+		}
+	case 7: // software prefetch
+		b.Lfetch(curPf, strides[g.r.rng(len(strides))])
+	case 8: // speculative load
+		b.Emit(isa.Inst{Op: isa.OpLdS, QP: g.qp(), R1: g.temp(), R3: curIn,
+			Spec: true, PostInc: 8})
+	case 9: // immediate / conversion traffic
+		t := g.temp()
+		switch g.r.rng(3) {
+		case 0:
+			b.MovI(t, int64(int8(g.r.byte())))
+		case 1:
+			b.Emit(isa.Inst{Op: isa.OpSxt4, R1: g.temp(), R3: t})
+		case 2:
+			b.FCvtXF(g.ftemp(), t)
+		}
+	}
+}
+
+// InitData fills the fuzz data regions from seed: a pseudorandom input
+// array and a circular pointer chain whose traversal order is a fixed
+// permutation of the nodes. Both engines initialize from the same seed, so
+// memory starts bit-identical.
+func InitData(m *memsys.Memory, seed uint64) {
+	// splitmix64 over the input array.
+	x := seed
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for off := uint64(0); off < InBytes; off += 8 {
+		m.Write64(InBase+off, next())
+	}
+	// Circular chain: node i links to node (i*stepK + 1) mod ChainLen with
+	// an odd multiplier, visiting every node before repeating.
+	step := next() | 1 // odd multiplier: an affine map mod ChainLen is a bijection
+	for i := uint64(0); i < ChainLen; i++ {
+		nextIdx := (i*step + 1) % ChainLen
+		m.Write64(ChainBase+i*NodeBytes, ChainBase+nextIdx*NodeBytes)
+		m.Write64(ChainBase+i*NodeBytes+8, next())
+	}
+}

@@ -1,0 +1,117 @@
+package progfuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/program"
+	"repro/internal/verify"
+)
+
+// TestGeneratedProgramsAreLegal sweeps many random inputs and asserts the
+// generator's contract: every program builds, passes the static verifier
+// with zero findings (under the reservation discipline), and halts on the
+// reference interpreter within the instruction budget.
+func TestGeneratedProgramsAreLegal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		p, err := Generate(data)
+		if err != nil {
+			t.Fatalf("input %d: %v", i, err)
+		}
+		if fs := verify.CheckImage(p.Image, verify.Options{ReservedRegsUnused: true}); len(fs) != 0 {
+			t.Fatalf("input %d: verifier findings on generated program:\n%v\nlisting:\n%s",
+				i, fs, program.Listing(p.Image.Code))
+		}
+		m, err := oracle.FromImage(p.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run(4_000_000)
+		if err != nil {
+			t.Fatalf("input %d: %v\nlisting:\n%s", i, err, program.Listing(p.Image.Code))
+		}
+		if !m.Halted() {
+			t.Fatalf("input %d: did not halt within budget (retired %d, repeat %d nests %d ops %d)",
+				i, st.Retired, p.Repeat, p.Nests, p.Ops)
+		}
+	}
+}
+
+// TestGenerateDeterministic: the same bytes must produce the same program
+// and the same initial memory — generation is a pure function of the input.
+func TestGenerateDeterministic(t *testing.T) {
+	data := make([]byte, 96)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(data)
+
+	a, err := Generate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if program.Listing(a.Image.Code) != program.Listing(b.Image.Code) {
+		t.Error("same input produced different code")
+	}
+	if a.Seed != b.Seed {
+		t.Errorf("seeds differ: %#x vs %#x", a.Seed, b.Seed)
+	}
+}
+
+// TestGenerateEmptyInput: zero bytes of entropy still yield a legal,
+// halting program (the reader pads with zeros).
+func TestGenerateEmptyInput(t *testing.T) {
+	p, err := Generate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs := verify.CheckImage(p.Image, verify.Options{ReservedRegsUnused: true}); len(fs) != 0 {
+		t.Fatalf("verifier findings: %v", fs)
+	}
+	m, err := oracle.FromImage(p.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(4_000_000); err != nil || !m.Halted() {
+		t.Fatalf("empty-input program did not halt cleanly: %v", err)
+	}
+}
+
+// TestShapeBudget sweeps many large random inputs and requires every
+// program to retire under half the differential harness's 4M budget — so
+// even shapes the sweep missed have margin before a fuzz run would
+// spuriously hit the cap instead of halting.
+func TestShapeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var worst uint64
+	for i := 0; i < 300; i++ {
+		data := make([]byte, 512)
+		rng.Read(data)
+		p, err := Generate(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := oracle.FromImage(p.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.Run(4_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Halted() || st.Retired > 2_000_000 {
+			t.Fatalf("input %d: retired %d (halted %v) — too close to the 4M differential cap (repeat %d nests %d ops %d)",
+				i, st.Retired, m.Halted(), p.Repeat, p.Nests, p.Ops)
+		}
+		if st.Retired > worst {
+			worst = st.Retired
+		}
+	}
+	t.Logf("worst retired across sweep: %d", worst)
+}

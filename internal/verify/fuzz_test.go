@@ -52,8 +52,8 @@ func FuzzVerifier(f *testing.F) {
 	f.Add(append([]byte{0, 1, 0, 1}, make([]byte, fuzzBundleBytes)...))
 	// Seed 2: unknown template, branch opcode in slot 0, junk registers.
 	seed2 := append([]byte{1, 0, 1, 3}, make([]byte, 2*fuzzBundleBytes)...)
-	seed2[4] = 200                         // template way out of range
-	seed2[4+fuzzBundleBytes] = 2           // second bundle: MMI
+	seed2[4] = 200                              // template way out of range
+	seed2[4+fuzzBundleBytes] = 2                // second bundle: MMI
 	seed2[4+fuzzBundleBytes+1] = byte(isa.OpBr) // ...with a branch in the M slot
 	f.Add(seed2)
 	// Seed 3: a strided load loop with an injected lfetch (reserved base,
