@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/memsys"
 	"repro/internal/workloads"
 )
 
@@ -16,6 +17,11 @@ import (
 type ExpConfig struct {
 	Scale float64     // workload scale factor (1.0 = full runs)
 	Core  core.Config // ADORE configuration
+
+	// Hierarchy, when non-nil, replaces the default memory hierarchy in
+	// every run of the sweep — the knob the golden-corpus perturbation
+	// tests turn to prove the corpus actually constrains the model.
+	Hierarchy *memsys.HierarchyConfig
 
 	// Engine schedules the sweep's jobs. Nil uses a fresh default engine
 	// (GOMAXPROCS workers, no progress output); share one engine across
@@ -33,6 +39,15 @@ func (c ExpConfig) engine() *Engine {
 		return c.Engine
 	}
 	return NewEngine(EngineConfig{})
+}
+
+// runConfig is DefaultRunConfig with the sweep-level overrides applied.
+func (c ExpConfig) runConfig() RunConfig {
+	rc := DefaultRunConfig()
+	if c.Hierarchy != nil {
+		rc.Hierarchy = *c.Hierarchy
+	}
+	return rc
 }
 
 // benchSpec is the cache-keyed compile spec for one benchmark under the
@@ -78,11 +93,11 @@ func RunFig7Context(ctx context.Context, cfg ExpConfig, level compiler.OptLevel)
 	jobs := make([]Job, 0, 2*len(benches))
 	for _, b := range benches {
 		sp := benchSpec(b, cfg.Scale, level)
-		adore := DefaultRunConfig()
+		adore := cfg.runConfig()
 		adore.ADORE = true
 		adore.Core = cfg.Core
 		jobs = append(jobs,
-			Job{Name: b.Name + "/base", Compile: sp, Config: DefaultRunConfig()},
+			Job{Name: b.Name + "/base", Compile: sp, Config: cfg.runConfig()},
 			Job{Name: b.Name + "/adore", Compile: sp, Config: adore},
 		)
 	}
@@ -208,7 +223,7 @@ func table1Row(ctx context.Context, e *Engine, cfg ExpConfig, b workloads.Benchm
 	if err != nil {
 		return Table1Row{}, err
 	}
-	rc := DefaultRunConfig()
+	rc := cfg.runConfig()
 	rc.SampleOnly = true
 	rc.Core = cfg.Core
 	profileRun, err := RunProfiledContext(ctx, noPf, rc)
@@ -224,11 +239,11 @@ func table1Row(ctx context.Context, e *Engine, cfg ExpConfig, b workloads.Benchm
 		return Table1Row{}, err
 	}
 
-	baseRun, err := RunContext(ctx, full, DefaultRunConfig())
+	baseRun, err := RunContext(ctx, full, cfg.runConfig())
 	if err != nil {
 		return Table1Row{}, err
 	}
-	filtRun, err := RunContext(ctx, filtered, DefaultRunConfig())
+	filtRun, err := RunContext(ctx, filtered, cfg.runConfig())
 	if err != nil {
 		return Table1Row{}, err
 	}
@@ -351,11 +366,11 @@ func RunSeriesContext(ctx context.Context, cfg ExpConfig, name string) (*SeriesR
 		return nil, err
 	}
 	sp := benchSpec(b, cfg.Scale, compiler.O2)
-	without := DefaultRunConfig()
+	without := cfg.runConfig()
 	without.SampleOnly = true
 	without.Core = cfg.Core
 	without.RecordSeries = true
-	with := DefaultRunConfig()
+	with := cfg.runConfig()
 	with.ADORE = true
 	with.Core = cfg.Core
 	with.RecordSeries = true
@@ -452,8 +467,8 @@ func RunFig10Context(ctx context.Context, cfg ExpConfig) (*Fig10Result, error) {
 		orig.Options.SWP = true
 		orig.Options.ReserveRegs = false
 		jobs = append(jobs,
-			Job{Name: b.Name + "/restricted", Compile: benchSpec(b, cfg.Scale, compiler.O2), Config: DefaultRunConfig()},
-			Job{Name: b.Name + "/original", Compile: orig, Config: DefaultRunConfig()},
+			Job{Name: b.Name + "/restricted", Compile: benchSpec(b, cfg.Scale, compiler.O2), Config: cfg.runConfig()},
+			Job{Name: b.Name + "/original", Compile: orig, Config: cfg.runConfig()},
 		)
 	}
 	runs, err := cfg.engine().RunJobs(ctx, "fig10", jobs)
@@ -513,12 +528,12 @@ func RunFig11Context(ctx context.Context, cfg ExpConfig) (*Fig11Result, error) {
 	jobs := make([]Job, 0, 2*len(benches))
 	for _, b := range benches {
 		sp := benchSpec(b, cfg.Scale, compiler.O2)
-		mon := DefaultRunConfig()
+		mon := cfg.runConfig()
 		mon.ADORE = true
 		mon.Core = cfg.Core
 		mon.Core.DisableInsertion = true
 		jobs = append(jobs,
-			Job{Name: b.Name + "/plain", Compile: sp, Config: DefaultRunConfig()},
+			Job{Name: b.Name + "/plain", Compile: sp, Config: cfg.runConfig()},
 			Job{Name: b.Name + "/monitor", Compile: sp, Config: mon},
 		)
 	}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/memsys"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"regenerate testdata/golden/corpus.json instead of comparing against it")
+
+const goldenPath = "testdata/golden/corpus.json"
+
+// TestGoldenCorpus re-runs every pinned sweep at the corpus scale and
+// compares against the checked-in baseline. Run with -update-golden after
+// an intentional model change to regenerate the corpus (and say why in the
+// commit message).
+func TestGoldenCorpus(t *testing.T) {
+	cfg := GoldenExpConfig()
+	if *updateGolden {
+		g, err := CollectGolden(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Save(goldenPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden corpus regenerated at %s", goldenPath)
+		return
+	}
+
+	g, err := LoadGolden(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scale != cfg.Scale {
+		t.Fatalf("corpus scale %g but GoldenExpConfig scale %g — regenerate with -update-golden",
+			g.Scale, cfg.Scale)
+	}
+
+	cfg.Engine = NewEngine(EngineConfig{})
+	o2, err := RunFig7(cfg, compiler.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o3, err := RunFig7(cfg, compiler.O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range g.Compare(o2, o3, t1, Table2FromFig7(o2)) {
+		t.Error(d)
+	}
+}
+
+// singleBenchFig7 runs one benchmark's base/adore pair — the cheap probe
+// the perturbation test compares against the corpus.
+func singleBenchFig7(t *testing.T, cfg ExpConfig, name string, level compiler.OptLevel) *Fig7Result {
+	t.Helper()
+	b, err := workloads.ByName(name, cfg.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build, err := NewEngine(EngineConfig{}).Cache().Build(benchSpec(b, cfg.Scale, level))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(build, cfg.runConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac := cfg.runConfig()
+	ac.ADORE = true
+	ac.Core = cfg.Core
+	adore, err := Run(build, ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Fig7Result{Level: level, Rows: []SpeedupRow{{
+		Name:    name,
+		Base:    base.CPU.Cycles,
+		ADORE:   adore.CPU.Cycles,
+		Speedup: Speedup(base.CPU.Cycles, adore.CPU.Cycles),
+		Stats:   *adore.Core,
+	}}}
+}
+
+// TestGoldenCorpusCatchesPerturbation proves the corpus has teeth: an
+// unchanged run of one benchmark matches it, and turning a single cache
+// parameter pushes the same benchmark outside tolerance.
+func TestGoldenCorpusCatchesPerturbation(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating corpus")
+	}
+	g, err := LoadGolden(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GoldenExpConfig()
+
+	clean := singleBenchFig7(t, cfg, "mcf", compiler.O2)
+	if divs := g.CompareFig7(clean); len(divs) != 0 {
+		t.Fatalf("unperturbed mcf run diverges from corpus: %v", divs)
+	}
+
+	perturb := []struct {
+		name  string
+		tweak func(*memsys.HierarchyConfig)
+	}{
+		{"mem-latency", func(h *memsys.HierarchyConfig) { h.MemLatency += 80 }},
+		{"l2-hit-latency", func(h *memsys.HierarchyConfig) { h.L2.HitLat *= 2 }},
+	}
+	for _, p := range perturb {
+		t.Run(p.name, func(t *testing.T) {
+			h := memsys.DefaultConfig()
+			p.tweak(&h)
+			pc := cfg
+			pc.Hierarchy = &h
+			hot := singleBenchFig7(t, pc, "mcf", compiler.O2)
+			divs := g.CompareFig7(hot)
+			if len(divs) == 0 {
+				t.Fatalf("%s perturbation did not move mcf off the golden corpus", p.name)
+			}
+			t.Logf("caught: %v", divs)
+		})
+	}
+}
