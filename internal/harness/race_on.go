@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions (the observability-overhead bound) are meaningless under its
+// instrumentation and skip themselves.
+const raceEnabled = true
