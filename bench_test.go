@@ -376,3 +376,49 @@ func BenchmarkExtensionPhaseTable(b *testing.B) {
 		b.ReportMetric(Speedup(stock.CPU.Cycles, ext.CPU.Cycles)*100, "speedup_over_stock_%")
 	}
 }
+
+// ---- hot-path perf trajectory (BENCH_hotpath.json) ----
+
+// mipsScale keeps one simulated run well under a second of host time so
+// b.N settles quickly; MIPS itself is scale-invariant.
+const mipsScale = 0.25
+
+// benchMIPS measures raw end-to-end simulation speed — simulated
+// instructions retired per host second — for one workload at one opt
+// level, without ADORE attached. These are the numbers BENCH_hotpath.json
+// tracks across PRs.
+func benchMIPS(b *testing.B, name string, level compiler.OptLevel) {
+	bench, err := Benchmark(name, mipsScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := CompileOptions()
+	opts.Level = level
+	build, err := Compile(bench.Kernel, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Run(build, RunOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += r.CPU.Retired
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(insts)/sec/1e6, "MIPS")
+	}
+}
+
+// BenchmarkMIPS is the headline simulator-throughput benchmark: mcf at
+// both opt levels (the paper's flagship pointer-chasing workload) plus an
+// FP stream (swim) and a cache-thrashing scan (art) for contrast.
+func BenchmarkMIPS(b *testing.B) {
+	b.Run("mcf/O2", func(b *testing.B) { benchMIPS(b, "mcf", O2) })
+	b.Run("mcf/O3", func(b *testing.B) { benchMIPS(b, "mcf", O3) })
+	b.Run("art/O2", func(b *testing.B) { benchMIPS(b, "art", O2) })
+	b.Run("swim/O2", func(b *testing.B) { benchMIPS(b, "swim", O2) })
+}

@@ -4,6 +4,7 @@
 //
 //	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|all] [-scale 1.0] [-j 0] [-json]
 //	adore-bench -bench mcf [-scale 1.0] -trace out.json [-events out.jsonl]
+//	adore-bench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison. Sweeps run on the
@@ -23,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -43,7 +46,28 @@ func main() {
 	benchName := flag.String("bench", "", "observed-run mode: run this one benchmark under ADORE ("+strings.Join(workloads.Names(), " ")+")")
 	traceOut := flag.String("trace", "", "observed-run mode: write a Perfetto-loadable Chrome trace to this file")
 	eventsOut := flag.String("events", "", "observed-run mode: write the event stream as JSONL to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	// Host profiling of the simulator itself (DESIGN.md §12): profiles are
+	// written on the normal exit paths; a run that dies via cli.Fatal exits
+	// the process and leaves no (CPU) or no fresh (heap) profile behind.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		cli.Fatal(err)
+		cli.Fatal(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			cli.Fatal(err)
+			runtime.GC() // flush unreached garbage so the profile shows live heap
+			cli.Fatal(pprof.WriteHeapProfile(f))
+			cli.Fatal(f.Close())
+		}()
+	}
 
 	ctx := cli.Context()
 

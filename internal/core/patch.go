@@ -8,8 +8,11 @@ import (
 )
 
 // TracePool is the shared-memory block dyn_open allocates for optimized
-// traces. It is a bump allocator over a dedicated code segment.
+// traces. It is a bump allocator over a dedicated code segment. All pool
+// writes go through the code space so the CPU's predecoded code image
+// observes them.
 type TracePool struct {
+	code *program.CodeSpace
 	seg  *program.Segment
 	next int
 }
@@ -29,7 +32,7 @@ func NewTracePool(cfg Config, code *program.CodeSpace) (*TracePool, error) {
 	if err := code.AddSegment(seg); err != nil {
 		return nil, err
 	}
-	return &TracePool{seg: seg}, nil
+	return &TracePool{code: code, seg: seg}, nil
 }
 
 // Contains reports whether addr lies inside the pool.
@@ -67,15 +70,16 @@ func (p *TracePool) Install(t *Trace) (uint64, error) {
 			return 0, fmt.Errorf("core: loop trace back edge not found in bundle %d", t.BackEdge)
 		}
 	}
-	copy(p.seg.Bundles[p.next:], bundles)
-
 	// Exit bundle: fall-through of the last trace bundle returns to the
 	// original successor.
 	exitTo := t.Orig[t.BackEdge] + isa.BundleBytes
 	if !t.IsLoop {
 		exitTo = t.Orig[len(t.Orig)-1] + isa.BundleBytes
 	}
-	p.seg.Bundles[p.next+len(bundles)] = isa.BranchBundle(exitTo)
+	bundles = append(bundles, isa.BranchBundle(exitTo))
+	if err := p.code.WriteBundles(base, bundles); err != nil {
+		return 0, err
+	}
 	p.next += need
 	return base, nil
 }

@@ -105,6 +105,16 @@ func (c *CPU) SetImage(img *program.Image) {
 	c.acct.curStack = c.acct.loopStack(-1)
 }
 
+// resetAccounting clears all attribution state for CPU.Reset, keeping the
+// attached image (if any) so a re-run splits per loop again from cycle 0.
+func (c *CPU) resetAccounting() {
+	img := c.acct.img
+	c.acct = accounting{curLoop: -1}
+	if img != nil {
+		c.SetImage(img)
+	}
+}
+
 // loopStack returns (creating on first use) the counters of one loop ID.
 func (a *accounting) loopStack(id int) *[5]uint64 {
 	ls := a.loops[id]

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/isa"
 	"repro/internal/memsys"
@@ -122,6 +123,17 @@ type CPU struct {
 
 	lastFetchLine uint64
 	hooks         []pollEntry
+	// hookNext is the earliest next-fire cycle across all poll hooks
+	// (^0 when none) — the next-event gate that keeps the per-bundle
+	// cost of hook scheduling to one compare.
+	hookNext uint64
+
+	pre predecode // direct-indexed code image (predecode.go)
+
+	// modelI / l1iShift cache the I-cache front-end decision and the
+	// line-number shift so step neither re-tests config nor divides.
+	modelI   bool
+	l1iShift uint
 
 	acct accounting // CPI-stack attribution (Config.Accounting)
 
@@ -134,8 +146,48 @@ func New(cfg Config, code *program.CodeSpace, mem *memsys.Memory, hier *memsys.H
 	c := &CPU{cfg: cfg, Code: code, Mem: mem, Hier: hier, PMU: p}
 	c.FR[1] = 1.0
 	c.lastFetchLine = ^uint64(0)
+	c.hookNext = ^uint64(0)
 	c.acct.curLoop = -1
+	c.modelI = cfg.ModelICache && hier != nil
+	if c.modelI {
+		c.l1iShift = uint(bits.TrailingZeros64(uint64(hier.L1I.LineSize())))
+	}
+	c.attachCode(code)
 	return c
+}
+
+// Reset returns the CPU to its power-on state — architectural registers,
+// scoreboard, cycle clock, statistics, fetch-line tracking, hook schedules
+// and CPI-stack accounting — so a reused machine re-runs the same image
+// bit-identically. The predecoded code image is kept (the code space is
+// unchanged); memory, hierarchy and PMU belong to the caller and are not
+// touched.
+func (c *CPU) Reset() {
+	c.GR = [isa.NumGR]uint64{}
+	c.FR = [isa.NumFR]float64{}
+	c.PR = [isa.NumPR]bool{}
+	c.BR = [isa.NumBR]uint64{}
+	c.FR[1] = 1.0
+	c.pc = 0
+	c.halted = false
+	c.cycle = 0
+	c.grReady = [isa.NumGR]uint64{}
+	c.frReady = [isa.NumFR]uint64{}
+	c.bundlesUsed = 0
+	c.loadsUsed = 0
+	c.storesUsed = 0
+	c.fpUsed = 0
+	c.brUsed = 0
+	c.lastFetchLine = ^uint64(0)
+	c.hookNext = ^uint64(0)
+	for i := range c.hooks {
+		c.hooks[i].next = c.hooks[i].interval
+		if c.hooks[i].next < c.hookNext {
+			c.hookNext = c.hooks[i].next
+		}
+	}
+	c.Stats = Stats{}
+	c.resetAccounting()
 }
 
 // SetPC sets the next fetch address.
@@ -154,7 +206,11 @@ func (c *CPU) Halted() bool { return c.halted }
 // AddPollHook registers fn to run every interval cycles, at bundle
 // boundaries.
 func (c *CPU) AddPollHook(interval uint64, fn PollHook) {
-	c.hooks = append(c.hooks, pollEntry{interval: interval, next: c.cycle + interval, fn: fn})
+	next := c.cycle + interval
+	c.hooks = append(c.hooks, pollEntry{interval: interval, next: next, fn: fn})
+	if next < c.hookNext {
+		c.hookNext = next
+	}
 }
 
 // advanceCycle moves time forward to at least target and resets the issue
@@ -179,8 +235,19 @@ func (c *CPU) advanceCycle(target uint64, cat acctCat) {
 }
 
 // nextCycle bumps time by one cycle and opens a fresh issue window. The
-// cycle left behind was issue progress, so it accounts as busy.
-func (c *CPU) nextCycle() { c.advanceCycle(c.cycle+1, acctBusy) }
+// cycle left behind was issue progress, so it accounts as busy — the
+// residual category, computed on read — which is why this is a hand-
+// specialized advanceCycle(c.cycle+1, acctBusy): with no attribution work
+// it is cheap enough that chargeBundle and reservePort, which call it
+// every other bundle, stay within the inlining budget.
+func (c *CPU) nextCycle() {
+	c.cycle++
+	c.bundlesUsed = 0
+	c.loadsUsed = 0
+	c.storesUsed = 0
+	c.fpUsed = 0
+	c.brUsed = 0
+}
 
 // chargeBundle accounts the issue of one more bundle in this cycle.
 func (c *CPU) chargeBundle() {
@@ -223,6 +290,10 @@ func (c *CPU) RunContext(ctx context.Context, maxInstructions uint64) (Stats, er
 			}
 		}
 		if err := c.step(); err != nil {
+			// A faulting step (unmapped fetch, bad slot, unimplemented
+			// op) must still report current time: callers inspect
+			// Stats.Cycles of failed runs.
+			c.Stats.Cycles = c.cycle
 			return c.Stats, err
 		}
 	}
@@ -233,7 +304,50 @@ func (c *CPU) RunContext(ctx context.Context, maxInstructions uint64) (Stats, er
 // step fetches and executes one bundle (or the tail of one, after a branch
 // into a mid-bundle slot).
 func (c *CPU) step() error {
-	// Poll hooks fire at bundle boundaries.
+	// Poll hooks fire at bundle boundaries; hookNext is the earliest
+	// next-fire cycle across hooks, so the no-hook (and between-fires)
+	// path is a single compare.
+	if c.cycle >= c.hookNext {
+		c.runHooks()
+	}
+
+	bundleAddr := c.pc &^ uint64(isa.BundleBytes-1)
+	slot := int(c.pc & uint64(isa.BundleBytes-1))
+	if slot > 2 {
+		return fmt.Errorf("cpu: bad slot in pc %#x", c.pc)
+	}
+	b := c.fetch(bundleAddr)
+	if b == nil {
+		return fmt.Errorf("cpu: fetch from unmapped address %#x", bundleAddr)
+	}
+	if c.cfg.Accounting {
+		c.noteFetch(bundleAddr)
+	}
+
+	// Instruction cache: charge when fetch moves to a new I-line.
+	if c.modelI {
+		line := bundleAddr >> c.l1iShift
+		if line != c.lastFetchLine {
+			c.lastFetchLine = line
+			r := c.Hier.AccessInst(c.cycle, bundleAddr)
+			if r.Latency > 0 {
+				c.Stats.ICacheStalls += r.Latency
+				c.advanceCycle(c.cycle+r.Latency, acctFetch)
+			}
+		}
+	}
+
+	c.chargeBundle()
+	return c.executeBundle(bundleAddr, b, slot)
+}
+
+// runHooks fires every due poll hook, in registration order, and
+// reschedules hookNext. A hook's charge advances the clock, which may make
+// a later-registered hook due within the same call — it fires here too,
+// exactly as in the per-step scan this scheduler replaced — but each hook
+// fires at most once per bundle boundary: catch-up after a long charge
+// advances next past the skipped fire times without re-invoking the hook.
+func (c *CPU) runHooks() {
 	for i := range c.hooks {
 		h := &c.hooks[i]
 		if c.cycle >= h.next {
@@ -247,61 +361,35 @@ func (c *CPU) step() error {
 			}
 		}
 	}
-
-	bundleAddr := c.pc &^ uint64(isa.BundleBytes-1)
-	slot := int(c.pc & uint64(isa.BundleBytes-1))
-	if slot > 2 {
-		return fmt.Errorf("cpu: bad slot in pc %#x", c.pc)
-	}
-	b, ok := c.Code.Fetch(bundleAddr)
-	if !ok {
-		return fmt.Errorf("cpu: fetch from unmapped address %#x", bundleAddr)
-	}
-	if c.cfg.Accounting {
-		c.noteFetch(bundleAddr)
-	}
-
-	// Instruction cache: charge when fetch moves to a new I-line.
-	if c.cfg.ModelICache && c.Hier != nil {
-		line := bundleAddr / uint64(c.Hier.L1I.LineSize())
-		if line != c.lastFetchLine {
-			c.lastFetchLine = line
-			r := c.Hier.Access(c.cycle, bundleAddr, memsys.KindInst)
-			if r.Latency > 0 {
-				c.Stats.ICacheStalls += r.Latency
-				c.advanceCycle(c.cycle+r.Latency, acctFetch)
-			}
+	next := ^uint64(0)
+	for i := range c.hooks {
+		if c.hooks[i].next < next {
+			next = c.hooks[i].next
 		}
 	}
-
-	c.chargeBundle()
-	for s := slot; s < 3; s++ {
-		redirect, err := c.execute(bundleAddr+uint64(s), &b.Slots[s])
-		if err != nil {
-			return err
-		}
-		if c.halted || redirect {
-			return nil
-		}
-	}
-	c.pc = bundleAddr + isa.BundleBytes
-	return nil
+	c.hookNext = next
 }
 
-// wait stalls until general register r is ready.
+// wait stalls until general register r is ready. The ready-now case — the
+// overwhelming majority — is a load and a compare, inlined into execute's
+// dispatch; the actual stall is outlined in stallUntil.
 func (c *CPU) wait(r isa.Reg) {
-	if t := c.grReady[r]; t > c.cycle {
-		c.Stats.LoadStalls += t - c.cycle
-		c.advanceCycle(t, acctLoadStall)
+	if c.grReady[r] > c.cycle {
+		c.stallUntil(c.grReady[r])
 	}
 }
 
 // waitF stalls until floating register r is ready.
 func (c *CPU) waitF(r isa.FReg) {
-	if t := c.frReady[r]; t > c.cycle {
-		c.Stats.LoadStalls += t - c.cycle
-		c.advanceCycle(t, acctLoadStall)
+	if c.frReady[r] > c.cycle {
+		c.stallUntil(c.frReady[r])
 	}
+}
+
+// stallUntil charges a scoreboard stall up to cycle t > now.
+func (c *CPU) stallUntil(t uint64) {
+	c.Stats.LoadStalls += t - c.cycle
+	c.advanceCycle(t, acctLoadStall)
 }
 
 // reservePort blocks until the given port class has a free slot this cycle
@@ -330,238 +418,253 @@ func (c *CPU) writeFR(r isa.FReg, v float64, readyAt uint64) {
 	c.frReady[r] = readyAt
 }
 
-// execute runs one instruction at pc, returning whether control was
-// redirected.
-func (c *CPU) execute(pc uint64, in *isa.Inst) (bool, error) {
-	// Conditional branches handle their own predicate so that not-taken
-	// outcomes still reach the PMU's branch trace buffer.
-	if in.Op == isa.OpBrCond {
-		return c.execBrCond(pc, in)
-	}
-	// Any other predicated-off instruction occupies its slot and retires
-	// with no effect and no stalls.
-	if in.QP != 0 && !c.PR[in.QP] {
-		c.retire(pc)
-		return false, nil
-	}
-
+// executeBundle runs the slots of one bundle starting at slot, advancing
+// pc past the bundle unless an instruction redirected control or halted.
+// One call executes up to three instructions: the interpreter retires
+// tens of millions of instructions per host second, so the per-slot call
+// this loop replaced was a measurable slice of the whole run.
+func (c *CPU) executeBundle(bundleAddr uint64, b *isa.Bundle, slot int) error {
 	fpLat := uint64(c.cfg.FPLatency)
-	switch in.Op {
-	case isa.OpNop, isa.OpAlloc:
-		// no effect
-
-	case isa.OpAdd:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R2]+c.GR[in.R3], c.cycle+1)
-	case isa.OpSub:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R2]-c.GR[in.R3], c.cycle+1)
-	case isa.OpAddI:
-		c.wait(in.R3)
-		c.writeGR(in.R1, uint64(in.Imm)+c.GR[in.R3], c.cycle+1)
-	case isa.OpAnd:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R2]&c.GR[in.R3], c.cycle+1)
-	case isa.OpOr:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R2]|c.GR[in.R3], c.cycle+1)
-	case isa.OpXor:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R2]^c.GR[in.R3], c.cycle+1)
-	case isa.OpShlAdd:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R2]<<uint(in.Imm)+c.GR[in.R3], c.cycle+1)
-	case isa.OpMov:
-		c.wait(in.R3)
-		c.writeGR(in.R1, c.GR[in.R3], c.cycle+1)
-	case isa.OpMovI:
-		c.writeGR(in.R1, uint64(in.Imm), c.cycle+1)
-	case isa.OpShl:
-		c.wait(in.R2)
-		c.writeGR(in.R1, c.GR[in.R2]<<uint(in.Imm), c.cycle+1)
-	case isa.OpShr:
-		c.wait(in.R2)
-		c.writeGR(in.R1, c.GR[in.R2]>>uint(in.Imm), c.cycle+1)
-	case isa.OpSxt4:
-		c.wait(in.R3)
-		c.writeGR(in.R1, uint64(int64(int32(uint32(c.GR[in.R3])))), c.cycle+1)
-	case isa.OpZxt4:
-		c.wait(in.R3)
-		c.writeGR(in.R1, uint64(uint32(c.GR[in.R3])), c.cycle+1)
-
-	case isa.OpCmp:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		v := compare(in.Rel, c.GR[in.R2], c.GR[in.R3])
-		c.setPred(in.P1, v)
-		c.setPred(in.P2, !v)
-	case isa.OpCmpI:
-		c.wait(in.R3)
-		v := compare(in.Rel, uint64(in.Imm), c.GR[in.R3])
-		c.setPred(in.P1, v)
-		c.setPred(in.P2, !v)
-
-	case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8, isa.OpLdS:
-		c.wait(in.R3)
-		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
-		addr := c.GR[in.R3]
-		v := c.Mem.ReadN(addr, isa.AccessBytes(in.Op))
-		lat := uint64(1)
-		if c.Hier != nil {
-			r := c.Hier.Access(c.cycle, addr, memsys.KindLoad)
-			lat = r.Latency
-			if r.Level != memsys.LevelL1 && c.PMU != nil {
-				c.PMU.OnLoadMiss(pc, addr, uint32(lat))
+	for s := slot; s < 3; s++ {
+		pc := bundleAddr + uint64(s)
+		in := &b.Slots[s]
+		// Conditional branches handle their own predicate so that not-taken
+		// outcomes still reach the PMU's branch trace buffer.
+		if in.Op == isa.OpBrCond {
+			redirect, err := c.execBrCond(pc, in)
+			if err != nil {
+				return err
 			}
-		}
-		c.writeGR(in.R1, v, c.cycle+lat)
-		c.postInc(in)
-		c.Stats.Loads++
-
-	case isa.OpLdF:
-		c.wait(in.R3)
-		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
-		addr := c.GR[in.R3]
-		v := c.Mem.ReadFloat(addr)
-		lat := uint64(1)
-		if c.Hier != nil {
-			r := c.Hier.Access(c.cycle, addr, memsys.KindLoadFP)
-			lat = r.Latency
-			// FP loads bypass L1; only count events slower than an
-			// L2 hit as data-cache misses.
-			if c.PMU != nil && lat > uint64(c.Hier.Config().L2.HitLat) {
-				c.PMU.OnLoadMiss(pc, addr, uint32(lat))
+			if redirect {
+				return nil
 			}
+			continue
 		}
-		c.writeFR(in.F1, v, c.cycle+lat)
-		c.postInc(in)
-		c.Stats.Loads++
-
-	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
-		c.wait(in.R2)
-		c.wait(in.R3)
-		c.reservePort(&c.storesUsed, c.cfg.StorePorts)
-		addr := c.GR[in.R3]
-		c.Mem.WriteN(addr, isa.AccessBytes(in.Op), c.GR[in.R2])
-		if c.Hier != nil {
-			c.Hier.Access(c.cycle, addr, memsys.KindStore)
+		// Any other predicated-off instruction occupies its slot and retires
+		// with no effect and no stalls.
+		if in.QP != 0 && !c.PR[in.QP] {
+			c.retire(pc)
+			continue
 		}
-		c.postInc(in)
-		c.Stats.Stores++
 
-	case isa.OpStF:
-		c.waitF(in.F1)
-		c.wait(in.R3)
-		c.reservePort(&c.storesUsed, c.cfg.StorePorts)
-		addr := c.GR[in.R3]
-		c.Mem.WriteFloat(addr, c.FR[in.F1])
-		if c.Hier != nil {
-			c.Hier.Access(c.cycle, addr, memsys.KindStore)
-		}
-		c.postInc(in)
-		c.Stats.Stores++
+		switch in.Op {
+		case isa.OpNop, isa.OpAlloc:
+			// no effect
 
-	case isa.OpLfetch:
-		c.wait(in.R3)
-		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
-		if c.Hier != nil {
-			c.Hier.Access(c.cycle, c.GR[in.R3], memsys.KindPrefetch)
-		}
-		c.postInc(in)
-		c.Stats.Prefetches++
+		case isa.OpAdd:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R2]+c.GR[in.R3], c.cycle+1)
+		case isa.OpSub:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R2]-c.GR[in.R3], c.cycle+1)
+		case isa.OpAddI:
+			c.wait(in.R3)
+			c.writeGR(in.R1, uint64(in.Imm)+c.GR[in.R3], c.cycle+1)
+		case isa.OpAnd:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R2]&c.GR[in.R3], c.cycle+1)
+		case isa.OpOr:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R2]|c.GR[in.R3], c.cycle+1)
+		case isa.OpXor:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R2]^c.GR[in.R3], c.cycle+1)
+		case isa.OpShlAdd:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R2]<<uint(in.Imm)+c.GR[in.R3], c.cycle+1)
+		case isa.OpMov:
+			c.wait(in.R3)
+			c.writeGR(in.R1, c.GR[in.R3], c.cycle+1)
+		case isa.OpMovI:
+			c.writeGR(in.R1, uint64(in.Imm), c.cycle+1)
+		case isa.OpShl:
+			c.wait(in.R2)
+			c.writeGR(in.R1, c.GR[in.R2]<<uint(in.Imm), c.cycle+1)
+		case isa.OpShr:
+			c.wait(in.R2)
+			c.writeGR(in.R1, c.GR[in.R2]>>uint(in.Imm), c.cycle+1)
+		case isa.OpSxt4:
+			c.wait(in.R3)
+			c.writeGR(in.R1, uint64(int64(int32(uint32(c.GR[in.R3])))), c.cycle+1)
+		case isa.OpZxt4:
+			c.wait(in.R3)
+			c.writeGR(in.R1, uint64(uint32(c.GR[in.R3])), c.cycle+1)
 
-	case isa.OpFma:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.waitF(in.F2)
-		c.waitF(in.F3)
-		c.waitF(in.F4)
-		c.writeFR(in.F1, c.FR[in.F2]*c.FR[in.F3]+c.FR[in.F4], c.cycle+fpLat)
-	case isa.OpFAdd:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.waitF(in.F2)
-		c.waitF(in.F3)
-		c.writeFR(in.F1, c.FR[in.F2]+c.FR[in.F3], c.cycle+fpLat)
-	case isa.OpFMul:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.waitF(in.F2)
-		c.waitF(in.F3)
-		c.writeFR(in.F1, c.FR[in.F2]*c.FR[in.F3], c.cycle+fpLat)
-	case isa.OpFSub:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.waitF(in.F2)
-		c.waitF(in.F3)
-		c.writeFR(in.F1, c.FR[in.F2]-c.FR[in.F3], c.cycle+fpLat)
-	case isa.OpFNeg:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.waitF(in.F2)
-		c.writeFR(in.F1, -c.FR[in.F2], c.cycle+fpLat)
+		case isa.OpCmp:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			v := compare(in.Rel, c.GR[in.R2], c.GR[in.R3])
+			c.setPred(in.P1, v)
+			c.setPred(in.P2, !v)
+		case isa.OpCmpI:
+			c.wait(in.R3)
+			v := compare(in.Rel, uint64(in.Imm), c.GR[in.R3])
+			c.setPred(in.P1, v)
+			c.setPred(in.P2, !v)
 
-	case isa.OpGetF:
-		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
-		c.waitF(in.F2)
-		c.writeGR(in.R1, math.Float64bits(c.FR[in.F2]), c.cycle+2)
-	case isa.OpSetF:
-		c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
-		c.wait(in.R2)
-		c.writeFR(in.F1, math.Float64frombits(c.GR[in.R2]), c.cycle+2)
-	case isa.OpFCvtFX:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.waitF(in.F2)
-		c.writeGR(in.R1, uint64(int64(c.FR[in.F2])), c.cycle+fpLat)
-	case isa.OpFCvtXF:
-		c.reservePort(&c.fpUsed, c.cfg.FPUnits)
-		c.wait(in.R2)
-		c.writeFR(in.F1, float64(int64(c.GR[in.R2])), c.cycle+fpLat)
+		case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8, isa.OpLdS:
+			c.wait(in.R3)
+			c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+			addr := c.GR[in.R3]
+			v := c.Mem.ReadN(addr, isa.AccessBytes(in.Op))
+			lat := uint64(1)
+			if c.Hier != nil {
+				r := c.Hier.AccessLoad(c.cycle, addr)
+				lat = r.Latency
+				if r.Level != memsys.LevelL1 && c.PMU != nil {
+					c.PMU.OnLoadMiss(pc, addr, uint32(lat))
+				}
+			}
+			c.writeGR(in.R1, v, c.cycle+lat)
+			c.postInc(in)
+			c.Stats.Loads++
 
-	case isa.OpBr:
-		c.reservePort(&c.brUsed, c.cfg.BranchUnits)
-		c.retire(pc)
-		if c.PMU != nil {
-			c.PMU.OnBranch(pc, in.Target, true)
-		}
-		c.redirect(in.Target, false)
-		return true, nil
-	case isa.OpBrCall:
-		c.reservePort(&c.brUsed, c.cfg.BranchUnits)
-		c.BR[in.B] = (pc &^ uint64(isa.BundleBytes-1)) + isa.BundleBytes
-		c.retire(pc)
-		if c.PMU != nil {
-			c.PMU.OnBranch(pc, in.Target, true)
-		}
-		c.redirect(in.Target, false)
-		return true, nil
-	case isa.OpBrRet:
-		c.reservePort(&c.brUsed, c.cfg.BranchUnits)
-		target := c.BR[in.B]
-		c.retire(pc)
-		if target == 0 {
+		case isa.OpLdF:
+			c.wait(in.R3)
+			c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+			addr := c.GR[in.R3]
+			v := c.Mem.ReadFloat(addr)
+			lat := uint64(1)
+			if c.Hier != nil {
+				r := c.Hier.Access(c.cycle, addr, memsys.KindLoadFP)
+				lat = r.Latency
+				// FP loads bypass L1; only count events slower than an
+				// L2 hit as data-cache misses.
+				if c.PMU != nil && lat > uint64(c.Hier.Config().L2.HitLat) {
+					c.PMU.OnLoadMiss(pc, addr, uint32(lat))
+				}
+			}
+			c.writeFR(in.F1, v, c.cycle+lat)
+			c.postInc(in)
+			c.Stats.Loads++
+
+		case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
+			c.wait(in.R2)
+			c.wait(in.R3)
+			c.reservePort(&c.storesUsed, c.cfg.StorePorts)
+			addr := c.GR[in.R3]
+			c.Mem.WriteN(addr, isa.AccessBytes(in.Op), c.GR[in.R2])
+			if c.Hier != nil {
+				c.Hier.AccessStore(c.cycle, addr)
+			}
+			c.postInc(in)
+			c.Stats.Stores++
+
+		case isa.OpStF:
+			c.waitF(in.F1)
+			c.wait(in.R3)
+			c.reservePort(&c.storesUsed, c.cfg.StorePorts)
+			addr := c.GR[in.R3]
+			c.Mem.WriteFloat(addr, c.FR[in.F1])
+			if c.Hier != nil {
+				c.Hier.AccessStore(c.cycle, addr)
+			}
+			c.postInc(in)
+			c.Stats.Stores++
+
+		case isa.OpLfetch:
+			c.wait(in.R3)
+			c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+			if c.Hier != nil {
+				c.Hier.AccessPrefetch(c.cycle, c.GR[in.R3])
+			}
+			c.postInc(in)
+			c.Stats.Prefetches++
+
+		case isa.OpFma:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.waitF(in.F2)
+			c.waitF(in.F3)
+			c.waitF(in.F4)
+			c.writeFR(in.F1, c.FR[in.F2]*c.FR[in.F3]+c.FR[in.F4], c.cycle+fpLat)
+		case isa.OpFAdd:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.waitF(in.F2)
+			c.waitF(in.F3)
+			c.writeFR(in.F1, c.FR[in.F2]+c.FR[in.F3], c.cycle+fpLat)
+		case isa.OpFMul:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.waitF(in.F2)
+			c.waitF(in.F3)
+			c.writeFR(in.F1, c.FR[in.F2]*c.FR[in.F3], c.cycle+fpLat)
+		case isa.OpFSub:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.waitF(in.F2)
+			c.waitF(in.F3)
+			c.writeFR(in.F1, c.FR[in.F2]-c.FR[in.F3], c.cycle+fpLat)
+		case isa.OpFNeg:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.waitF(in.F2)
+			c.writeFR(in.F1, -c.FR[in.F2], c.cycle+fpLat)
+
+		case isa.OpGetF:
+			c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+			c.waitF(in.F2)
+			c.writeGR(in.R1, math.Float64bits(c.FR[in.F2]), c.cycle+2)
+		case isa.OpSetF:
+			c.reservePort(&c.loadsUsed, c.cfg.LoadPorts)
+			c.wait(in.R2)
+			c.writeFR(in.F1, math.Float64frombits(c.GR[in.R2]), c.cycle+2)
+		case isa.OpFCvtFX:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.waitF(in.F2)
+			c.writeGR(in.R1, uint64(int64(c.FR[in.F2])), c.cycle+fpLat)
+		case isa.OpFCvtXF:
+			c.reservePort(&c.fpUsed, c.cfg.FPUnits)
+			c.wait(in.R2)
+			c.writeFR(in.F1, float64(int64(c.GR[in.R2])), c.cycle+fpLat)
+
+		case isa.OpBr:
+			c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+			c.retire(pc)
+			if c.PMU != nil {
+				c.PMU.OnBranch(pc, in.Target, true)
+			}
+			c.redirect(in.Target, false)
+			return nil
+		case isa.OpBrCall:
+			c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+			c.BR[in.B] = (pc &^ uint64(isa.BundleBytes-1)) + isa.BundleBytes
+			c.retire(pc)
+			if c.PMU != nil {
+				c.PMU.OnBranch(pc, in.Target, true)
+			}
+			c.redirect(in.Target, false)
+			return nil
+		case isa.OpBrRet:
+			c.reservePort(&c.brUsed, c.cfg.BranchUnits)
+			target := c.BR[in.B]
+			c.retire(pc)
+			if target == 0 {
+				c.halted = true
+				c.Stats.Cycles = c.cycle
+				return nil
+			}
+			if c.PMU != nil {
+				c.PMU.OnBranch(pc, target, true)
+			}
+			c.redirect(target, false)
+			return nil
+		case isa.OpHalt:
+			c.retire(pc)
 			c.halted = true
 			c.Stats.Cycles = c.cycle
-			return true, nil
+			return nil
+
+		default:
+			return fmt.Errorf("cpu: unimplemented op %s at %#x", in.Op, pc)
 		}
-		if c.PMU != nil {
-			c.PMU.OnBranch(pc, target, true)
-		}
-		c.redirect(target, false)
-		return true, nil
-	case isa.OpHalt:
+
 		c.retire(pc)
-		c.halted = true
-		c.Stats.Cycles = c.cycle
-		return true, nil
-
-	default:
-		return false, fmt.Errorf("cpu: unimplemented op %s at %#x", in.Op, pc)
 	}
-
-	c.retire(pc)
-	return false, nil
+	c.pc = bundleAddr + isa.BundleBytes
+	return nil
 }
 
 // execBrCond executes a conditional branch, including its PMU reporting and
@@ -617,12 +720,17 @@ func (c *CPU) setPred(p isa.PReg, v bool) {
 }
 
 // retire counts one retired instruction and gives the PMU its sampling
-// opportunity.
+// opportunity. The monitored-run work lives in retireSampled so that
+// retire itself inlines into execute's dispatch cases — without a PMU it
+// is a counter increment and a nil check.
 func (c *CPU) retire(pc uint64) {
 	c.Stats.Retired++
-	if c.PMU == nil {
-		return
+	if c.PMU != nil {
+		c.retireSampled(pc)
 	}
+}
+
+func (c *CPU) retireSampled(pc uint64) {
 	c.PMU.Retired++
 	if c.cycle >= c.PMU.NextSampleAt() {
 		before := c.PMU.OverheadCycles

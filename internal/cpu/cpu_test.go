@@ -12,7 +12,7 @@ import (
 
 // buildMachine assembles the builder's code at its base and wires a full
 // machine around it.
-func buildMachine(t *testing.T, b *asm.Builder, p *pmu.PMU) (*CPU, *asm.Result) {
+func buildMachine(t testing.TB, b *asm.Builder, p *pmu.PMU) (*CPU, *asm.Result) {
 	t.Helper()
 	r, err := b.Build()
 	if err != nil {
@@ -30,7 +30,7 @@ func buildMachine(t *testing.T, b *asm.Builder, p *pmu.PMU) (*CPU, *asm.Result) 
 	return c, r
 }
 
-func run(t *testing.T, c *CPU) Stats {
+func run(t testing.TB, c *CPU) Stats {
 	t.Helper()
 	st, err := c.Run(10_000_000)
 	if err != nil {

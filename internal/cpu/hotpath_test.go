@@ -1,0 +1,249 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/program"
+)
+
+// TestRunErrorReportsCurrentCycles pins the step()-error path of
+// RunContext: a program that faults mid-run (here by running off the end
+// of its segment into unmapped space) must still report the cycle count
+// at the fault, not the stale value from the previous Stats refresh.
+func TestRunErrorReportsCurrentCycles(t *testing.T) {
+	b := asm.New(0)
+	b.MovI(5, 500)
+	b.Label("loop")
+	b.AddI(5, -1, 5)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 5)
+	b.BrCond(1, "loop")
+	// No halt: after the loop the CPU fetches past the segment end.
+	c, _ := buildMachine(t, b, nil)
+	st, err := c.Run(0)
+	if err == nil {
+		t.Fatal("run off the segment end did not fault")
+	}
+	if !strings.Contains(err.Error(), "unmapped") {
+		t.Fatalf("unexpected fault: %v", err)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("faulting run reported zero cycles")
+	}
+	if st.Cycles != c.Now() {
+		t.Fatalf("Stats.Cycles = %d but clock is at %d: stale cycles on the error path", st.Cycles, c.Now())
+	}
+	if st.Retired < 500 {
+		t.Fatalf("retired only %d instructions before the fault", st.Retired)
+	}
+}
+
+// TestReusedCPUBitIdenticalStats runs the same image twice on one machine
+// with Reset between runs and demands bit-identical CPU and cache
+// statistics — the regression net for stale microarchitectural state
+// (lastFetchLine, hook next-fire times, scoreboard, victim/way memos)
+// surviving a Reset.
+func TestReusedCPUBitIdenticalStats(t *testing.T) {
+	const base, n = 0x10000, 400
+	c, r := buildMachine(t, sumLoop(base, n), nil)
+	for i := 0; i < n; i++ {
+		c.Mem.WriteN(base+uint64(i*8), 8, uint64(i*7))
+	}
+	// A poll hook with a charge exercises the hook schedule reset too.
+	c.AddPollHook(700, func(uint64) uint64 { return 3 })
+
+	run1 := run(t, c)
+	sum1 := c.GR[8]
+	h1 := [4]memsys.CacheStats{c.Hier.L1D.Stats, c.Hier.L1I.Stats, c.Hier.L2.Stats, c.Hier.L3.Stats}
+
+	// Reset the machine and the hierarchy (which belongs to the caller,
+	// per the Reset contract) and re-run the identical image.
+	c.Reset()
+	c.Hier.Reset()
+	c.SetPC(r.Base)
+	run2 := run(t, c)
+	h2 := [4]memsys.CacheStats{c.Hier.L1D.Stats, c.Hier.L1I.Stats, c.Hier.L2.Stats, c.Hier.L3.Stats}
+
+	if run1 != run2 {
+		t.Fatalf("reused CPU diverged:\n run1 %+v\n run2 %+v", run1, run2)
+	}
+	if c.GR[8] != sum1 {
+		t.Fatalf("architectural divergence: sum %d then %d", sum1, c.GR[8])
+	}
+	if h1 != h2 {
+		t.Fatalf("cache stats diverged:\n run1 %+v\n run2 %+v", h1, h2)
+	}
+}
+
+// TestHookCatchUpFiresOncePerBoundary pins the catch-up semantics of the
+// next-event hook scheduler: when a hook's own charge advances the clock
+// past several of its scheduled fire times, the skipped times are not
+// delivered late — the hook fires at most once per bundle boundary and
+// its schedule jumps past the charge.
+func TestHookCatchUpFiresOncePerBoundary(t *testing.T) {
+	const interval, charge = 100, 10_000
+	c, _ := buildMachine(t, sumLoop(0x10000, 3000), nil)
+	var fires []uint64
+	c.AddPollHook(interval, func(now uint64) uint64 {
+		fires = append(fires, now)
+		if len(fires) == 1 {
+			return charge
+		}
+		return 0
+	})
+	run(t, c)
+	if len(fires) < 3 {
+		t.Fatalf("hook fired only %d times", len(fires))
+	}
+	// At most once per bundle boundary: fire times strictly increase (the
+	// schedule jumps past the current cycle after every fire, so the same
+	// boundary can never deliver a hook twice).
+	for i := 1; i < len(fires); i++ {
+		if fires[i] <= fires[i-1] {
+			t.Fatalf("fires %d and %d both at cycle %d", i-1, i, fires[i])
+		}
+	}
+	// The charge pushed the clock 10k cycles; the 100 skipped fire times
+	// must not be delivered as a burst afterwards.
+	if gap := fires[1] - fires[0]; gap < charge {
+		t.Fatalf("first gap %d < charge %d: skipped fire times were delivered late", gap, charge)
+	}
+}
+
+// TestInterleavedHooksStableOrder runs two hooks with different intervals
+// and checks the merged fire sequence: time never goes backwards, ties on
+// the same boundary fire in registration order, and each hook keeps its
+// own cadence.
+func TestInterleavedHooksStableOrder(t *testing.T) {
+	type fire struct {
+		id  int
+		now uint64
+	}
+	c, _ := buildMachine(t, sumLoop(0x10000, 5000), nil)
+	var seq []fire
+	c.AddPollHook(300, func(now uint64) uint64 { seq = append(seq, fire{0, now}); return 0 })
+	c.AddPollHook(500, func(now uint64) uint64 { seq = append(seq, fire{1, now}); return 0 })
+	run(t, c)
+	var n0, n1 int
+	last := [2]uint64{^uint64(0), ^uint64(0)}
+	for i, f := range seq {
+		if i > 0 && f.now < seq[i-1].now {
+			t.Fatalf("fire %d at %d after fire at %d: time went backwards", i, f.now, seq[i-1].now)
+		}
+		if i > 0 && f.now == seq[i-1].now && seq[i-1].id > f.id {
+			t.Fatalf("tie at cycle %d fired out of registration order", f.now)
+		}
+		// Per hook, fire times strictly increase: one fire per boundary.
+		if last[f.id] != ^uint64(0) && f.now <= last[f.id] {
+			t.Fatalf("hook %d fired twice at cycle %d", f.id, f.now)
+		}
+		last[f.id] = f.now
+		if f.id == 0 {
+			n0++
+		} else {
+			n1++
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		t.Fatalf("hook fire counts %d/%d: one hook starved", n0, n1)
+	}
+	if n0 < n1 {
+		t.Fatalf("300-cycle hook fired %d times, 500-cycle hook %d: cadence lost", n0, n1)
+	}
+}
+
+// patchableLoop is the self-modifying-code scaffold shared by the
+// predecode-invalidation test: a long countdown, then a tail that sets r9
+// and halts. The tail bundle is the patch target.
+func patchableLoop() (*asm.Builder, string) {
+	b := asm.New(0)
+	b.MovI(5, 100_000)
+	b.Label("loop")
+	b.AddI(5, -1, 5)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 5)
+	b.BrCond(1, "loop")
+	b.Label("tail")
+	b.MovI(9, 111)
+	b.Halt()
+	return b, "tail"
+}
+
+// TestPatchUnpatchExecutesLikeNeverPatched proves the predecoded code
+// image tracks writes in both directions: a machine whose tail bundle is
+// patched to a branch and then restored mid-run executes bundle-for-bundle
+// like a machine that was never patched — identical architectural result
+// and bit-identical statistics. A stale predecode slab would either
+// execute the patched branch (wrong r9) or diverge in timing.
+func TestPatchUnpatchExecutesLikeNeverPatched(t *testing.T) {
+	build := func(patch bool) (Stats, uint64) {
+		b, tail := patchableLoop()
+		r, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := program.NewCodeSpace()
+		seg := &program.Segment{Name: "main", Base: 0, Bundles: r.Bundles}
+		if err := cs.AddSegment(seg); err != nil {
+			t.Fatal(err)
+		}
+		c := New(DefaultConfig(), cs, memsys.NewMemory(), memsys.NewHierarchy(memsys.DefaultConfig()), nil)
+		tailAddr, ok := r.AddrOf(tail)
+		if !ok {
+			t.Fatal("tail label missing")
+		}
+		orig := seg.Bundles[tailAddr/isa.BundleBytes]
+		c.AddPollHook(1000, func(uint64) uint64 {
+			if patch {
+				// Patch the tail to a branch, then restore the original:
+				// both writes must reach the predecoded image.
+				if err := cs.Write(tailAddr, isa.BranchBundle(0x100000)); err != nil {
+					t.Error(err)
+				}
+				if err := cs.Write(tailAddr, orig); err != nil {
+					t.Error(err)
+				}
+			}
+			return 0
+		})
+		c.SetPC(0)
+		st := run(t, c)
+		return st, c.GR[9]
+	}
+
+	plainStats, plainR9 := build(false)
+	patchedStats, patchedR9 := build(true)
+	if plainR9 != 111 || patchedR9 != 111 {
+		t.Fatalf("r9 = %d/%d, want 111/111 (unpatched tail must execute)", plainR9, patchedR9)
+	}
+	if plainStats != patchedStats {
+		t.Fatalf("patched-then-unpatched run diverged from never-patched:\n plain   %+v\n patched %+v",
+			plainStats, patchedStats)
+	}
+}
+
+// TestRunLoopZeroAllocs verifies the tentpole's zero-allocation claim for
+// the whole run loop — fetch, dispatch, hierarchy accesses, hook
+// scheduling — using the same Reset/Run recycle the benchmarks use.
+func TestRunLoopZeroAllocs(t *testing.T) {
+	const base, n = 0x10000, 256
+	c, r := buildMachine(t, sumLoop(base, n), nil)
+	for i := 0; i < n; i++ {
+		c.Mem.WriteN(base+uint64(i*8), 8, uint64(i))
+	}
+	// Prime once: first touches of simulated memory allocate pages.
+	c.Run(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		c.Reset()
+		c.Hier.Reset()
+		c.SetPC(r.Base)
+		if _, err := c.Run(0); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("run loop allocates %.1f times per run, want 0", allocs)
+	}
+}

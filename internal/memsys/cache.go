@@ -11,19 +11,20 @@ type CacheConfig struct {
 	HitLat   int // cycles to return a hit from this level
 }
 
-// line is one cache line's tag state. readyAt records when an in-flight
-// fill completes: a "hit" on a line still being filled waits for it, which
-// is how prefetch-too-late and miss coalescing behave on real hardware.
+// Per-line flag bits, stored in the low byte of the packed meta word.
 // pf marks a line installed by lfetch that no demand access has touched
 // yet — the bit behind the prefetch-usefulness counters.
-type line struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	pf      bool
-	readyAt uint64
-	lastUse uint64 // LRU timestamp
-}
+const (
+	flagValid uint64 = 1 << iota
+	flagDirty
+	flagPf
+	flagMask uint64 = (1 << metaUseShift) - 1
+)
+
+// metaUseShift splits the meta word: bits [8,64) hold the LRU timestamp,
+// bits [0,8) the flags. useTick would need 2^56 touches to overflow —
+// thousands of years of simulation at current speeds.
+const metaUseShift = 8
 
 // CacheStats counts accesses per level.
 type CacheStats struct {
@@ -42,15 +43,55 @@ type CacheStats struct {
 	PfUnused uint64
 }
 
+// cacheLine is the bookkeeping state of one way. The three words a lookup
+// needs sit in one 24-byte struct, so the common access touches one or
+// two host cache lines; splitting them across parallel arrays (tried
+// first) cost three to four potentially cold lines per simulated access,
+// which dominated the profile once the simulated working set outgrew the
+// host caches.
+//
+//   - tag: line tag (addr >> lineBits); stale while the way is invalid,
+//     so every tag match must be confirmed against the meta valid bit.
+//   - meta: useTick<<metaUseShift | flags. Invalid ways keep meta 0, the
+//     smallest possible value, so the LRU victim compare needs no
+//     separate valid branch beyond its early-out.
+//   - ready: when an in-flight fill completes. A "hit" on a line still
+//     being filled waits for it, which is how prefetch-too-late and miss
+//     coalescing behave on real hardware.
+type cacheLine struct {
+	tag   uint64
+	meta  uint64
+	ready uint64
+}
+
 // Cache is one set-associative, write-back, write-allocate cache level.
+// Lines are indexed set*assoc+way.
 type Cache struct {
 	cfg      CacheConfig
-	sets     []line // numSets * assoc, row-major
 	numSets  int
+	assoc    int // == cfg.Assoc, hoisted for the hot scans
 	lineBits uint
 	setMask  uint64
 	useTick  uint64
-	Stats    CacheStats
+	lines    []cacheLine
+	// Per-set last-hit way memo: accesses that repeat a set's most recent
+	// line (struct-field runs on the data side, the alternating pair of
+	// I-lines of a straddling loop on the instruction side) skip the way
+	// scan. Purely a prediction — it is validated against the indexed
+	// tag+valid state before use, so Fill/Invalidate need not clear it,
+	// and it never changes hit/miss outcomes, LRU updates or statistics.
+	lastWay []uint8
+	// Victim hint: every hierarchy fill is preceded by the missing access
+	// that triggered it, and that access's way scan already saw every
+	// way's meta word. The scan stashes the victim Fill would choose;
+	// Fill consumes it only when nothing touched this cache in between
+	// (the tick matches) and the set matches, so out-of-band fills — tests
+	// driving Fill directly — still take the full scan and pick the same
+	// way they always did.
+	victimIdx  int
+	victimBase int
+	victimTick uint64
+	Stats      CacheStats
 }
 
 // NewCache builds a cache from cfg. It panics on non-power-of-two or
@@ -72,11 +113,14 @@ func NewCache(cfg CacheConfig) *Cache {
 		lineBits++
 	}
 	return &Cache{
-		cfg:      cfg,
-		sets:     make([]line, numSets*cfg.Assoc),
-		numSets:  numSets,
-		lineBits: lineBits,
-		setMask:  uint64(numSets - 1),
+		cfg:        cfg,
+		numSets:    numSets,
+		assoc:      cfg.Assoc,
+		lineBits:   lineBits,
+		setMask:    uint64(numSets - 1),
+		lines:      make([]cacheLine, numSets*cfg.Assoc),
+		lastWay:    make([]uint8, numSets),
+		victimTick: ^uint64(0), // no hint until the first missing access
 	}
 }
 
@@ -86,14 +130,18 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // LineSize returns the line size in bytes.
 func (c *Cache) LineSize() int { return c.cfg.LineSize }
 
-// lookup finds addr's line, returning its slot index or -1.
+// lookup finds addr's line, returning its slot index or -1. An invalid
+// way's stale tag may match (a freshly reset cache has tag 0 everywhere),
+// so a match counts only with the valid bit set — and the scan continues
+// past it rather than breaking, since the real line may sit in a later
+// way. Cold-path variant (Probe, Invalidate); the hot path is the fused
+// scan in access.
 func (c *Cache) lookup(addr uint64) int {
 	tag := addr >> c.lineBits
-	set := int(tag & c.setMask)
-	base := set * c.cfg.Assoc
-	for w := 0; w < c.cfg.Assoc; w++ {
-		l := &c.sets[base+w]
-		if l.valid && l.tag == tag {
+	base := int(tag&c.setMask) * c.assoc
+	set := c.lines[base : base+c.assoc]
+	for w := range set {
+		if set[w].tag == tag && set[w].meta&flagValid != 0 {
 			return base + w
 		}
 	}
@@ -122,29 +170,66 @@ func (c *Cache) accessPf(now uint64, addr uint64) (hit bool, readyAt uint64) {
 func (c *Cache) access(now uint64, addr uint64, isWrite, demand bool) (hit bool, readyAt uint64) {
 	c.Stats.Accesses++
 	c.useTick++
-	idx := c.lookup(addr)
-	if idx < 0 {
-		c.Stats.Misses++
-		return false, 0
+	tag := addr >> c.lineBits
+	set := int(tag & c.setMask)
+	base := set * c.assoc
+	// Memo probe first, then the way scan, fused here (rather than calling
+	// lookup) to keep the L1 hit — the most frequent operation the whole
+	// simulator performs — at one call from the hierarchy.
+	l := &c.lines[base+int(c.lastWay[set])]
+	if !(l.tag == tag && l.meta&flagValid != 0) {
+		l = nil
+		ways := c.lines[base : base+c.assoc]
+		// The scan doubles as Fill's victim selection (see the victim
+		// hint fields): first invalid way, else least-recently-used.
+		// Ways past the first invalid one are skipped exactly as Fill's
+		// scan breaks there.
+		victim, bestUse := 0, ^uint64(0)
+		invalidFound := false
+		for w := range ways {
+			m := ways[w].meta
+			if ways[w].tag == tag && m&flagValid != 0 {
+				c.lastWay[set] = uint8(w)
+				l = &ways[w]
+				break
+			}
+			if !invalidFound {
+				if m&flagValid == 0 {
+					invalidFound = true
+					victim = w
+				} else if m>>metaUseShift < bestUse {
+					victim = w
+					bestUse = m >> metaUseShift
+				}
+			}
+		}
+		if l == nil {
+			c.Stats.Misses++
+			c.victimIdx = victim
+			c.victimBase = base
+			c.victimTick = c.useTick
+			return false, 0
+		}
 	}
-	l := &c.sets[idx]
-	l.lastUse = c.useTick
+	f := l.meta & flagMask
 	if isWrite {
-		l.dirty = true
+		f |= flagDirty
 	}
 	c.Stats.Hits++
-	if l.readyAt > now {
+	ready := l.ready
+	if ready > now {
 		c.Stats.LatePfHits++
 	}
-	if demand && l.pf {
-		l.pf = false
-		if l.readyAt > now {
+	if demand && f&flagPf != 0 {
+		f &^= flagPf
+		if ready > now {
 			c.Stats.PfLate++
 		} else {
 			c.Stats.PfUseful++
 		}
 	}
-	return true, l.readyAt
+	l.meta = c.useTick<<metaUseShift | f
+	return true, ready
 }
 
 // Fill installs addr's line with the given fill-completion time, evicting
@@ -155,46 +240,63 @@ func (c *Cache) Fill(addr uint64, readyAt uint64, dirty bool, isPrefetch bool) (
 		c.Stats.Prefetches++
 	}
 	tag := addr >> c.lineBits
-	set := int(tag & c.setMask)
-	base := set * c.cfg.Assoc
-	victim := base
-	for w := 0; w < c.cfg.Assoc; w++ {
-		l := &c.sets[base+w]
-		if !l.valid {
-			victim = base + w
-			break
-		}
-		if l.lastUse < c.sets[victim].lastUse {
-			victim = base + w
+	base := int(tag&c.setMask) * c.assoc
+	var victim int
+	if c.victimTick == c.useTick && c.victimBase == base {
+		victim = c.victimIdx
+	} else {
+		bestUse := ^uint64(0) // useTick never reaches this, so way 0 always wins it
+		ways := c.lines[base : base+c.assoc]
+		for w := range ways {
+			m := ways[w].meta
+			if m&flagValid == 0 {
+				victim = w
+				break
+			}
+			if m>>metaUseShift < bestUse {
+				victim = w
+				bestUse = m >> metaUseShift
+			}
 		}
 	}
-	v := &c.sets[victim]
-	evictedDirty = v.valid && v.dirty
+	v := &c.lines[base+victim]
+	evictedDirty = v.meta&(flagValid|flagDirty) == flagValid|flagDirty
 	if evictedDirty {
 		c.Stats.Writebacks++
 	}
-	if v.valid && v.pf {
+	if v.meta&(flagValid|flagPf) == flagValid|flagPf {
 		c.Stats.PfUnused++
 	}
 	c.useTick++
-	*v = line{tag: tag, valid: true, dirty: dirty, pf: isPrefetch, readyAt: readyAt, lastUse: c.useTick}
+	nf := flagValid
+	if dirty {
+		nf |= flagDirty
+	}
+	if isPrefetch {
+		nf |= flagPf
+	}
+	v.tag = tag
+	v.meta = c.useTick<<metaUseShift | nf
+	v.ready = readyAt
+	c.lastWay[int(tag&c.setMask)] = uint8(victim)
 	return evictedDirty
 }
 
 // Invalidate drops addr's line if resident (used by tests and by failure
 // injection).
 func (c *Cache) Invalidate(addr uint64) {
-	if idx := c.lookup(addr); idx >= 0 {
-		c.sets[idx] = line{}
+	if i := c.lookup(addr); i >= 0 {
+		c.lines[i] = cacheLine{}
+		c.victimTick = ^uint64(0) // hint may name a now-invalid way
 	}
 }
 
 // Reset clears all lines and statistics.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		c.sets[i] = line{}
-	}
+	clear(c.lines)
+	clear(c.lastWay)
 	c.useTick = 0
+	c.victimTick = ^uint64(0)
 	c.Stats = CacheStats{}
 }
 

@@ -1,0 +1,37 @@
+package memsys
+
+import "testing"
+
+// These microbenchmarks bound the cost of the three access shapes the
+// simulator performs most (DESIGN.md §12): a repeat L1 hit (the lastWay
+// memo path), alternating I-line hits (the memo's worst case, resolved
+// by the way scan), and a full three-level miss with fills (the victim-
+// hint path). The end-to-end number lives in BenchmarkMIPS; these exist
+// so a hot-path change can be attributed to the operation it touched.
+
+func BenchmarkL1Hit(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	h.AccessLoad(0, 0x1000) // install
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessLoad(uint64(i), 0x1000)
+	}
+}
+
+func BenchmarkL1HitAlternating(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	h.AccessInst(0, 0x1000)
+	h.AccessInst(0, 0x1040)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessInst(uint64(i), 0x1000+uint64(i&1)*0x40)
+	}
+}
+
+func BenchmarkFullMiss(b *testing.B) {
+	h := NewHierarchy(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AccessLoad(uint64(i)*200, uint64(i)<<7)
+	}
+}

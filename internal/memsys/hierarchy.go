@@ -80,8 +80,26 @@ type Hierarchy struct {
 	L2  *Cache
 	L3  *Cache
 
+	// Hit latencies hoisted out of cfg: the hot access paths read these
+	// once per access, and a flat uint64 field load beats chasing into the
+	// nested config structs.
+	l1dLat uint64
+	l1iLat uint64
+	l2Lat  uint64
+	l3Lat  uint64
+
 	busNextFree uint64
-	inflight    []uint64 // readyAt per in-flight memory miss (MSHR model)
+	// MSHR model: a fixed-capacity ring of per-miss completion times,
+	// ordered oldest-first. memFetch start times never decrease (the
+	// clock and busNextFree are both monotone), so completions are
+	// pushed in non-decreasing order and the ring is a sorted queue:
+	// pruning pops expired entries from the head (amortized O(1)) and
+	// the earliest completion — what a blocked demand miss waits for —
+	// is the head, replacing the full-slice scans this bookkeeping
+	// started with.
+	inflight []uint64 // ring storage, len = max(1, cfg.MSHRs)
+	infHead  int
+	infCount int
 
 	// Aggregate statistics beyond the per-cache counters.
 	DroppedPrefetches uint64
@@ -93,12 +111,21 @@ type Hierarchy struct {
 
 // NewHierarchy builds the hierarchy from cfg.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	slots := cfg.MSHRs
+	if slots < 1 {
+		slots = 1
+	}
 	return &Hierarchy{
-		cfg: cfg,
-		L1D: NewCache(cfg.L1D),
-		L1I: NewCache(cfg.L1I),
-		L2:  NewCache(cfg.L2),
-		L3:  NewCache(cfg.L3),
+		cfg:      cfg,
+		L1D:      NewCache(cfg.L1D),
+		L1I:      NewCache(cfg.L1I),
+		L2:       NewCache(cfg.L2),
+		L3:       NewCache(cfg.L3),
+		l1dLat:   uint64(cfg.L1D.HitLat),
+		l1iLat:   uint64(cfg.L1I.HitLat),
+		l2Lat:    uint64(cfg.L2.HitLat),
+		l3Lat:    uint64(cfg.L3.HitLat),
+		inflight: make([]uint64, slots),
 	}
 }
 
@@ -112,15 +139,47 @@ func max64(a, b uint64) uint64 {
 	return b
 }
 
-// pruneInflight drops completed MSHR entries.
+// pruneInflight drops completed MSHR entries: entries are ordered by
+// completion time, so popping from the head until it is in the future is
+// exact.
 func (h *Hierarchy) pruneInflight(now uint64) {
-	keep := h.inflight[:0]
-	for _, r := range h.inflight {
-		if r > now {
-			keep = append(keep, r)
+	for h.infCount > 0 && h.inflight[h.infHead] <= now {
+		h.infHead++
+		if h.infHead == len(h.inflight) {
+			h.infHead = 0
 		}
+		h.infCount--
 	}
-	h.inflight = keep
+}
+
+// addInflight records a new in-flight miss. Completion times are monotone
+// in practice (see the ring comment); the backward walk keeps the ring
+// sorted even if a future change breaks that, at a cost bounded by the
+// MSHR count.
+func (h *Hierarchy) addInflight(readyAt uint64) {
+	n := len(h.inflight)
+	j := h.infCount
+	for j > 0 {
+		p := h.infHead + j - 1
+		if p >= n {
+			p -= n
+		}
+		if h.inflight[p] <= readyAt {
+			break
+		}
+		q := p + 1
+		if q >= n {
+			q -= n
+		}
+		h.inflight[q] = h.inflight[p]
+		j--
+	}
+	q := h.infHead + j
+	if q >= n {
+		q -= n
+	}
+	h.inflight[q] = readyAt
+	h.infCount++
 }
 
 // reserveMSHR acquires an in-flight slot at time now. When the file is
@@ -128,18 +187,13 @@ func (h *Hierarchy) pruneInflight(now uint64) {
 // delay), prefetches report failure and are dropped by the caller.
 func (h *Hierarchy) reserveMSHR(now uint64, isPrefetch bool) (delay uint64, ok bool) {
 	h.pruneInflight(now)
-	if len(h.inflight) < h.cfg.MSHRs {
+	if h.infCount < h.cfg.MSHRs {
 		return 0, true
 	}
 	if isPrefetch {
 		return 0, false
 	}
-	earliest := h.inflight[0]
-	for _, r := range h.inflight[1:] {
-		if r < earliest {
-			earliest = r
-		}
-	}
+	earliest := h.inflight[h.infHead]
 	delay = earliest - now
 	h.MSHRWaitCycles += delay
 	h.pruneInflight(now + delay)
@@ -160,33 +214,65 @@ func (h *Hierarchy) memFetch(now uint64) (readyAt uint64) {
 // Access runs one data access through the hierarchy at time now and
 // returns its timing. The functional value transfer happens elsewhere
 // (Memory); Access only moves lines and accounts cycles.
+//
+// It is a dispatcher over the per-kind entry points below. The CPU's hot
+// paths call those directly — with the kind fixed at the call site the
+// dispatch is dead weight on every simulated access — but kind-driven
+// callers (tests, tools replaying traces) keep this single front door.
 func (h *Hierarchy) Access(now uint64, addr uint64, kind AccessKind) Result {
 	switch kind {
+	case KindLoad:
+		return h.AccessLoad(now, addr)
+	case KindStore:
+		return h.AccessStore(now, addr)
 	case KindInst:
-		return h.accessInst(now, addr)
+		return h.AccessInst(now, addr)
 	case KindPrefetch:
-		return h.accessPrefetch(now, addr)
+		return h.AccessPrefetch(now, addr)
 	}
+	return h.accessDataMiss(now, addr, kind) // KindLoadFP: straight to L2
+}
 
-	isWrite := kind == KindStore
-	// L1D (integer accesses only; FP loads bypass it, FP stores write
-	// through to L2 in this model, folded into KindStore for int too when
-	// the line is absent — write-allocate pulls it in).
-	if kind != KindLoadFP {
-		if hit, ready := h.L1D.Access(now, addr, isWrite); hit {
-			lat := max64(uint64(h.cfg.L1D.HitLat), saturatingSub(ready, now))
-			return Result{Latency: lat, Level: LevelL1}
+// AccessLoad resolves an integer load: L1D first, then the shared miss
+// path. The L1D hit — the most frequent data outcome — returns straight
+// from the first probe.
+func (h *Hierarchy) AccessLoad(now uint64, addr uint64) Result {
+	if hit, ready := h.L1D.Access(now, addr, false); hit {
+		lat := h.l1dLat
+		if d := saturatingSub(ready, now); d > lat {
+			lat = d
 		}
+		return Result{Latency: lat, Level: LevelL1}
 	}
+	return h.accessDataMiss(now, addr, KindLoad)
+}
+
+// AccessStore resolves an integer or FP store. Write-allocate: a miss
+// pulls the line in through the same path as a load, marked dirty.
+func (h *Hierarchy) AccessStore(now uint64, addr uint64) Result {
+	if hit, ready := h.L1D.Access(now, addr, true); hit {
+		lat := h.l1dLat
+		if d := saturatingSub(ready, now); d > lat {
+			lat = d
+		}
+		return Result{Latency: lat, Level: LevelL1}
+	}
+	return h.accessDataMiss(now, addr, KindStore)
+}
+
+// accessDataMiss resolves a demand data access past L1D: the L2/L3/memory
+// portion of Access, shared by L1D misses and L1D-bypassing FP loads.
+func (h *Hierarchy) accessDataMiss(now uint64, addr uint64, kind AccessKind) Result {
+	isWrite := kind == KindStore
 	if hit, ready := h.L2.Access(now, addr, isWrite); hit {
-		lat := max64(uint64(h.cfg.L2.HitLat), saturatingSub(ready, now))
+		lat := max64(h.l2Lat, saturatingSub(ready, now))
 		if kind != KindLoadFP {
 			h.L1D.Fill(addr, now+lat, isWrite, false)
 		}
 		return Result{Latency: lat, Level: LevelL2}
 	}
 	if hit, ready := h.L3.Access(now, addr, isWrite); hit {
-		lat := max64(uint64(h.cfg.L3.HitLat), saturatingSub(ready, now))
+		lat := max64(h.l3Lat, saturatingSub(ready, now))
 		h.L2.Fill(addr, now+lat, false, false)
 		if kind != KindLoadFP {
 			h.L1D.Fill(addr, now+lat, isWrite, false)
@@ -197,7 +283,7 @@ func (h *Hierarchy) Access(now uint64, addr uint64, kind AccessKind) Result {
 	// Full miss: MSHR + bus + memory.
 	delay, _ := h.reserveMSHR(now, false)
 	ready := h.memFetch(now + delay)
-	h.inflight = append(h.inflight, ready)
+	h.addInflight(ready)
 	lat := ready - now
 	if evicted := h.L3.Fill(addr, ready, false, false); evicted {
 		h.busNextFree += uint64(h.cfg.BusOccupancy)
@@ -209,21 +295,21 @@ func (h *Hierarchy) Access(now uint64, addr uint64, kind AccessKind) Result {
 	return Result{Latency: lat, Level: LevelMem}
 }
 
-// accessPrefetch implements lfetch: it never stalls the issuing thread
+// AccessPrefetch implements lfetch: it never stalls the issuing thread
 // (Latency is always 0) and is dropped when the MSHR file is full, like
 // hardware. The line is installed at all levels with its fill-completion
 // time so that later demand accesses wait only for the remaining portion.
-func (h *Hierarchy) accessPrefetch(now uint64, addr uint64) Result {
+func (h *Hierarchy) AccessPrefetch(now uint64, addr uint64) Result {
 	h.PrefetchesIssued++
 	if hit, _ := h.L1D.accessPf(now, addr); hit {
 		return Result{Latency: 0, Level: LevelL1}
 	}
 	if hit, ready := h.L2.accessPf(now, addr); hit {
-		h.L1D.Fill(addr, max64(ready, now+uint64(h.cfg.L2.HitLat)), false, true)
+		h.L1D.Fill(addr, max64(ready, now+h.l2Lat), false, true)
 		return Result{Latency: 0, Level: LevelL2}
 	}
 	if hit, ready := h.L3.accessPf(now, addr); hit {
-		at := max64(ready, now+uint64(h.cfg.L3.HitLat))
+		at := max64(ready, now+h.l3Lat)
 		h.L2.Fill(addr, at, false, true)
 		h.L1D.Fill(addr, at, false, true)
 		return Result{Latency: 0, Level: LevelL3}
@@ -234,7 +320,7 @@ func (h *Hierarchy) accessPrefetch(now uint64, addr uint64) Result {
 		return Result{Latency: 0, Level: LevelMem, Dropped: true}
 	}
 	ready := h.memFetch(now)
-	h.inflight = append(h.inflight, ready)
+	h.addInflight(ready)
 	if evicted := h.L3.Fill(addr, ready, false, true); evicted {
 		h.busNextFree += uint64(h.cfg.BusOccupancy)
 	}
@@ -243,27 +329,34 @@ func (h *Hierarchy) accessPrefetch(now uint64, addr uint64) Result {
 	return Result{Latency: 0, Level: LevelMem}
 }
 
-// accessInst fetches an instruction line through L1I, then L2/L3/memory.
-// Returned latency is the front-end bubble charged to the fetch.
-func (h *Hierarchy) accessInst(now uint64, addr uint64) Result {
+// AccessInst fetches an instruction line through L1I, then L2/L3/memory.
+// Returned latency is the front-end bubble charged to the fetch. The CPU
+// calls this once per I-line transition — after the data side, the
+// highest-frequency entry into the hierarchy.
+func (h *Hierarchy) AccessInst(now uint64, addr uint64) Result {
 	if hit, ready := h.L1I.Access(now, addr, false); hit {
-		return Result{Latency: max64(uint64(h.cfg.L1I.HitLat), saturatingSub(ready, now)), Level: LevelL1}
+		return Result{Latency: max64(h.l1iLat, saturatingSub(ready, now)), Level: LevelL1}
 	}
 	if hit, ready := h.L2.Access(now, addr, false); hit {
-		lat := max64(uint64(h.cfg.L2.HitLat), saturatingSub(ready, now))
+		lat := max64(h.l2Lat, saturatingSub(ready, now))
 		h.L1I.Fill(addr, now+lat, false, false)
 		return Result{Latency: lat, Level: LevelL2}
 	}
 	if hit, ready := h.L3.Access(now, addr, false); hit {
-		lat := max64(uint64(h.cfg.L3.HitLat), saturatingSub(ready, now))
+		lat := max64(h.l3Lat, saturatingSub(ready, now))
 		h.L2.Fill(addr, now+lat, false, false)
 		h.L1I.Fill(addr, now+lat, false, false)
 		return Result{Latency: lat, Level: LevelL3}
 	}
 	delay, _ := h.reserveMSHR(now, false)
 	ready := h.memFetch(now + delay)
-	h.inflight = append(h.inflight, ready)
-	h.L3.Fill(addr, ready, false, false)
+	h.addInflight(ready)
+	// A dirty L3 victim occupies the bus for its writeback, exactly as on
+	// the demand-data (Access) and prefetch (accessPrefetch) full-miss
+	// paths; I-side misses used to skip this charge.
+	if evicted := h.L3.Fill(addr, ready, false, false); evicted {
+		h.busNextFree += uint64(h.cfg.BusOccupancy)
+	}
 	h.L2.Fill(addr, ready, false, false)
 	h.L1I.Fill(addr, ready, false, false)
 	return Result{Latency: ready - now, Level: LevelMem}
@@ -308,7 +401,8 @@ func (h *Hierarchy) Reset() {
 	h.L2.Reset()
 	h.L3.Reset()
 	h.busNextFree = 0
-	h.inflight = nil
+	h.infHead = 0
+	h.infCount = 0
 	h.DroppedPrefetches = 0
 	h.PrefetchesIssued = 0
 	h.MemAccesses = 0

@@ -23,15 +23,29 @@ const (
 
 type page [pageSize]byte
 
+// tlbBits sizes the page-translation cache: 64 entries cover 4 MiB of
+// working set, enough that pointer-chasing workloads rarely fall through
+// to the page map.
+const tlbBits = 6
+
+// tlbEntry caches one page translation. idx is only meaningful while p is
+// non-nil.
+type tlbEntry struct {
+	idx uint64
+	p   *page
+}
+
 // Memory is a sparse flat byte-addressable memory. The zero value is ready
 // to use; untouched bytes read as zero. Accesses may straddle page
 // boundaries.
 type Memory struct {
 	pages map[uint64]*page
 
-	// one-entry lookup cache; hit on sequential access patterns
-	lastIdx  uint64
-	lastPage *page
+	// Direct-mapped translation cache in front of the page map: the map
+	// lookup per access is the dominant cost of functional memory once
+	// the working set spans many pages. Pages are never freed, so entries
+	// never go stale.
+	tlb [1 << tlbBits]tlbEntry
 }
 
 // NewMemory returns an empty memory.
@@ -39,11 +53,20 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
+// pageFor resolves addr's page, optionally creating it. The cache-hit path
+// is small enough to inline into ReadN/WriteN.
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	idx := addr >> pageBits
-	if m.lastPage != nil && m.lastIdx == idx {
-		return m.lastPage
+	e := &m.tlb[idx&(1<<tlbBits-1)]
+	if e.p != nil && e.idx == idx {
+		return e.p
 	}
+	return m.pageSlow(idx, create)
+}
+
+// pageSlow consults (and on a create miss, grows) the page map, refilling
+// the translation cache.
+func (m *Memory) pageSlow(idx uint64, create bool) *page {
 	p := m.pages[idx]
 	if p == nil {
 		if !create {
@@ -55,7 +78,7 @@ func (m *Memory) pageFor(addr uint64, create bool) *page {
 		}
 		m.pages[idx] = p
 	}
-	m.lastIdx, m.lastPage = idx, p
+	m.tlb[idx&(1<<tlbBits-1)] = tlbEntry{idx: idx, p: p}
 	return p
 }
 

@@ -31,16 +31,35 @@ func (s *Segment) Contains(addr uint64) bool {
 	return addr >= s.Base && addr < s.End()
 }
 
+// ChangeHook observes mutations to a code space: bundles [first, first+n)
+// of seg were just (re)written, or seg was newly registered (first = 0,
+// n = len(seg.Bundles)). The CPU's predecoded code image subscribes so
+// runtime patching — ADORE's entry-bundle rewrites and trace-pool installs
+// — updates its direct-indexed slab in place instead of invalidating it.
+type ChangeHook func(seg *Segment, first, n int)
+
 // CodeSpace is the set of code segments visible to the CPU. Bundles are
 // mutable: ADORE patches them at runtime exactly as it rewrites the text
-// segment of a live process in the paper.
+// segment of a live process in the paper. All mutations must go through
+// Write or WriteBundles so registered ChangeHooks observe them.
 type CodeSpace struct {
-	segs []*Segment // sorted by Base
-	last *Segment   // one-entry fetch cache
+	segs  []*Segment // sorted by Base
+	last  *Segment   // one-entry fetch cache
+	hooks []ChangeHook
 }
 
 // NewCodeSpace returns an empty code space.
 func NewCodeSpace() *CodeSpace { return &CodeSpace{} }
+
+// OnChange registers h to observe every subsequent segment registration
+// and bundle write.
+func (cs *CodeSpace) OnChange(h ChangeHook) { cs.hooks = append(cs.hooks, h) }
+
+func (cs *CodeSpace) notify(seg *Segment, first, n int) {
+	for _, h := range cs.hooks {
+		h(seg, first, n)
+	}
+}
 
 // AddSegment registers a segment. Segments must not overlap.
 func (cs *CodeSpace) AddSegment(seg *Segment) error {
@@ -55,6 +74,7 @@ func (cs *CodeSpace) AddSegment(seg *Segment) error {
 	cs.segs = append(cs.segs, seg)
 	sort.Slice(cs.segs, func(i, j int) bool { return cs.segs[i].Base < cs.segs[j].Base })
 	cs.last = nil
+	cs.notify(seg, 0, len(seg.Bundles))
 	return nil
 }
 
@@ -90,7 +110,27 @@ func (cs *CodeSpace) Write(addr uint64, b isa.Bundle) error {
 	if !ok {
 		return fmt.Errorf("program: write to unmapped code address %#x", addr)
 	}
-	s.Bundles[(addr-s.Base)/isa.BundleBytes] = b
+	i := int((addr - s.Base) / isa.BundleBytes)
+	s.Bundles[i] = b
+	cs.notify(s, i, 1)
+	return nil
+}
+
+// WriteBundles replaces len(bs) consecutive bundles starting at addr — the
+// bulk form of Write the trace pool uses to install a finished trace, so
+// ChangeHooks see one notification instead of one per bundle.
+func (cs *CodeSpace) WriteBundles(addr uint64, bs []isa.Bundle) error {
+	addr &^= isa.BundleBytes - 1
+	s, ok := cs.SegmentAt(addr)
+	if !ok {
+		return fmt.Errorf("program: write to unmapped code address %#x", addr)
+	}
+	i := int((addr - s.Base) / isa.BundleBytes)
+	if i+len(bs) > len(s.Bundles) {
+		return fmt.Errorf("program: write of %d bundles at %#x overruns segment %q", len(bs), addr, s.Name)
+	}
+	copy(s.Bundles[i:], bs)
+	cs.notify(s, i, len(bs))
 	return nil
 }
 
