@@ -158,6 +158,9 @@ type (
 	SeriesResult = harness.SeriesResult
 	Fig10Result  = harness.Fig10Result
 	Fig11Result  = harness.Fig11Result
+	// PolicyMatrixResult is the policy-layer evaluation: every benchmark ×
+	// every registered prefetch policy × the runtime selector.
+	PolicyMatrixResult = harness.PolicyMatrixResult
 )
 
 // The concurrent experiment engine. Every run is hermetic, so sweeps
@@ -218,6 +221,30 @@ func WithADORE(rc RunConfig) RunConfig {
 	return rc
 }
 
+// WithPolicy selects a named prefetch policy for the run's optimizer and
+// implies WithADORE. The built-ins are "paper" (the default §3 pipeline),
+// "nextline", "adaptive", and "throttle"; Policies lists what is
+// registered. An unknown name surfaces as an error from Run.
+func WithPolicy(rc RunConfig, policy string) RunConfig {
+	rc = WithADORE(rc)
+	rc.Core.Policy = policy
+	rc.Core.Selector = false
+	return rc
+}
+
+// WithSelector enables the runtime policy selector, which re-picks the
+// prefetch policy from live machine counters at every stable phase.
+// Implies WithADORE and overrides any fixed WithPolicy choice.
+func WithSelector(rc RunConfig) RunConfig {
+	rc = WithADORE(rc)
+	rc.Core.Policy = ""
+	rc.Core.Selector = true
+	return rc
+}
+
+// Policies returns the registered prefetch-policy names, sorted.
+func Policies() []string { return core.PrefetchPolicyNames() }
+
 // Run executes a compiled workload.
 func Run(b *Build, rc RunConfig) (*Result, error) { return harness.Run(b, rc) }
 
@@ -261,3 +288,9 @@ func Fig10(cfg ExpConfig) (*Fig10Result, error) { return harness.RunFig10(cfg) }
 
 // Fig11 regenerates the monitoring-overhead measurement.
 func Fig11(cfg ExpConfig) (*Fig11Result, error) { return harness.RunFig11(cfg) }
+
+// PolicyMatrix runs every benchmark under every registered prefetch policy
+// and the runtime selector, against the no-prefetching baseline.
+func PolicyMatrix(cfg ExpConfig) (*PolicyMatrixResult, error) {
+	return harness.RunPolicyMatrix(cfg)
+}

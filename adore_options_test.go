@@ -101,6 +101,57 @@ func TestRunOptionTransforms(t *testing.T) {
 				}
 			},
 		},
+		{
+			name:  "with-policy",
+			build: func() adore.RunConfig { return adore.WithPolicy(adore.RunOptions(), "nextline") },
+			check: func(t *testing.T, rc adore.RunConfig) {
+				if !rc.ADORE {
+					t.Error("WithPolicy did not imply ADORE")
+				}
+				if rc.Core.Policy != "nextline" || rc.Core.Selector {
+					t.Errorf("policy plumbing: Policy=%q Selector=%v", rc.Core.Policy, rc.Core.Selector)
+				}
+				if rc.Core.PolicyKey() != "nextline" {
+					t.Errorf("policy key = %q", rc.Core.PolicyKey())
+				}
+			},
+		},
+		{
+			name:  "with-selector",
+			build: func() adore.RunConfig { return adore.WithSelector(adore.RunOptions()) },
+			check: func(t *testing.T, rc adore.RunConfig) {
+				if !rc.ADORE || !rc.Core.Selector {
+					t.Errorf("selector plumbing: ADORE=%v Selector=%v", rc.ADORE, rc.Core.Selector)
+				}
+				if rc.Core.PolicyKey() != "selector" {
+					t.Errorf("policy key = %q", rc.Core.PolicyKey())
+				}
+			},
+		},
+		{
+			name: "selector-overrides-policy",
+			build: func() adore.RunConfig {
+				return adore.WithSelector(adore.WithPolicy(adore.RunOptions(), "adaptive"))
+			},
+			check: func(t *testing.T, rc adore.RunConfig) {
+				if rc.Core.Policy != "" || !rc.Core.Selector {
+					t.Errorf("WithSelector did not override fixed policy: Policy=%q Selector=%v",
+						rc.Core.Policy, rc.Core.Selector)
+				}
+			},
+		},
+		{
+			name: "policy-overrides-selector",
+			build: func() adore.RunConfig {
+				return adore.WithPolicy(adore.WithSelector(adore.RunOptions()), "throttle")
+			},
+			check: func(t *testing.T, rc adore.RunConfig) {
+				if rc.Core.Policy != "throttle" || rc.Core.Selector {
+					t.Errorf("WithPolicy did not override selector: Policy=%q Selector=%v",
+						rc.Core.Policy, rc.Core.Selector)
+				}
+			},
+		},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) { tc.check(t, tc.build()) })
@@ -174,5 +225,27 @@ func TestFacadeConfigPlumbing(t *testing.T) {
 	if unchecked.CPU.Cycles != opt.CPU.Cycles {
 		t.Errorf("verify toggle changed simulated timing: %d vs %d cycles",
 			unchecked.CPU.Cycles, opt.CPU.Cycles)
+	}
+
+	// Policy plumbing: the explicit "paper" name is the same machine as the
+	// default, every registered policy runs, and an unknown name errors.
+	paper, err := adore.Run(build, adore.WithPolicy(rc, "paper"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.CPU.Cycles != opt.CPU.Cycles {
+		t.Errorf("explicit paper policy diverges from default: %d vs %d cycles",
+			paper.CPU.Cycles, opt.CPU.Cycles)
+	}
+	for _, pol := range adore.Policies() {
+		if _, err := adore.Run(build, adore.WithPolicy(rc, pol)); err != nil {
+			t.Errorf("policy %q: %v", pol, err)
+		}
+	}
+	if _, err := adore.Run(build, adore.WithSelector(rc)); err != nil {
+		t.Errorf("selector run: %v", err)
+	}
+	if _, err := adore.Run(build, adore.WithPolicy(rc, "bogus")); err == nil {
+		t.Error("unknown policy name did not error")
 	}
 }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|all] [-scale 1.0] [-j 0] [-json]
+//	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|policymatrix|all] [-scale 1.0] [-j 0] [-json]
 //	adore-bench -bench mcf [-scale 1.0] -trace out.json [-events out.jsonl]
 //	adore-bench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 all")
+	exp := flag.String("exp", "all", "experiment to run: fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 policymatrix all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full runs)")
 	jobs := flag.Int("j", 0, "parallel jobs (0 = one per core, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
@@ -146,28 +146,36 @@ func main() {
 		r, err := harness.RunFig11Context(ctx, cfg)
 		return r, err
 	})
+	run("policymatrix", func(ctx context.Context) (renderer, error) {
+		r, err := harness.RunPolicyMatrixContext(ctx, cfg)
+		return r, err
+	})
 
 	if matched == 0 {
-		cli.Fatal(fmt.Errorf("unknown experiment %q (want fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 all)", *exp))
+		cli.Fatal(fmt.Errorf("unknown experiment %q (want fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 policymatrix all)", *exp))
 	}
 
 	hits, misses := eng.Cache().Stats()
+	rhits, rmisses := eng.Results().Stats()
 	if *jsonOut {
 		results["_meta"] = map[string]any{
-			"scale":            *scale,
-			"parallelism":      eng.Parallelism(),
-			"build_cache_hits": hits,
-			"build_cache_miss": misses,
-			"elapsed_seconds":  elapsed,
-			"total_seconds":    time.Since(start).Seconds(),
+			"scale":             *scale,
+			"parallelism":       eng.Parallelism(),
+			"policies":          adore.Policies(),
+			"build_cache_hits":  hits,
+			"build_cache_miss":  misses,
+			"result_cache_hits": rhits,
+			"result_cache_miss": rmisses,
+			"elapsed_seconds":   elapsed,
+			"total_seconds":     time.Since(start).Seconds(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		cli.Fatal(enc.Encode(results))
 		return
 	}
-	fmt.Printf("engine: %d workers, %d compiles (%d reused from cache), %.1fs total\n",
-		eng.Parallelism(), misses, hits, time.Since(start).Seconds())
+	fmt.Printf("engine: %d workers, %d compiles (%d reused from cache), %d runs (%d reused), %.1fs total\n",
+		eng.Parallelism(), misses, hits, rmisses, rhits, time.Since(start).Seconds())
 }
 
 // renderer is any experiment result that can print itself as text.

@@ -139,12 +139,17 @@ func check(ctx context.Context, data []byte, adore bool) (string, error) {
 	if adore {
 		cfg.ADORE = true
 		cfg.Core = fuzzCore()
+		// Sample a prefetch policy (or the selector) from the input bytes,
+		// mirroring FuzzDifferential: replaying a corpus file replays its
+		// policy too.
+		cfg.Core.Policy, cfg.Core.Selector = progfuzz.PolicyFromInput(data)
 		rep, err = harness.DiffAgainstContext(ctx, or, p.Image, cfg)
 		if err != nil {
 			return "", err
 		}
 		if rep.Failed() {
-			return "with ADORE: " + rep.String(), nil
+			pol := cfg.Core.PolicyKey()
+			return fmt.Sprintf("with ADORE (policy %s): %s", pol, rep.String()), nil
 		}
 	}
 	return "", nil

@@ -22,6 +22,8 @@ func main() {
 	name := flag.String("bench", "mcf", "benchmark: "+strings.Join(workloads.Names(), " "))
 	o3 := flag.Bool("O3", false, "compile at O3 (static prefetching)")
 	runADORE := flag.Bool("adore", false, "attach the ADORE dynamic optimizer")
+	policy := flag.String("policy", "", "prefetch policy (implies -adore): "+strings.Join(adore.Policies(), " "))
+	selector := flag.Bool("selector", false, "pick the prefetch policy at runtime per phase (implies -adore)")
 	swp := flag.Bool("swp", false, "enable software pipelining")
 	noReserve := flag.Bool("noreserve", false, "do not reserve r27-r30/p6")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
@@ -55,8 +57,17 @@ func main() {
 	}
 
 	rc := adore.RunOptions()
+	if *policy != "" || *selector {
+		*runADORE = true
+	}
 	if *runADORE {
 		rc = adore.WithADORE(rc)
+		if *policy != "" {
+			rc = adore.WithPolicy(rc, *policy)
+		}
+		if *selector {
+			rc = adore.WithSelector(rc)
+		}
 	} else if *series {
 		rc.SampleOnly = true
 		rc.Core = adore.DefaultConfig()
@@ -75,7 +86,12 @@ func main() {
 		res.Mem.L1D.Stats.Misses, res.Mem.L2.Stats.Misses, res.Mem.L3.Stats.Misses)
 	if res.Core != nil {
 		s := res.Core
-		fmt.Printf("  ADORE: %d phases optimized, %d traces patched\n", s.PhasesOptimized, s.TracesPatched)
+		fmt.Printf("  ADORE (policy %s): %d phases optimized, %d traces patched\n",
+			rc.Core.PolicyKey(), s.PhasesOptimized, s.TracesPatched)
+		if rc.Core.Selector {
+			fmt.Printf("         selector: %d decisions, %d fallbacks\n",
+				s.PolicySelections, s.PolicySwitches)
+		}
 		fmt.Printf("         prefetches inserted: %d direct, %d indirect, %d pointer-chasing\n",
 			s.DirectPrefetches, s.IndirectPrefetches, s.PointerPrefetches)
 		fmt.Printf("         windows %d, phase changes %d, analysis failures %d\n",

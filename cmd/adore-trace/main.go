@@ -29,6 +29,8 @@ import (
 func main() {
 	name := flag.String("bench", "mcf", "benchmark: "+strings.Join(workloads.Names(), " "))
 	scale := flag.Float64("scale", 0.3, "workload scale factor")
+	policy := flag.String("policy", "", "prefetch policy: "+strings.Join(core.PrefetchPolicyNames(), " "))
+	selector := flag.Bool("selector", false, "pick the prefetch policy at runtime per phase")
 	dumpPool := flag.Bool("pool", false, "disassemble the trace pool at exit")
 	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace to this file")
 	eventsOut := flag.String("events", "", "write the event stream as JSONL to this file")
@@ -50,6 +52,8 @@ func main() {
 	hier := memsys.NewHierarchy(memsys.DefaultConfig())
 	ccfg := core.DefaultConfig()
 	ccfg.Observe = observe
+	ccfg.Policy = *policy
+	ccfg.Selector = *selector
 	mcfg := cpu.DefaultConfig()
 	mcfg.Accounting = observe
 	p := pmu.New(ccfg.Sampling)
@@ -81,6 +85,16 @@ func main() {
 		ctrl.Stats.IndirectPrefetches, ctrl.Stats.PointerPrefetches)
 	fmt.Printf("verifier: %d traces checked, %d rejected\n",
 		ctrl.Stats.TracesVerified, ctrl.Stats.VerifyRejects)
+	fmt.Printf("policy: %s\n", ctrl.PolicyKey())
+	if use := ctrl.PolicyUse(); use != nil {
+		fmt.Printf("  selector decisions: %d (%d fell back to nextline)\n",
+			ctrl.Stats.PolicySelections, ctrl.Stats.PolicySwitches)
+		for _, pol := range core.PrefetchPolicyNames() {
+			if n := use[pol]; n > 0 {
+				fmt.Printf("    %-9s %d traces\n", pol, n)
+			}
+		}
+	}
 	for _, rec := range ctrl.Patches() {
 		fmt.Printf("patch @%#x -> trace %#x..%#x (active %v)\n", rec.Entry, rec.TraceAddr, rec.TraceEnd, rec.Active)
 	}

@@ -136,6 +136,17 @@ type Config struct {
 	// ObserveCapacity bounds the event ring (obs.DefaultCapacity when 0).
 	ObserveCapacity int
 
+	// Policy names the prefetch policy driving §3 code injection. The
+	// empty string (and "paper") is the paper's slice-analysis pipeline;
+	// see RegisterPrefetchPolicy / PrefetchPolicyNames for the rest.
+	// NewController rejects unknown names.
+	Policy string
+
+	// Selector enables the runtime policy selector (selector.go): the
+	// prefetch policy is chosen per stable phase from the machine's live
+	// bus and prefetch-usefulness counters, overriding Policy.
+	Selector bool
+
 	// ---- §6 future-work extensions (all off by default: the paper's
 	// published system) ----
 
@@ -173,6 +184,19 @@ type Config struct {
 	// InstrMinShare is the fraction of deltas that must agree for a
 	// stride to count as dominant.
 	InstrMinShare float64
+}
+
+// PolicyKey names the effective prefetch-policy configuration — the string
+// cache keys, JSON metadata and summaries use. "selector" when the runtime
+// selector is on, else the policy name ("paper" for the default).
+func (c Config) PolicyKey() string {
+	if c.Selector {
+		return "selector"
+	}
+	if c.Policy == "" {
+		return PolicyPaper
+	}
+	return c.Policy
 }
 
 // DefaultConfig returns parameters scaled for runs of 5-100 M instructions.

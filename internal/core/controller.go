@@ -44,6 +44,12 @@ type Stats struct {
 	// installation and traces rejected for failing a rule.
 	TracesVerified int
 	VerifyRejects  int
+	// Policy-selector counters (Config.Selector): per-phase policy
+	// decisions and traces where the chosen policy injected nothing and
+	// the selector fell back to next-line. Omitted from JSON when zero so
+	// fixed-policy output is unchanged.
+	PolicySelections int `json:",omitempty"`
+	PolicySwitches   int `json:",omitempty"`
 	// SamplesDropped counts PMU samples lost to SSB overflows that fired
 	// with no handler attached (pmu.PMU.SamplesDropped). Always zero while
 	// a controller is attached — it exists so observability runs can tell
@@ -63,6 +69,11 @@ func (s Stats) TotalPrefetches() int {
 // hibernation loop). Its compute runs on the second (simulated) processor
 // and is not charged to the monitored program; only patch installation
 // charges PatchCharge cycles.
+//
+// The three decision points — phase detection, trace selection, prefetch
+// generation — are driven through the policy interfaces (policy.go); the
+// defaults are the paper's own components, so a default-config controller
+// behaves bit-identically to the pre-policy pipeline.
 type Controller struct {
 	cfg  Config
 	code *program.CodeSpace
@@ -72,6 +83,13 @@ type Controller struct {
 	det  *PhaseDetector
 	pool *TracePool
 	opt  *Optimizer
+
+	// Policy layer: the phase/trace/prefetch decisions, plus the optional
+	// runtime selector that re-picks pf per stable phase (Config.Selector).
+	phase PhasePolicy
+	trace TracePolicy
+	pf    PrefetchPolicy
+	sel   *Selector
 
 	newWindows []WindowMetrics
 	patches    []*PatchRecord
@@ -102,6 +120,12 @@ type Controller struct {
 // NewController wires a controller to the code space it will patch and the
 // PMU it samples from. Call Attach to connect it to a CPU.
 func NewController(cfg Config, code *program.CodeSpace, p *pmu.PMU) (*Controller, error) {
+	// Resolve the prefetch policy first: a bad Config.Policy is a
+	// configuration error and should surface before any allocation.
+	pf, err := NewPrefetchPolicy(cfg.Policy, cfg)
+	if err != nil {
+		return nil, err
+	}
 	pool, err := NewTracePool(cfg, code)
 	if err != nil {
 		return nil, err
@@ -114,6 +138,12 @@ func NewController(cfg Config, code *program.CodeSpace, p *pmu.PMU) (*Controller
 		det:  NewPhaseDetector(cfg),
 		pool: pool,
 		opt:  NewOptimizer(cfg),
+	}
+	c.phase = c.det
+	c.trace = &paperTracePolicy{cfg: cfg, code: code}
+	c.pf = pf
+	if cfg.Selector {
+		c.sel = NewSelector(cfg)
 	}
 	if cfg.Observe {
 		c.obs.rec = obs.NewRecorder(cfg.ObserveCapacity)
@@ -151,7 +181,7 @@ func (c *Controller) onOverflow(samples []pmu.Sample) {
 func (c *Controller) poll(now uint64) uint64 {
 	var charge uint64
 	for _, w := range c.newWindows {
-		ev, info := c.det.Observe(w)
+		ev, info := c.phase.Observe(w)
 		switch ev {
 		case PhaseStable:
 			c.observePhaseDetected(now, info)
@@ -224,11 +254,20 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 	if len(info.Windows) > 0 {
 		recent = c.ueb.SamplesSince(info.Windows[0].Seq)
 	}
-	sel := NewTraceSelector(c.cfg, c.code)
-	traces := sel.Select(samples)
+	traces := c.trace.Select(info, samples)
 	c.Stats.TracesSelected += len(traces)
 	for _, t := range traces {
 		c.observeTraceSelected(now, t)
+	}
+
+	// One prefetch-policy decision per stable phase: with the selector on,
+	// the live counters pick the policy; otherwise the configured one runs.
+	ctx := c.prefetchContext(info.CPI)
+	pol := c.pf
+	if c.sel != nil {
+		pol = c.sel.Pick(ctx)
+		c.Stats.PolicySelections++
+		c.observePolicySelected(now, info, pol.PolicyName())
 	}
 
 	var charge uint64
@@ -253,10 +292,25 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 			continue // not enough evidence of frequent misses
 		}
 		var pristine *Trace
-		if c.cfg.Verify {
+		if c.cfg.Verify || c.sel != nil {
 			pristine = cloneTrace(t)
 		}
-		res := c.opt.Optimize(t, loads, info.CPI)
+		res := pol.Optimize(t, loads, ctx)
+		if c.sel != nil && res.Total() == 0 {
+			// The picked policy saw nothing it could prefetch (most often
+			// unclassifiable loads): retry the trace with the fallback.
+			if fb := c.sel.Fallback(pol.PolicyName()); fb != nil {
+				*t = *cloneTrace(pristine)
+				if fres := fb.Optimize(t, loads, ctx); fres.Total() > 0 {
+					res = fres
+					c.Stats.PolicySwitches++
+					c.sel.noteUse(fb.PolicyName())
+					c.observePolicySwitched(now, t, pol.PolicyName(), fb.PolicyName())
+				} else {
+					*t = *cloneTrace(pristine) // nothing worked: restore
+				}
+			}
+		}
 		if c.OnOptimize != nil {
 			c.OnOptimize(t, loads, res)
 		}
@@ -361,3 +415,33 @@ func (c *Controller) Pool() *TracePool { return c.pool }
 
 // Detector exposes the phase detector, for inspection.
 func (c *Controller) Detector() *PhaseDetector { return c.det }
+
+// prefetchContext snapshots the runtime signals a prefetch policy may
+// consult. Read-only: gathering it never perturbs the machine, so the
+// default (paper) policy — which looks only at PhaseCPI — behaves exactly
+// as before the policy layer existed.
+func (c *Controller) prefetchContext(phaseCPI float64) PrefetchContext {
+	ctx := PrefetchContext{PhaseCPI: phaseCPI}
+	if m := c.obs.m; m != nil {
+		ctx.Cycle = m.Now()
+		if h := m.Hier; h != nil {
+			ctx.Prefetch = h.Prefetch()
+			ctx.BusWaitCycles = h.BusWaitCycles
+			ctx.MemAccesses = h.MemAccesses
+		}
+	}
+	return ctx
+}
+
+// PolicyKey names the effective prefetch-policy configuration.
+func (c *Controller) PolicyKey() string { return c.cfg.PolicyKey() }
+
+// PolicyUse reports, per policy name, how many decisions the runtime
+// selector resolved to it (first picks plus fallback wins). Nil without
+// Config.Selector.
+func (c *Controller) PolicyUse() map[string]int {
+	if c.sel == nil {
+		return nil
+	}
+	return c.sel.Use()
+}

@@ -50,6 +50,10 @@ func (c *Controller) Capture() *obs.Capture {
 			cp.Meta.Loops = append(cp.Meta.Loops, obs.LoopLabel{ID: l.ID, Name: l.Name})
 		}
 	}
+	// Name table the PolicySelected/PolicySwitched indices resolve against
+	// (only emitted when the selector ran, but always present so viewers
+	// need no special case).
+	cp.Meta.Policies = PrefetchPolicyNames()
 	return cp
 }
 
@@ -174,6 +178,27 @@ func (c *Controller) observePatchInstalled(now uint64, rec *PatchRecord, prefetc
 	c.obs.rec.Emit(obs.Event{
 		Cycle: now, Kind: obs.KindPatchInstalled, Loop: c.loopOf(rec.Entry),
 		PC: rec.Entry, A: rec.TraceAddr, B: rec.TraceEnd, C: uint64(prefetches),
+	})
+}
+
+func (c *Controller) observePolicySelected(now uint64, info *PhaseInfo, name string) {
+	if c.obs.rec == nil {
+		return
+	}
+	pc := uint64(info.PCCenter)
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindPolicySelected, Loop: c.loopOf(pc), PC: pc,
+		A: policyIndex(name), B: uint64(c.Stats.PolicySelections),
+	})
+}
+
+func (c *Controller) observePolicySwitched(now uint64, t *Trace, from, to string) {
+	if c.obs.rec == nil {
+		return
+	}
+	c.obs.rec.Emit(obs.Event{
+		Cycle: now, Kind: obs.KindPolicySwitched, Loop: c.loopOf(t.Start),
+		PC: t.Start, A: policyIndex(from), B: policyIndex(to),
 	})
 }
 

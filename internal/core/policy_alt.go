@@ -1,0 +1,190 @@
+package core
+
+import "repro/internal/isa"
+
+// Alternative prefetch policies. Each one is a different answer to "what
+// should be injected for these delinquent loads?" than the paper's §3
+// slice analysis:
+//
+//	nextline — pattern-oblivious: prefetch the line after every miss
+//	adaptive — the paper's analysis, with the distance retuned from the
+//	           runtime lfetch-usefulness counters (late → further ahead,
+//	           evicted-unused → closer in)
+//	throttle — the paper's analysis, restricted to the single hottest
+//	           load when the memory bus is already saturated
+//
+// All three obey the same contract as the paper policy: writes confined
+// to the reserved registers, no branches, verifier-clean output (the
+// conformance suite in policy_test.go checks every registered policy).
+
+// Policy names of the built-in alternatives.
+const (
+	PolicyNextLine = "nextline"
+	PolicyAdaptive = "adaptive"
+	PolicyThrottle = "throttle"
+)
+
+// nextLineDistance is one L1D line: the classic next-line prefetch.
+const nextLineDistance = 64
+
+// nextLinePrefetch ignores reference patterns entirely: for every
+// delinquent load it re-anchors a reserved cursor off the load's own
+// address register each iteration (rp = rA + 64) and prefetches the next
+// cache line. It needs no slice analysis, so it still fires on loads the
+// paper policy reports as unclassifiable — which is why the runtime
+// selector uses it as the fallback — but it can only hide one line of
+// latency and prefetches garbage on pointer chases with line-sized nodes.
+type nextLinePrefetch struct {
+	cfg Config
+}
+
+func (p *nextLinePrefetch) PolicyName() string { return PolicyNextLine }
+
+func (p *nextLinePrefetch) Optimize(t *Trace, loads []DelinquentLoad, ctx PrefetchContext) OptimizeResult {
+	var res OptimizeResult
+	if !t.IsLoop || len(loads) == 0 {
+		return res
+	}
+	hasStatic := t.ContainsLfetch()
+	reserved := []isa.Reg{isa.ReservedGRFirst, isa.ReservedGRFirst + 1, isa.ReservedGRFirst + 2, isa.ReservedGRLast}
+	for _, dl := range loads {
+		if hasStatic {
+			// Like the paper's direct case: O3 binaries already prefetch
+			// the analyzable streams; next-line on top double-fetches.
+			res.Skipped++
+			continue
+		}
+		if len(reserved) == 0 {
+			res.Failures++
+			continue
+		}
+		if p.emitNextLine(t, dl.PC, reserved[0]) {
+			reserved = reserved[1:]
+			res.RegsUsed++
+			res.Direct++
+		} else {
+			res.Failures++
+		}
+	}
+	return res
+}
+
+// emitNextLine places "add rp = 64, rA ; lfetch [rp]" after the load at
+// loadPC, where rA is the load's address register. The cursor is
+// re-anchored every iteration, so the prefetch tracks any address stream;
+// rp is redefined in the loop body, which is what makes a non-advancing
+// lfetch legal under the verifier's zero-effective-stride rule.
+func (p *nextLinePrefetch) emitNextLine(t *Trace, loadPC uint64, rp isa.Reg) bool {
+	b := flatten(t)
+	pos := -1
+	bundleAddr := loadPC &^ uint64(isa.BundleBytes-1)
+	slot := int(loadPC & uint64(isa.BundleBytes-1))
+	for bi, a := range t.Orig {
+		if a == bundleAddr {
+			pos = b.find(bi, slot)
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	fi := b.insts[pos]
+	addrReg := fi.in.R3
+	if addrReg == 0 || !isa.IsLoad(fi.in.Op) {
+		return false
+	}
+	ed := &editor{t: t, naive: p.cfg.NaiveSchedule}
+	bi, si, ok := ed.place(isa.Inst{Op: isa.OpAddI, R1: rp, Imm: nextLineDistance, R3: addrReg},
+		fi.bundle, fi.slot+1, false)
+	if !ok {
+		return false
+	}
+	_, _, ok = ed.place(isa.Inst{Op: isa.OpLfetch, R3: rp}, bi, si+1, false)
+	return ok
+}
+
+// Adaptive-distance thresholds: retuning only starts once enough lfetches
+// resolved to be statistically meaningful, and only reacts to clearly
+// skewed outcomes.
+const (
+	adaptiveMinIssued  = 64
+	adaptiveLateFrac   = 0.25 // late / (useful + late) above this → too close
+	adaptiveUnusedFrac = 0.25 // evicted-unused / issued above this → too far
+	adaptiveGrow       = 2.0
+	adaptiveShrink     = 0.5
+)
+
+// adaptivePrefetch runs the paper's slice analysis but retunes the
+// prefetch distance from the runtime usefulness counters: a stream of
+// late prefetches (demand load arrived while the fill was in flight)
+// doubles the distance; a stream of evicted-unused prefetches (fills
+// pushed out before any hit) halves it. With balanced counters — or
+// before enough lfetches resolved — it is exactly the paper policy.
+type adaptivePrefetch struct {
+	opt *Optimizer
+}
+
+func (p *adaptivePrefetch) PolicyName() string { return PolicyAdaptive }
+
+// distScale derives the retuning factor from the usefulness counters.
+func (p *adaptivePrefetch) distScale(ctx PrefetchContext) float64 {
+	pf := ctx.Prefetch
+	if pf.Issued < adaptiveMinIssued {
+		return 1.0
+	}
+	if resolved := pf.Useful + pf.Late; resolved > 0 &&
+		float64(pf.Late) > adaptiveLateFrac*float64(resolved) {
+		return adaptiveGrow
+	}
+	if float64(pf.EvictedUnused) > adaptiveUnusedFrac*float64(pf.Issued) {
+		return adaptiveShrink
+	}
+	return 1.0
+}
+
+func (p *adaptivePrefetch) Optimize(t *Trace, loads []DelinquentLoad, ctx PrefetchContext) OptimizeResult {
+	return p.opt.optimizeScaled(t, loads, ctx.PhaseCPI, p.distScale(ctx))
+}
+
+// throttleBusFrac is the fraction of all cycles spent waiting for the
+// memory bus above which the throttling policy considers the bus
+// saturated. The simulated bus serializes at one access per
+// memsys.Config.BusOccupancy cycles, so sustained queueing shows up
+// directly in this ratio.
+const throttleBusFrac = 0.05
+
+// throttlePrefetch is the paper policy with bus-occupancy-aware admission:
+// when the run is already losing more than throttleBusFrac of its cycles
+// to bus queueing, extra prefetch streams mostly add traffic, so only the
+// single hottest delinquent load is prefetched. On an idle bus it is
+// exactly the paper policy.
+type throttlePrefetch struct {
+	opt *Optimizer
+}
+
+func (p *throttlePrefetch) PolicyName() string { return PolicyThrottle }
+
+// throttled reports whether the bus is saturated enough to restrict
+// prefetching.
+func throttled(ctx PrefetchContext) bool {
+	return ctx.Cycle > 0 && float64(ctx.BusWaitCycles) > throttleBusFrac*float64(ctx.Cycle)
+}
+
+func (p *throttlePrefetch) Optimize(t *Trace, loads []DelinquentLoad, ctx PrefetchContext) OptimizeResult {
+	if throttled(ctx) && len(loads) > 1 {
+		loads = loads[:1] // FindDelinquentLoads ranks by total miss latency
+	}
+	return p.opt.Optimize(t, loads, ctx.PhaseCPI)
+}
+
+func init() {
+	RegisterPrefetchPolicy(PolicyNextLine, func(cfg Config) PrefetchPolicy {
+		return &nextLinePrefetch{cfg: cfg}
+	})
+	RegisterPrefetchPolicy(PolicyAdaptive, func(cfg Config) PrefetchPolicy {
+		return &adaptivePrefetch{opt: NewOptimizer(cfg)}
+	})
+	RegisterPrefetchPolicy(PolicyThrottle, func(cfg Config) PrefetchPolicy {
+		return &throttlePrefetch{opt: NewOptimizer(cfg)}
+	})
+}

@@ -115,6 +115,14 @@ func NewOptimizer(cfg Config) *Optimizer { return &Optimizer{cfg: cfg} }
 // prefetch-distance computation (distance = avg latency / loop body
 // cycles). The trace is mutated in place.
 func (o *Optimizer) Optimize(t *Trace, loads []DelinquentLoad, phaseCPI float64) OptimizeResult {
+	return o.optimizeScaled(t, loads, phaseCPI, 1.0)
+}
+
+// optimizeScaled is Optimize with the prefetch distance multiplied by
+// distScale — the adaptive-distance policy's retuning knob. A distScale of
+// 1.0 reproduces Optimize exactly (multiplying the distance formula by 1.0
+// is an IEEE identity).
+func (o *Optimizer) optimizeScaled(t *Trace, loads []DelinquentLoad, phaseCPI, distScale float64) OptimizeResult {
 	var res OptimizeResult
 	if !t.IsLoop || len(loads) == 0 {
 		return res
@@ -163,7 +171,7 @@ func (o *Optimizer) Optimize(t *Trace, loads []DelinquentLoad, phaseCPI float64)
 				continue
 			}
 			rp := reserved[0]
-			dist := o.distanceBytes(dl.AvgLatency, bodyCycles, an.Stride, isFP)
+			dist := o.distanceScaled(dl.AvgLatency, bodyCycles, an.Stride, isFP, distScale)
 			if dist == 0 {
 				res.Failures++
 				continue
@@ -181,7 +189,7 @@ func (o *Optimizer) Optimize(t *Trace, loads []DelinquentLoad, phaseCPI float64)
 				res.Failures++
 				continue
 			}
-			d1 := o.distanceBytes(dl.AvgLatency, bodyCycles, an.FeederStride, false)
+			d1 := o.distanceScaled(dl.AvgLatency, bodyCycles, an.FeederStride, false, distScale)
 			if d1 == 0 {
 				res.Failures++
 				continue
@@ -227,13 +235,19 @@ func (o *Optimizer) Optimize(t *Trace, loads []DelinquentLoad, phaseCPI float64)
 // programs, prefetch distances are aligned to L1D cache line size (not for
 // FP operations since they bypass L1 cache)").
 func (o *Optimizer) distanceBytes(avgLat, bodyCycles float64, stride int64, isFP bool) int64 {
+	return o.distanceScaled(avgLat, bodyCycles, stride, isFP, 1.0)
+}
+
+// distanceScaled is distanceBytes with the iteration count scaled by
+// distScale before clamping and line alignment.
+func (o *Optimizer) distanceScaled(avgLat, bodyCycles float64, stride int64, isFP bool, distScale float64) int64 {
 	if stride == 0 {
 		return 0
 	}
 	// A 50% margin over the paper's exact formula keeps the fill ahead of
 	// the demand stream under bus-queueing jitter; the exact distance
 	// arrives just-in-time on average and therefore late half the time.
-	iters := int64(1.5*avgLat/bodyCycles) + 2
+	iters := int64(distScale*1.5*avgLat/bodyCycles) + 2
 	if iters < 1 {
 		iters = 1
 	}

@@ -1,0 +1,90 @@
+package core
+
+// Selector is the runtime policy selector (Config.Selector): at every
+// stable phase it inspects the machine's live counters — bus occupancy and
+// lfetch usefulness, the same per-window signals the obs layer exports as
+// CPIStack/PrefetchWindow deltas — and picks the prefetch policy whose
+// assumptions the counters currently support. Decisions happen at patch
+// boundaries only (a policy never changes under an installed trace), and
+// the rules are pure functions of the counters, so runs stay
+// deterministic.
+//
+// The decision ladder, most-specific first:
+//
+//	bus saturated      → throttle (stop adding traffic)
+//	prefetches late    → adaptive (retune the distance)
+//	otherwise          → paper (no evidence against the default)
+//
+// A phase where the chosen policy injects nothing (e.g. slice analysis
+// classified no loads) falls back to next-line prefetching, which needs no
+// analysis — the selector's edge over every fixed policy on workloads the
+// paper's slicer cannot see through.
+type Selector struct {
+	policies map[string]PrefetchPolicy
+	use      map[string]int
+}
+
+// Selector thresholds. selMinIssued gates the usefulness rule until enough
+// lfetches resolved to trust the ratio; selLateFrac mirrors the adaptive
+// policy's own trigger so a selector pick of "adaptive" always lands in its
+// retuning regime. The selector deliberately acts on the late signal only:
+// lateness directly measures a distance shortfall, while the evicted-unused
+// counter also charges fills evicted by later prefetches of the same stream
+// and can exceed the issue count outright, so retuning on it regresses
+// workloads (parser) where the late ratio says the distance is fine.
+const (
+	selMinIssued = adaptiveMinIssued
+	selLateFrac  = adaptiveLateFrac
+)
+
+// NewSelector instantiates every registered prefetch policy under cfg.
+func NewSelector(cfg Config) *Selector {
+	s := &Selector{policies: map[string]PrefetchPolicy{}, use: map[string]int{}}
+	for _, name := range PrefetchPolicyNames() {
+		p, err := NewPrefetchPolicy(name, cfg)
+		if err != nil {
+			continue // unreachable: names come from the registry
+		}
+		s.policies[name] = p
+	}
+	return s
+}
+
+// Pick chooses the prefetch policy for one stable phase.
+func (s *Selector) Pick(ctx PrefetchContext) PrefetchPolicy {
+	name := PolicyPaper
+	if throttled(ctx) {
+		name = PolicyThrottle
+	} else if pf := ctx.Prefetch; pf.Issued >= selMinIssued {
+		resolved := pf.Useful + pf.Late
+		if resolved > 0 && float64(pf.Late) > selLateFrac*float64(resolved) {
+			name = PolicyAdaptive
+		}
+	}
+	s.use[name]++
+	return s.policies[name]
+}
+
+// Fallback returns the policy to retry with when cur injected nothing
+// into a trace, or nil when the chain is exhausted. Next-line is the
+// terminal fallback: it is the only policy that works without pattern
+// classification.
+func (s *Selector) Fallback(cur string) PrefetchPolicy {
+	if cur == PolicyNextLine {
+		return nil
+	}
+	return s.policies[PolicyNextLine]
+}
+
+// noteUse records a fallback policy actually winning a trace, so Use
+// reflects the code that ran, not just the first pick.
+func (s *Selector) noteUse(name string) { s.use[name]++ }
+
+// Use reports how many decisions landed on each policy, for summaries.
+func (s *Selector) Use() map[string]int {
+	out := make(map[string]int, len(s.use))
+	for k, v := range s.use {
+		out[k] = v
+	}
+	return out
+}

@@ -40,20 +40,22 @@ type EngineConfig struct {
 	OnProgress func(Progress)
 }
 
-// Engine runs experiment jobs on a worker pool with a shared build cache.
-// Error handling follows errgroup semantics: the first failure cancels the
-// sweep's context, undispatched jobs are abandoned, and that first error is
-// what the sweep returns.
+// Engine runs experiment jobs on a worker pool with shared build and
+// result caches. Error handling follows errgroup semantics: the first
+// failure cancels the sweep's context, undispatched jobs are abandoned,
+// and that first error is what the sweep returns.
 type Engine struct {
-	cfg   EngineConfig
-	cache *BuildCache
+	cfg     EngineConfig
+	cache   *BuildCache
+	results *ResultCache
 }
 
-// NewEngine creates an engine with a fresh build cache. Share one engine
-// across sweeps (as cmd/adore-bench does) to share its cache: Fig. 7(a),
-// Table 1 and Fig. 11 all compile the same O2 kernels.
+// NewEngine creates an engine with fresh caches. Share one engine across
+// sweeps (as cmd/adore-bench does) to share them: Fig. 7(a), Table 1 and
+// Fig. 11 all compile the same O2 kernels, and Table 2 re-runs Fig. 7's
+// exact machine configurations.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{cfg: cfg, cache: NewBuildCache()}
+	return &Engine{cfg: cfg, cache: NewBuildCache(), results: NewResultCache()}
 }
 
 // Parallelism returns the effective worker count.
@@ -66,6 +68,9 @@ func (e *Engine) Parallelism() int {
 
 // Cache exposes the engine's shared build cache (for its hit counters).
 func (e *Engine) Cache() *BuildCache { return e.cache }
+
+// Results exposes the engine's shared result cache (for its hit counters).
+func (e *Engine) Results() *ResultCache { return e.results }
 
 func (e *Engine) report(p Progress) {
 	if e.cfg.OnProgress != nil {
@@ -157,7 +162,16 @@ func (e *Engine) RunJobs(ctx context.Context, sweep string, jobs []Job) ([]*RunR
 		e.report(Progress{Sweep: sweep, Job: j.Name, Index: i, Total: len(jobs)})
 		build, err := e.cache.Build(j.Compile)
 		if err == nil {
-			out[i], err = RunContext(ctx, build, j.Config)
+			if j.Config.OnOptimize == nil {
+				// Hermetic, hook-free job: identical (build, config) pairs
+				// share one simulation through the result cache. The key
+				// includes the run fingerprint, so two configs differing in
+				// anything observable — notably the prefetch policy — can
+				// never alias.
+				out[i], err = e.results.Run(ctx, j.Compile.Key(), build, j.Config)
+			} else {
+				out[i], err = RunContext(ctx, build, j.Config)
+			}
 		}
 		e.report(Progress{Sweep: sweep, Job: j.Name, Index: i, Total: len(jobs), Done: true, Err: err})
 		if err != nil {
@@ -216,5 +230,62 @@ func (c *BuildCache) Build(spec CompileSpec) (*compiler.BuildResult, error) {
 // Stats reports cache effectiveness: hits are requests served by an
 // existing or in-flight compile, misses are actual compiles.
 func (c *BuildCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// ResultCache is a single-flight cache of completed runs, keyed by the
+// compile key plus the RunConfig fingerprint. Sharing a *RunResult between
+// jobs is safe for the engine's callers, which treat results as read-only;
+// it is NOT used for differential or hook-carrying runs, which go through
+// RunContext directly.
+type ResultCache struct {
+	mu      sync.Mutex
+	entries map[string]*resultEntry
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+type resultEntry struct {
+	ready chan struct{} // closed once res/err are set
+	res   *RunResult
+	err   error
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{entries: map[string]*resultEntry{}}
+}
+
+// Run returns the result of simulating build under cfg, running each
+// distinct (compileKey, cfg.Fingerprint()) pair at most once no matter how
+// many goroutines ask concurrently. A failed run is handed to its waiters
+// but evicted from the cache, so a later retry (e.g. after a canceled
+// sweep) re-runs instead of replaying a stale context error.
+func (c *ResultCache) Run(ctx context.Context, compileKey string, build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
+	key := compileKey + "|" + cfg.Fingerprint()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.res, e.err
+	}
+	e := &resultEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	c.misses.Add(1)
+	e.res, e.err = RunContext(ctx, build, cfg)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.res, e.err
+}
+
+// Stats reports cache effectiveness: hits are requests served by an
+// existing or in-flight run, misses are actual simulations.
+func (c *ResultCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }

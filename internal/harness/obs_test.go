@@ -167,6 +167,9 @@ func TestObserveOverhead(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race detector skews timing; the 5% bound is not meaningful")
 	}
+	if testing.CoverMode() != "" {
+		t.Skip("coverage instrumentation skews timing; the 5% bound is not meaningful")
+	}
 	build := obsBuild(t, "mcf", 0.1)
 
 	timeRun := func(observe bool) time.Duration {

@@ -5,6 +5,9 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -37,8 +40,10 @@ type RunConfig struct {
 	CaptureDear bool
 
 	// OnOptimize, when set with ADORE, observes every trace
-	// optimization attempt (tooling/debugging hook).
-	OnOptimize func(*core.Trace, []core.DelinquentLoad, core.OptimizeResult)
+	// optimization attempt (tooling/debugging hook). Excluded from the
+	// run fingerprint (a hook is not configuration); jobs carrying one
+	// bypass the engine's result cache.
+	OnOptimize func(*core.Trace, []core.DelinquentLoad, core.OptimizeResult) `json:"-"`
 
 	// Observe turns on the observability layer for this run: the CPU's
 	// CPI-stack accounting (cpu.Config.Accounting), the controller's event
@@ -46,6 +51,28 @@ type RunConfig struct {
 	// RunResult.Obs / CPIStack / LoopCPI. Off by default; when off the run
 	// is bit-identical to one built without the layer.
 	Observe bool
+}
+
+// Fingerprint returns a stable hash of every configuration field that
+// shapes a run's observable result — the ADORE parameters (including the
+// prefetch policy and selector), CPU and hierarchy geometry, instruction
+// budget, and which outputs are collected. Two RunConfigs with equal
+// fingerprints produce identical results for the same build, which is the
+// contract the engine's result cache relies on; in particular, runs
+// differing only in Core.Policy or Core.Selector fingerprint differently,
+// so policies can never alias in a cache. The OnOptimize hook is excluded
+// (tagged json:"-"): hooks observe a run without shaping its result, and
+// hooked jobs skip result caching anyway.
+func (cfg RunConfig) Fingerprint() string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// RunConfig is plain data by construction; a marshal failure is a
+		// programming error (e.g. a new un-taggable field), not a runtime
+		// condition.
+		panic(fmt.Sprintf("harness: RunConfig not fingerprintable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
 }
 
 // DearEvent is one captured miss event of a training profile.

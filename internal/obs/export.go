@@ -42,11 +42,12 @@ func WriteJSONL(w io.Writer, c *Capture) error {
 }
 
 // Track/pid layout of the Chrome trace. One fake process holds everything;
-// the controller gets tid 1 and each compiler loop gets 100+ID, so
-// Perfetto shows the dynopt's actions per loop.
+// the controller gets tid 1, the policy selector tid 2, and each compiler
+// loop gets 100+ID, so Perfetto shows the dynopt's actions per loop.
 const (
 	tracePid      = 1
 	controllerTid = 1
+	policyTid     = 2
 	loopTidBase   = 100
 )
 
@@ -99,6 +100,9 @@ func WriteChromeTrace(w io.Writer, c *Capture) error {
 
 	cw.meta("process_name", 0, "adore: "+c.Meta.Program)
 	cw.meta("thread_name", controllerTid, "controller")
+	if len(c.Meta.Policies) > 0 {
+		cw.meta("thread_name", policyTid, "policy selector")
+	}
 	for _, l := range c.Meta.Loops {
 		cw.meta("thread_name", loopTidBase+l.ID, fmt.Sprintf("loop %d: %s", l.ID, l.Name))
 	}
@@ -137,6 +141,12 @@ func WriteChromeTrace(w io.Writer, c *Capture) error {
 		case KindUnpatch:
 			cw.instant("Unpatch", e.Cycle, loopTid(e.Loop), fmt.Sprintf(
 				`"entry":"0x%x","trace":"0x%x","cpi":%s,"pre_patch_cpi":%s`, e.PC, e.A, fnum(e.V), fnum(e.W)))
+		case KindPolicySelected:
+			cw.instant("PolicySelected", e.Cycle, policyTid, fmt.Sprintf(
+				`"policy":%q,"pc_center":"0x%x","selection":%d`, c.Meta.PolicyName(e.A), e.PC, e.B))
+		case KindPolicySwitched:
+			cw.instant("PolicySwitched", e.Cycle, policyTid, fmt.Sprintf(
+				`"from":%q,"to":%q,"trace":"0x%x"`, c.Meta.PolicyName(e.A), c.Meta.PolicyName(e.B), e.PC))
 		}
 	}
 

@@ -16,8 +16,9 @@ var update = flag.Bool("update", false, "rewrite golden files")
 func fixtureCapture() *Capture {
 	return &Capture{
 		Meta: Meta{
-			Program: "mcf",
-			Loops:   []LoopLabel{{ID: 0, Name: "arcs"}, {ID: 1, Name: "nodes"}},
+			Program:  "mcf",
+			Loops:    []LoopLabel{{ID: 0, Name: "arcs"}, {ID: 1, Name: "nodes"}},
+			Policies: []string{"adaptive", "nextline", "paper", "throttle"},
 		},
 		Dropped: 0,
 		Events: []Event{
@@ -29,7 +30,9 @@ func fixtureCapture() *Capture {
 			{Cycle: 2000, Kind: KindCPIStack, Loop: -1, A: 420, B: 480, C: 55, D: 45},
 			{Cycle: 2000, Kind: KindPrefetchWindow, Loop: -1, A: 0, B: 0, C: 0, D: 0, V: 0.24},
 			{Cycle: 2500, Kind: KindPhaseDetected, Loop: 0, PC: 0x10040, A: 4, V: 2.06, W: 1.5},
+			{Cycle: 2500, Kind: KindPolicySelected, Loop: 0, PC: 0x10040, A: 2, B: 1},
 			{Cycle: 2500, Kind: KindTraceSelected, Loop: 0, PC: 0x10040, A: 6, B: 1},
+			{Cycle: 2500, Kind: KindPolicySwitched, Loop: 0, PC: 0x10040, A: 2, B: 1},
 			{Cycle: 2500, Kind: KindVerifyReject, Loop: 1, PC: 0x10200, A: 2},
 			{Cycle: 2500, Kind: KindPatchInstalled, Loop: 0, PC: 0x10040, A: 0x4000_0000, B: 0x4000_0070, C: 2},
 			{Cycle: 3000, Kind: KindWindowObserved, Loop: -1, A: 2, B: 3, C: 520, V: 1.25, W: 0.004},
@@ -136,6 +139,8 @@ func TestTimeline(t *testing.T) {
 		"unpatched @0x10040",
 		"64/60/3/1", // prefetch window deltas
 		"phase change",
+		"policy selected: paper",
+		"policy fallback paper -> nextline",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("timeline missing %q:\n%s", want, out)

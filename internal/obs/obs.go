@@ -51,6 +51,14 @@ const (
 	// was still in flight), D=evicted unused, V=L1D miss ratio over the
 	// window.
 	KindPrefetchWindow
+	// KindPolicySelected: the runtime selector picked a prefetch policy
+	// for a stable phase. PC=phase PC-center, A=index into Meta.Policies,
+	// B=selection ordinal.
+	KindPolicySelected
+	// KindPolicySwitched: the selected policy injected nothing into a
+	// trace and the selector fell back. PC=trace start, A=from-policy
+	// index, B=to-policy index (both into Meta.Policies).
+	KindPolicySwitched
 )
 
 var kindNames = [...]string{
@@ -63,6 +71,8 @@ var kindNames = [...]string{
 	KindUnpatch:        "Unpatch",
 	KindCPIStack:       "CPIStack",
 	KindPrefetchWindow: "PrefetchWindow",
+	KindPolicySelected: "PolicySelected",
+	KindPolicySwitched: "PolicySwitched",
 }
 
 func (k Kind) String() string {
@@ -170,6 +180,17 @@ type LoopLabel struct {
 type Meta struct {
 	Program string
 	Loops   []LoopLabel
+	// Policies is the name table the policy events' indices resolve
+	// against (PolicySelected/PolicySwitched carry integers only).
+	Policies []string `json:",omitempty"`
+}
+
+// PolicyName resolves a policy-event index against the name table.
+func (m Meta) PolicyName(idx uint64) string {
+	if idx < uint64(len(m.Policies)) {
+		return m.Policies[idx]
+	}
+	return "policy?"
 }
 
 // Capture is one run's complete recorded stream, ready for export.

@@ -98,6 +98,10 @@ func Timeline(c *Capture) string {
 			note(e.Cycle, "verifier rejected trace @%#x (%d findings)", e.PC, e.A)
 		case KindUnpatch:
 			note(e.Cycle, "unpatched @%#x (CPI %.3f vs pre-patch %.3f)", e.PC, e.V, e.W)
+		case KindPolicySelected:
+			note(e.Cycle, "policy selected: %s (phase pc-center %#x)", c.Meta.PolicyName(e.A), e.PC)
+		case KindPolicySwitched:
+			note(e.Cycle, "policy fallback %s -> %s @%#x", c.Meta.PolicyName(e.A), c.Meta.PolicyName(e.B), e.PC)
 		}
 	}
 	flush()

@@ -70,6 +70,11 @@ func FuzzDifferential(f *testing.F) {
 		adore.MaxInsts = 4_000_000
 		adore.ADORE = true
 		adore.Core = fuzzCore()
+		// Each fuzzed program also samples a prefetch policy (or the
+		// runtime selector) from its input bytes, so the differential
+		// oracle covers every policy's injected code, not just the paper
+		// default.
+		adore.Core.Policy, adore.Core.Selector = progfuzz.PolicyFromInput(data)
 		rep, err = harness.DiffAgainst(or, p.Image, adore)
 		if err != nil {
 			t.Fatalf("adore: %v", err)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/memsys"
 	"repro/internal/program"
@@ -343,4 +344,24 @@ func InitData(m *memsys.Memory, seed uint64) {
 		m.Write64(ChainBase+i*NodeBytes, ChainBase+nextIdx*NodeBytes)
 		m.Write64(ChainBase+i*NodeBytes+8, next())
 	}
+}
+
+// PolicyFromInput deterministically samples a prefetch-policy configuration
+// from the fuzz input bytes: the byte sum indexes the registered policies
+// plus one extra slot that turns on the runtime selector instead. Sampling
+// from the input (rather than a side RNG) keeps the whole differential
+// check a pure function of the corpus file, so a reproducer replays the
+// exact policy that diverged, and fuzzer mutations explore policies the
+// same way they explore the program grammar.
+func PolicyFromInput(data []byte) (policy string, selector bool) {
+	names := core.PrefetchPolicyNames()
+	sum := 0
+	for _, b := range data {
+		sum += int(b)
+	}
+	k := sum % (len(names) + 1)
+	if k == len(names) {
+		return "", true
+	}
+	return names[k], false
 }
