@@ -5,11 +5,20 @@
 // optimizer and lints the installed trace pool plus any traces the runtime
 // verifier rejected.
 //
+// -analyze additionally runs the internal/analysis engine over each image
+// (and, with -adore, over the installed trace pool), printing per-loop
+// CFG, liveness and load-classification reports plus static findings
+// (unreachable bundles, dead lfetches, prefetches no load consumes).
+//
 // Usage:
 //
-//	adore-lint [-bench all] [-level all] [-advisory] [-adore] [-scale 0.1]
+//	adore-lint [-bench all] [-level all] [-advisory] [-adore] [-analyze]
+//	           [-werror] [-scale 0.1]
 //
-// Exit status is non-zero when any error-severity finding is reported.
+// Identical findings surfacing at multiple boundaries (image lint, trace
+// reject, pool lint) are reported once. Exit status is non-zero when any
+// error-severity finding is reported; -werror promotes advisory and
+// analysis findings to errors.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 
 	"repro"
 	"repro/cmd/internal/cli"
+	"repro/internal/analysis"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -37,8 +47,10 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale factor (used with -adore)")
 	swp := flag.Bool("swp", false, "compile with software pipelining")
 	noReserve := flag.Bool("noreserve", false, "compile without reserving r27-r30/p6 for the runtime")
-	advisory := flag.Bool("advisory", false, "also report advisory findings (RAW inside a bundle)")
+	advisory := flag.Bool("advisory", false, "also report advisory findings (RAW inside or across bundles)")
 	dynamic := flag.Bool("adore", false, "run each workload under ADORE and lint the trace pool too")
+	analyze := flag.Bool("analyze", false, "print per-loop CFG/liveness/classification reports and static findings")
+	werror := flag.Bool("werror", false, "treat advisory and analysis findings as errors")
 	traceFile := flag.String("trace", "", "validate a Chrome trace-event file (as written by adore-bench -trace) and exit")
 	flag.Parse()
 
@@ -74,12 +86,25 @@ func main() {
 	}
 
 	errorFindings := 0
+	seen := make(map[verify.Finding]bool)
 	report := func(tag string, fs []verify.Finding) {
 		for _, f := range fs {
-			if f.Sev == verify.SevError {
+			if seen[f] {
+				continue // already reported at an earlier boundary
+			}
+			seen[f] = true
+			if f.Sev == verify.SevError || *werror {
 				errorFindings++
 			}
 			fmt.Printf("%-18s %-8s %s\n", tag, f.Sev, f)
+		}
+	}
+	analyzeSeg := func(tag string, seg *program.Segment) {
+		res := analysis.AnalyzeSegment(seg)
+		fmt.Printf("%-18s analysis:\n", tag)
+		res.Fprint(os.Stdout)
+		if *werror {
+			errorFindings += len(res.Findings)
 		}
 	}
 
@@ -102,14 +127,20 @@ func main() {
 				ReservedRegsUnused: opts.ReserveRegs,
 			})
 			report(tag, fs)
+			if *analyze {
+				analyzeSeg(tag, build.Image.Code)
+			}
 			n := len(build.Image.Code.Bundles)
 			if *dynamic {
-				rejected, poolFs, err := lintRun(build, *advisory)
+				rejected, poolFs, used, err := lintRun(build, *advisory)
 				if err != nil {
 					cli.Fatal(fmt.Errorf("%s: %w", tag, err))
 				}
 				report(tag+"+adore", rejected)
 				report(tag+"+pool", poolFs)
+				if *analyze && used != nil {
+					analyzeSeg(tag+"+pool", used)
+				}
 				fmt.Printf("%-18s ok: %d bundles, %d rejected trace finding(s), %d pool finding(s)\n",
 					tag, n, len(rejected), len(poolFs))
 			} else {
@@ -124,15 +155,16 @@ func main() {
 }
 
 // lintRun executes one workload under ADORE with runtime verification on,
-// returning the findings of rejected traces and a lint of the installed
-// trace pool.
-func lintRun(build *compiler.BuildResult, advisory bool) (rejected, pool []verify.Finding, err error) {
+// returning the findings of rejected traces, a lint of the installed trace
+// pool, and the used portion of the pool segment (nil when nothing was
+// installed) for further analysis.
+func lintRun(build *compiler.BuildResult, advisory bool) (rejected, pool []verify.Finding, used *program.Segment, err error) {
 	img := build.Image
 	code := program.NewCodeSpace()
 	seg := &program.Segment{Name: img.Name, Base: img.Code.Base,
 		Bundles: append([]isa.Bundle{}, img.Code.Bundles...)}
 	if err := code.AddSegment(seg); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	mem := memsys.NewMemory()
 	if img.InitData != nil {
@@ -146,18 +178,18 @@ func lintRun(build *compiler.BuildResult, advisory bool) (rejected, pool []verif
 	m.SetPC(img.Entry)
 	ctrl, err := core.NewController(ccfg, code, p)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ctrl.Attach(m)
 	if _, err := m.RunContext(cli.Context(), 2_000_000_000); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, s := range code.Segments() {
-		if s.Name != "trace-pool" {
+		if s.Name != "trace-pool" || ctrl.Pool().Used() == 0 {
 			continue
 		}
-		used := &program.Segment{Name: s.Name, Base: s.Base, Bundles: s.Bundles[:ctrl.Pool().Used()]}
+		used = &program.Segment{Name: s.Name, Base: s.Base, Bundles: s.Bundles[:ctrl.Pool().Used()]}
 		pool = append(pool, verify.CheckSegment(used, verify.Options{Advisory: advisory, Code: code})...)
 	}
-	return ctrl.Findings(), pool, nil
+	return ctrl.Findings(), pool, used, nil
 }

@@ -1,0 +1,487 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func seg(base uint64, bundles ...isa.Bundle) *program.Segment {
+	return &program.Segment{Name: "t", Base: base, Bundles: bundles}
+}
+
+func mmi(s0, s2 isa.Inst) isa.Bundle {
+	return isa.Bundle{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{s0, isa.Nop, s2}}
+}
+
+func mib(s0, s2 isa.Inst) isa.Bundle {
+	return isa.Bundle{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{s0, isa.Nop, s2}}
+}
+
+// twoBundleLoop is the canonical strided loop the verifier fixtures use:
+// { ld8 r20=[r14],8 ; nop ; addi r10=-1,r10 } { cmpi p1,p2=0,r10 ; nop ;
+// (p1) br.cond base }.
+func twoBundleLoop(base uint64) *program.Segment {
+	return seg(base,
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, Imm: 0, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+}
+
+func mustGR(t *testing.T, r isa.Reg) Var {
+	t.Helper()
+	v, ok := GRVar(r)
+	if !ok {
+		t.Fatalf("GRVar(%d) rejected", r)
+	}
+	return v
+}
+
+func mustPR(t *testing.T, p isa.PReg) Var {
+	t.Helper()
+	v, ok := PRVar(p)
+	if !ok {
+		t.Fatalf("PRVar(%d) rejected", p)
+	}
+	return v
+}
+
+func TestCFGTwoBundleLoop(t *testing.T) {
+	c := Build(SegmentInput(twoBundleLoop(0x1000)))
+	if len(c.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1 (no interior leader)", len(c.Blocks))
+	}
+	b := c.Blocks[0]
+	if len(b.Succs) != 1 || b.Succs[0] != 0 {
+		t.Fatalf("succs = %v, want self-edge", b.Succs)
+	}
+	if len(b.Exits) != 1 || !b.Exits[0].Known || b.Exits[0].Target != 0x1020 {
+		t.Fatalf("exits = %v, want fall-off to segment end", b.Exits)
+	}
+	d := c.Dominators()
+	loops := c.NaturalLoops(d)
+	if len(loops) != 1 || loops[0].Header != 0 {
+		t.Fatalf("loops = %+v, want one self-loop", loops)
+	}
+	body, ok := c.LoopBody(loops[0])
+	if !ok {
+		t.Fatal("loop did not straighten")
+	}
+	if body.Len() != 4 {
+		t.Fatalf("body len = %d, want 4 non-nop insts", body.Len())
+	}
+	lc := body.Classify(0)
+	if lc.Verdict != VerdictStrided || lc.Stride != 8 || lc.AddrReg != 14 {
+		t.Fatalf("classify = %+v, want strided/8 on r14", lc)
+	}
+}
+
+func TestCFGBranchToSelfSingleBundle(t *testing.T) {
+	base := uint64(0x2000)
+	s := seg(base,
+		mib(isa.Inst{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+			isa.Inst{Op: isa.OpBr, Target: base}),
+		mmi(isa.Inst{Op: isa.OpSt8, R2: 20, R3: 15}, isa.Nop),
+	)
+	c := Build(SegmentInput(s))
+	b0 := c.BlockOf(0)
+	if len(b0.Succs) != 1 || b0.Succs[0] != b0.ID || len(b0.Exits) != 0 {
+		t.Fatalf("self-branch block: succs=%v exits=%v", b0.Succs, b0.Exits)
+	}
+	un := c.UnreachableBundles()
+	if len(un) != 1 || un[0] != 1 {
+		t.Fatalf("unreachable = %v, want [1]", un)
+	}
+	d := c.Dominators()
+	loops := c.NaturalLoops(d)
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	if _, ok := c.LoopBody(loops[0]); !ok {
+		t.Fatal("single-bundle self-loop did not straighten")
+	}
+}
+
+func TestCFGUnreachableAfterUnconditionalBranch(t *testing.T) {
+	base := uint64(0x3000)
+	s := seg(base,
+		mib(isa.Nop, isa.Inst{Op: isa.OpBr, Target: base + 32}),
+		mmi(isa.Inst{Op: isa.OpAddI, R1: 20, Imm: 1}, isa.Nop), // skipped
+		mib(isa.Nop, isa.Inst{Op: isa.OpHalt}),
+	)
+	c := Build(SegmentInput(s))
+	un := c.UnreachableBundles()
+	if len(un) != 1 || un[0] != 1 {
+		t.Fatalf("unreachable = %v, want [1]", un)
+	}
+	res := AnalyzeSegment(s)
+	found := false
+	for _, f := range res.Findings {
+		if f.Rule == FindingUnreachable && f.Addr == base+16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("findings = %v, want %s at 0x%x", res.Findings, FindingUnreachable, base+16)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	base := uint64(0x4000)
+	s := seg(base,
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base + 32}), // b0 -> b2 or b1
+		mib(isa.Inst{Op: isa.OpAddI, R1: 20, Imm: 1},
+			isa.Inst{Op: isa.OpBr, Target: base + 48}), // b1 -> b3
+		mmi(isa.Inst{Op: isa.OpAddI, R1: 20, Imm: 2}, isa.Nop), // b2 -> b3
+		mib(isa.Nop, isa.Inst{Op: isa.OpHalt}),                 // b3
+	)
+	c := Build(SegmentInput(s))
+	if len(c.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(c.Blocks))
+	}
+	d := c.Dominators()
+	b := func(pos int) int { return c.BlockOf(pos * SlotsPerBundle).ID }
+	if !d.Dominates(b(0), b(3)) {
+		t.Error("entry should dominate the join")
+	}
+	if d.Dominates(b(1), b(3)) || d.Dominates(b(2), b(3)) {
+		t.Error("neither diamond arm dominates the join")
+	}
+	if got := d.Idom[b(3)]; got != b(0) {
+		t.Errorf("idom(join) = %d, want entry %d", got, b(0))
+	}
+	if loops := c.NaturalLoops(d); len(loops) != 0 {
+		t.Errorf("acyclic diamond reported loops: %+v", loops)
+	}
+}
+
+func TestLivenessPredicatedDefDoesNotKill(t *testing.T) {
+	base := uint64(0x5000)
+	mk := func(qp isa.PReg) *program.Segment {
+		return seg(base,
+			mmi(isa.Inst{Op: isa.OpAddI, QP: qp, R1: 20, Imm: 1}, isa.Nop),
+			mib(isa.Inst{Op: isa.OpSt8, R2: 20, R3: 15}, isa.Inst{Op: isa.OpHalt}),
+		)
+	}
+	r20 := mustGR(t, 20)
+	// Unpredicated def kills: r20 dead at entry.
+	c := Build(SegmentInput(mk(0)))
+	lv := c.Liveness(LiveOpts{})
+	if lv.In[c.RPO[0]].Has(r20) {
+		t.Error("unpredicated def should kill r20 upward")
+	}
+	// Predicated def is a may-def: r20 stays live, and p1 becomes live.
+	c = Build(SegmentInput(mk(1)))
+	lv = c.Liveness(LiveOpts{})
+	in := lv.In[c.RPO[0]]
+	if !in.Has(r20) {
+		t.Error("predicated def must not kill r20")
+	}
+	if !in.Has(mustPR(t, 1)) {
+		t.Error("qualifying predicate p1 should be live-in")
+	}
+}
+
+func TestLivenessIncludeAndBoundary(t *testing.T) {
+	s := twoBundleLoop(0x1000)
+	c := Build(SegmentInput(s))
+	// Conservative boundary: everything lives at the fall-off exit.
+	lv := c.Liveness(LiveOpts{})
+	if got := lv.LiveBefore(0); !got.Has(mustGR(t, 99)) {
+		t.Error("default boundary should keep unrelated r99 live")
+	}
+	// Empty boundary: only registers the loop actually reads stay live.
+	empty := func(ExitEdge) VarSet { return VarSet{} }
+	lv = c.Liveness(LiveOpts{Boundary: empty})
+	got := lv.LiveBefore(0)
+	for _, want := range []Var{mustGR(t, 14), mustGR(t, 10)} {
+		if !got.Has(want) {
+			t.Errorf("%v should be live at loop entry", want)
+		}
+	}
+	if got.Has(mustGR(t, 99)) {
+		t.Error("r99 should be dead under the empty boundary")
+	}
+	if got.Has(mustGR(t, 20)) {
+		t.Error("the load destination r20 is never read: should be dead")
+	}
+	// Excluding the ld8 removes both the r14 use and the r20 def.
+	lv = c.Liveness(LiveOpts{Boundary: empty, Include: func(pos int) bool { return pos != 0 }})
+	got = lv.LiveBefore(0)
+	if got.Has(mustGR(t, 14)) {
+		t.Error("excluded instruction's use of r14 must not count")
+	}
+}
+
+func TestReachingDefsDiamondMerge(t *testing.T) {
+	base := uint64(0x6000)
+	s := seg(base,
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base + 32}),
+		mib(isa.Inst{Op: isa.OpAddI, R1: 20, Imm: 1},
+			isa.Inst{Op: isa.OpBr, Target: base + 48}),
+		mmi(isa.Inst{Op: isa.OpAddI, R1: 20, Imm: 2}, isa.Nop),
+		mib(isa.Inst{Op: isa.OpSt8, R2: 20, R3: 15}, isa.Inst{Op: isa.OpHalt}),
+	)
+	c := Build(SegmentInput(s))
+	rd := c.ReachingDefs()
+	r20 := mustGR(t, 20)
+	sites := rd.ReachingBefore(3*SlotsPerBundle, r20)
+	if len(sites) != 2 {
+		t.Fatalf("reaching defs of r20 at merge = %d, want both arms", len(sites))
+	}
+	// Before the second arm's def, only external defs reach: empty set.
+	if got := rd.ReachingBefore(2*SlotsPerBundle, r20); len(got) != 0 {
+		t.Fatalf("r20 should have no internal reaching def at arm entry, got %v", got)
+	}
+}
+
+func TestDefiniteAssignPredicateLattice(t *testing.T) {
+	base := uint64(0x7000)
+	r27 := mustGR(t, 27)
+	// Predicated def: r27 is AssignedIf(p1) afterwards.
+	s := seg(base,
+		mmi(isa.Inst{Op: isa.OpAddI, QP: 1, R1: 27, Imm: 128, R3: 14}, isa.Nop),
+		mib(isa.Nop, isa.Inst{Op: isa.OpHalt}),
+	)
+	c := Build(SegmentInput(s))
+	da := c.DefiniteAssign([]Var{r27})
+	if got := da.At(3, r27); got.State != AssignedIf || got.Pred != 1 {
+		t.Fatalf("after (p1) def: %+v, want AssignedIf p1", got)
+	}
+	// Redefining p1 invalidates the conditional assignment.
+	s = seg(base,
+		mmi(isa.Inst{Op: isa.OpAddI, QP: 1, R1: 27, Imm: 128, R3: 14},
+			isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10}),
+		mib(isa.Nop, isa.Inst{Op: isa.OpHalt}),
+	)
+	c = Build(SegmentInput(s))
+	da = c.DefiniteAssign([]Var{r27})
+	if got := da.At(3, r27); got.State != Unassigned {
+		t.Fatalf("after p1 redefinition: %+v, want Unassigned", got)
+	}
+	// Unpredicated def upgrades to Assigned and survives a loop back edge.
+	s = seg(base,
+		mmi(isa.Inst{Op: isa.OpAddI, R1: 27, Imm: 128, R3: 14}, isa.Nop),
+		mmi(isa.Inst{Op: isa.OpLfetch, R3: 27, PostInc: 8},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base + 16}),
+	)
+	c = Build(SegmentInput(s))
+	da = c.DefiniteAssign([]Var{r27})
+	if got := da.At(1*SlotsPerBundle, r27); got.State != Assigned {
+		t.Fatalf("at loop head: %+v, want Assigned (prologue dominates, back edge preserves)", got)
+	}
+	// With no def at all the variable stays Unassigned everywhere.
+	c = Build(SegmentInput(twoBundleLoop(base)))
+	da = c.DefiniteAssign([]Var{r27})
+	if got := da.At(3, r27); got.State != Unassigned {
+		t.Fatalf("never-defined var: %+v, want Unassigned", got)
+	}
+}
+
+// TestSolverTermination runs all three solvers over a worst-case shape for
+// iterative dataflow — a deep chain of nested loops — and bounds the
+// fixpoint rounds. progfuzz generates exactly this kind of nest.
+func TestSolverTermination(t *testing.T) {
+	base := uint64(0x10000)
+	const depth = 24
+	var bundles []isa.Bundle
+	// Bundle i branches back to bundle depth-1-i, nesting loops like an
+	// onion: the innermost back edge is in the middle of the chain.
+	for i := 0; i < 2*depth; i++ {
+		if i < depth {
+			bundles = append(bundles, mmi(
+				isa.Inst{Op: isa.OpLd8, R1: isa.Reg(20 + i%8), R3: isa.Reg(14 + i%4), PostInc: 8},
+				isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: isa.PReg(1 + i%4), P2: 2, R3: 10}))
+			continue
+		}
+		head := uint64(2*depth-1-i) * isa.BundleBytes
+		bundles = append(bundles, mib(
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: isa.PReg(1 + i%4), Target: base + head}))
+	}
+	bundles = append(bundles, mib(isa.Nop, isa.Inst{Op: isa.OpHalt}))
+	c := Build(SegmentInput(seg(base, bundles...)))
+
+	d := c.Dominators()
+	lv := c.Liveness(LiveOpts{})
+	rd := c.ReachingDefs()
+	da := c.DefiniteAssign([]Var{mustGR(t, 27), mustGR(t, 28), mustPR(t, 6)})
+	bound := len(c.Blocks) + 2
+	for name, it := range map[string]int{
+		"dominators": d.Iterations, "liveness": lv.Iterations,
+		"reaching": rd.Iterations, "defassign": da.Iterations,
+	} {
+		if it < 1 || it > bound {
+			t.Errorf("%s iterations = %d, want 1..%d", name, it, bound)
+		}
+	}
+}
+
+func TestClassifyIndirectAndPointer(t *testing.T) {
+	base := uint64(0x8000)
+	// Indirect: strided feeder ld8 r21=[r15],8 feeds shladd r22=r21<<3+r16,
+	// which addresses ld8 r20=[r22].
+	s := seg(base,
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 21, R3: 15, PostInc: 8},
+			isa.Inst{Op: isa.OpShlAdd, R1: 22, R2: 21, Imm: 3, R3: 16}),
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 20, R3: 22},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+	c := Build(SegmentInput(s))
+	loops := c.NaturalLoops(c.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	body, ok := c.LoopBody(loops[0])
+	if !ok {
+		t.Fatal("did not straighten")
+	}
+	idx := body.IndexOfPos(1 * SlotsPerBundle)
+	lc := body.Classify(idx)
+	if lc.Verdict != VerdictIndirect || lc.FeederStride != 8 || lc.FeederAddrReg != 15 {
+		t.Fatalf("classify = %+v, want indirect with feeder [r15] stride 8", lc)
+	}
+
+	// Pointer chase: ld8 r14=[r14] advances the address through memory.
+	s = seg(base,
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 14, R3: 14},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+	c = Build(SegmentInput(s))
+	loops = c.NaturalLoops(c.Dominators())
+	body, ok = c.LoopBody(loops[0])
+	if !ok {
+		t.Fatal("did not straighten")
+	}
+	lc = body.Classify(0)
+	if lc.Verdict != VerdictPointer || lc.InductionReg != 14 {
+		t.Fatalf("classify = %+v, want pointer-chasing via r14", lc)
+	}
+}
+
+func TestLoopBodyRejectsMultiPathLoop(t *testing.T) {
+	base := uint64(0x9000)
+	s := seg(base,
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpNe, P1: 3, P2: 4, R3: 20},
+			isa.Inst{Op: isa.OpBrCond, QP: 3, Target: base + 32}), // skip bundle 1
+		mmi(isa.Inst{Op: isa.OpAddI, R1: 21, Imm: 1}, isa.Nop),
+		mib(isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+	c := Build(SegmentInput(s))
+	loops := c.NaturalLoops(c.Dominators())
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	if _, ok := c.LoopBody(loops[0]); ok {
+		t.Fatal("multi-path loop must not straighten")
+	}
+}
+
+func hasFinding(res *Result, rule string) bool {
+	for _, f := range res.Findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFindingDeadLfetch(t *testing.T) {
+	base := uint64(0xa000)
+	s := seg(base,
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mmi(isa.Inst{Op: isa.OpLfetch, R3: 16}, isa.Nop), // r16 never advances
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+	res := AnalyzeSegment(s)
+	if !hasFinding(res, FindingDeadLfetch) {
+		t.Fatalf("findings = %v, want %s", res.Findings, FindingDeadLfetch)
+	}
+}
+
+func TestFindingNeverLoadedPrefetch(t *testing.T) {
+	base := uint64(0xb000)
+	s := seg(base,
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mmi(isa.Inst{Op: isa.OpLfetch, R3: 16, PostInc: 64}, isa.Nop), // no load strides by 64
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+	res := AnalyzeSegment(s)
+	if !hasFinding(res, FindingNeverLoadedPF) {
+		t.Fatalf("findings = %v, want %s", res.Findings, FindingNeverLoadedPF)
+	}
+
+	// Matching strides: the classic software-pipelined prefetch shape is
+	// clean.
+	s = seg(base,
+		mmi(isa.Inst{Op: isa.OpLd8, R1: 20, R3: 14, PostInc: 8},
+			isa.Inst{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10}),
+		mmi(isa.Inst{Op: isa.OpLfetch, R3: 16, PostInc: 8}, isa.Nop),
+		mib(isa.Inst{Op: isa.OpCmpI, Rel: isa.CmpEq, P1: 1, P2: 2, R3: 10},
+			isa.Inst{Op: isa.OpBrCond, QP: 1, Target: base}),
+	)
+	if res = AnalyzeSegment(s); len(res.Findings) != 0 {
+		t.Fatalf("stride-matched prefetch loop should be clean, got %v", res.Findings)
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	res := AnalyzeSegment(twoBundleLoop(0x1000))
+	var sb strings.Builder
+	res.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"loop 0 @0x1000", "strided stride 8", "1 loops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVarRoundTrip(t *testing.T) {
+	if _, ok := GRVar(0); ok {
+		t.Error("r0 is not a dataflow variable")
+	}
+	if _, ok := PRVar(0); ok {
+		t.Error("p0 is not a dataflow variable")
+	}
+	v := mustGR(t, 27)
+	if r, ok := v.GR(); !ok || r != 27 {
+		t.Errorf("GR round trip: %v %v", r, ok)
+	}
+	if v.String() != "r27" {
+		t.Errorf("String = %q", v.String())
+	}
+	p := mustPR(t, 6)
+	if pr, ok := p.PR(); !ok || pr != 6 {
+		t.Errorf("PR round trip: %v %v", pr, ok)
+	}
+	all := AllVars()
+	if all.Has(Var(0)) {
+		t.Error("AllVars must exclude r0")
+	}
+	if !all.Has(v) || !all.Has(p) {
+		t.Error("AllVars must include r27 and p6")
+	}
+	var count int
+	all.ForEach(func(Var) { count++ })
+	if count != NumVars-3 {
+		t.Errorf("AllVars size = %d, want %d", count, NumVars-3)
+	}
+}

@@ -1,0 +1,288 @@
+// Package analysis is a static dataflow-analysis engine over the simulated
+// ISA's bundled machine code: basic-block CFG construction from decoded
+// bundles, dominator trees, iterative bit-vector solvers for liveness and
+// reaching definitions over the general/floating/predicate register files,
+// and a loop-aware load classifier that derives stride/pointer-chase
+// verdicts from induction-variable and reaching-def chains.
+//
+// The package is deliberately low in the import graph (isa and program
+// only) so every layer above it can consume the results: internal/verify
+// proves patch safety with per-point liveness instead of the reserved-
+// register convention, internal/harness cross-checks the runtime slicer's
+// classification against the static one, and cmd/adore-lint prints
+// per-loop reports in its -analyze mode.
+//
+// The CFG is built at instruction granularity. A slot position addresses
+// one instruction as pos = bundle*3 + slot, nops included, so positions
+// translate directly to the (bundle, slot) coordinates the rest of the
+// system uses. Blocks are maximal single-entry straight-line position
+// ranges; edges follow the interpreter's control rules — slots execute in
+// order, a taken branch skips the rest of its bundle, br.cond with the
+// hardwired p0 qualifying predicate is always taken, and br.ret/halt leave
+// the analyzed code.
+package analysis
+
+import (
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// SlotsPerBundle mirrors the ISA's three-slot bundle shape.
+const SlotsPerBundle = 3
+
+// ExitEdge is one way control leaves the analyzed code region: a branch to
+// an unresolved address, a br.ret, or fall-through past the last bundle.
+// Target is the destination address when statically known (Known), so
+// callers can refine the dataflow boundary by analyzing the target's
+// segment; a br.ret has no static target.
+type ExitEdge struct {
+	Target uint64
+	Known  bool
+}
+
+// Block is one basic block: the instruction positions [Start, End) with
+// the control edges in and out. Halt instructions end a block with neither
+// successors nor exit edges — execution stops, so nothing is live after.
+type Block struct {
+	ID    int
+	Start int // first slot position
+	End   int // one past the last slot position
+	Succs []int
+	Preds []int
+	Exits []ExitEdge
+}
+
+// CFG is the control-flow graph of one code region (a segment or a
+// straightened trace).
+type CFG struct {
+	Bundles []isa.Bundle
+	Blocks  []*Block
+	// RPO is a reverse postorder over the blocks reachable from the
+	// entry, entry first — the iteration order of the forward solvers.
+	RPO []int
+	// Reach marks blocks reachable from the entry block.
+	Reach []bool
+
+	pcOf    func(bi int) uint64
+	blockOf []int // slot position -> block ID
+}
+
+// Input describes a code region to Build. Resolve maps a branch target
+// address to a bundle index inside the region; targets it rejects become
+// exit edges. PCOf reports the address of a bundle for diagnostics and
+// boundary refinement (it may return 0 for synthetic bundles). FallOff is
+// the address control reaches by falling through past the last bundle
+// (0 when unknown).
+type Input struct {
+	Bundles []isa.Bundle
+	PCOf    func(bi int) uint64
+	Resolve func(target uint64) (int, bool)
+	FallOff uint64
+}
+
+// SegmentInput adapts a program segment: branch targets resolve within the
+// segment, and falling off the end continues at the segment's end address.
+func SegmentInput(seg *program.Segment) Input {
+	return Input{
+		Bundles: seg.Bundles,
+		PCOf:    func(bi int) uint64 { return seg.Base + uint64(bi)*isa.BundleBytes },
+		Resolve: func(target uint64) (int, bool) {
+			if target%isa.BundleBytes != 0 || !seg.Contains(target) {
+				return 0, false
+			}
+			return int((target - seg.Base) / isa.BundleBytes), true
+		},
+		FallOff: seg.End(),
+	}
+}
+
+// NumSlots reports the number of slot positions in the region.
+func (c *CFG) NumSlots() int { return len(c.Bundles) * SlotsPerBundle }
+
+// Inst returns the instruction at a slot position.
+func (c *CFG) Inst(pos int) *isa.Inst {
+	return &c.Bundles[pos/SlotsPerBundle].Slots[pos%SlotsPerBundle]
+}
+
+// PC reports the address of the instruction at pos (bundle address plus
+// slot offset, matching the PC encoding used system-wide).
+func (c *CFG) PC(pos int) uint64 {
+	base := c.pcOf(pos / SlotsPerBundle)
+	if base == 0 {
+		return 0
+	}
+	return base + uint64(pos%SlotsPerBundle)
+}
+
+// BundlePC reports the address of bundle bi.
+func (c *CFG) BundlePC(bi int) uint64 { return c.pcOf(bi) }
+
+// BlockOf returns the block containing a slot position.
+func (c *CFG) BlockOf(pos int) *Block {
+	if pos < 0 || pos >= len(c.blockOf) {
+		return nil
+	}
+	return c.Blocks[c.blockOf[pos]]
+}
+
+// alwaysTaken reports whether a branch unconditionally transfers control:
+// br, or br.cond qualified by the hardwired-true p0.
+func alwaysTaken(in *isa.Inst) bool {
+	return in.Op == isa.OpBr || (in.Op == isa.OpBrCond && in.QP == 0)
+}
+
+// Build constructs the CFG of a code region.
+func Build(in Input) *CFG {
+	c := &CFG{Bundles: in.Bundles, pcOf: in.PCOf}
+	if c.pcOf == nil {
+		c.pcOf = func(int) uint64 { return 0 }
+	}
+	resolve := in.Resolve
+	if resolve == nil {
+		resolve = func(uint64) (int, bool) { return 0, false }
+	}
+	n := c.NumSlots()
+	if n == 0 {
+		c.blockOf = nil
+		return c
+	}
+
+	// Pass 1: block leaders. The entry, every resolved branch target
+	// (bundle-addressed, so slot 0), and every instruction after a branch.
+	leader := make([]bool, n)
+	leader[0] = true
+	for pos := 0; pos < n; pos++ {
+		ins := c.Inst(pos)
+		if !isa.IsBranch(ins.Op) {
+			continue
+		}
+		if pos+1 < n {
+			leader[pos+1] = true
+		}
+		switch ins.Op {
+		case isa.OpBr, isa.OpBrCond, isa.OpBrCall:
+			if bi, ok := resolve(ins.Target); ok && bi >= 0 && bi < len(in.Bundles) {
+				leader[bi*SlotsPerBundle] = true
+			}
+		}
+	}
+
+	// Pass 2: carve blocks.
+	c.blockOf = make([]int, n)
+	for pos := 0; pos < n; {
+		b := &Block{ID: len(c.Blocks), Start: pos}
+		pos++
+		for pos < n && !leader[pos] {
+			pos++
+		}
+		b.End = pos
+		for p := b.Start; p < b.End; p++ {
+			c.blockOf[p] = b.ID
+		}
+		c.Blocks = append(c.Blocks, b)
+	}
+
+	// Pass 3: edges from each block's terminator.
+	addEdge := func(from *Block, toPos int) {
+		to := c.Blocks[c.blockOf[toPos]]
+		from.Succs = append(from.Succs, to.ID)
+		to.Preds = append(to.Preds, from.ID)
+	}
+	for _, b := range c.Blocks {
+		last := c.Inst(b.End - 1)
+		fallOff := func() {
+			if b.End < n {
+				addEdge(b, b.End)
+			} else if in.FallOff != 0 {
+				b.Exits = append(b.Exits, ExitEdge{Target: in.FallOff, Known: true})
+			} else {
+				b.Exits = append(b.Exits, ExitEdge{})
+			}
+		}
+		branchTo := func(target uint64) {
+			if bi, ok := resolve(target); ok && bi >= 0 && bi < len(in.Bundles) {
+				addEdge(b, bi*SlotsPerBundle)
+			} else {
+				b.Exits = append(b.Exits, ExitEdge{Target: target, Known: target != 0})
+			}
+		}
+		switch {
+		case last.Op == isa.OpHalt:
+			// Execution stops: no successors, no exit boundary.
+		case last.Op == isa.OpBrRet:
+			b.Exits = append(b.Exits, ExitEdge{})
+		case last.Op == isa.OpBrCall:
+			// The callee eventually returns to the fall-through point;
+			// both the target and the continuation are successors.
+			branchTo(last.Target)
+			fallOff()
+		case isa.IsBranch(last.Op) && alwaysTaken(last):
+			branchTo(last.Target)
+		case isa.IsBranch(last.Op): // conditional: taken or fall through
+			branchTo(last.Target)
+			fallOff()
+		default:
+			fallOff()
+		}
+	}
+
+	c.computeOrder()
+	return c
+}
+
+// computeOrder fills Reach and RPO via an iterative DFS from the entry.
+func (c *CFG) computeOrder() {
+	c.Reach = make([]bool, len(c.Blocks))
+	if len(c.Blocks) == 0 {
+		return
+	}
+	post := make([]int, 0, len(c.Blocks))
+	type frame struct {
+		id   int
+		next int
+	}
+	stack := []frame{{id: 0}}
+	c.Reach[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		b := c.Blocks[f.id]
+		if f.next < len(b.Succs) {
+			s := b.Succs[f.next]
+			f.next++
+			if !c.Reach[s] {
+				c.Reach[s] = true
+				stack = append(stack, frame{id: s})
+			}
+			continue
+		}
+		post = append(post, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int, len(post))
+	for i, id := range post {
+		c.RPO[len(post)-1-i] = id
+	}
+}
+
+// UnreachableBundles lists the bundles containing at least one non-nop
+// instruction none of whose slots lie in a reachable block — code no path
+// from the entry executes.
+func (c *CFG) UnreachableBundles() []int {
+	var out []int
+	for bi := range c.Bundles {
+		hasInst, reach := false, false
+		for si := 0; si < SlotsPerBundle; si++ {
+			if c.Bundles[bi].Slots[si].Op == isa.OpNop {
+				continue
+			}
+			hasInst = true
+			if c.Reach[c.blockOf[bi*SlotsPerBundle+si]] {
+				reach = true
+			}
+		}
+		if hasInst && !reach {
+			out = append(out, bi)
+		}
+	}
+	return out
+}

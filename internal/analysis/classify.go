@@ -1,0 +1,327 @@
+package analysis
+
+import "repro/internal/isa"
+
+// This file is the static twin of the runtime slicer (internal/core's
+// slice.go). The runtime slicer classifies a delinquent load by walking a
+// *captured trace* backwards; here the same algorithm walks a *straightened
+// natural loop* recovered from the CFG. When a trace's bundles are exactly
+// the loop's bundles — which is what the trace selector produces for the
+// loops ADORE patches — the two must agree instruction for instruction.
+// internal/harness and progfuzz assert that agreement differentially; a
+// divergence is a bug in one of the two.
+//
+// The algorithm must therefore mirror the slicer *exactly*: the backward
+// walk wraps the loop at most once, pure induction steps (post-increment,
+// addi r = imm, r) accumulate without terminating the walk, fp<->int
+// transfers and calls poison the slice, and arithmetic transform chains are
+// followed at most two levels deep with at most one feeder load.
+
+// Verdict is the static classification of one load, mirroring the paper's
+// reference-pattern taxonomy (Fig. 5) as produced by the runtime slicer.
+type Verdict uint8
+
+const (
+	VerdictUnknown  Verdict = iota
+	VerdictStrided          // single-level strided array reference
+	VerdictIndirect         // strided feeder load produces the address
+	VerdictPointer          // address recurs through memory
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictStrided:
+		return "strided"
+	case VerdictIndirect:
+		return "indirect"
+	case VerdictPointer:
+		return "pointer-chasing"
+	}
+	return "unknown"
+}
+
+type bodyInst struct {
+	pos int // CFG slot position
+	in  isa.Inst
+}
+
+// LoopBody is the straightened, nop-free instruction sequence of a simple
+// natural loop, in execution order from the header — the same shape the
+// runtime trace selector hands the slicer.
+type LoopBody struct {
+	insts []bodyInst
+}
+
+// LoopBody straightens loop l and flattens out the nops. It reports false
+// for multi-path loops, which have no single execution order to classify
+// over (the runtime optimizer does not patch those either).
+func (c *CFG) LoopBody(l *Loop) (*LoopBody, bool) {
+	pos, ok := c.Straighten(l)
+	if !ok {
+		return nil, false
+	}
+	b := &LoopBody{}
+	for _, p := range pos {
+		in := c.Inst(p)
+		if in.Op == isa.OpNop {
+			continue
+		}
+		b.insts = append(b.insts, bodyInst{pos: p, in: *in})
+	}
+	if len(b.insts) == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
+// Len reports the number of (non-nop) body instructions.
+func (b *LoopBody) Len() int { return len(b.insts) }
+
+// At returns body instruction i and its CFG slot position.
+func (b *LoopBody) At(i int) (isa.Inst, int) { return b.insts[i].in, b.insts[i].pos }
+
+// IndexOfPos maps a CFG slot position back to its body index, or -1.
+func (b *LoopBody) IndexOfPos(pos int) int {
+	for i := range b.insts {
+		if b.insts[i].pos == pos {
+			return i
+		}
+	}
+	return -1
+}
+
+// LoadIndices lists the body indices of the data loads (lfetch excluded).
+func (b *LoopBody) LoadIndices() []int {
+	var out []int
+	for i := range b.insts {
+		if isa.IsLoad(b.insts[i].in.Op) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bodySelfUpdate mirrors the slicer: a pure induction step of r is a
+// post-increment on r (that does not also overwrite r as destination) or an
+// immediate add r = imm, r.
+func bodySelfUpdate(in *isa.Inst, r isa.Reg) (int64, bool) {
+	if pr, ok := in.PostIncDef(); ok && pr == r {
+		if d, dok := in.RegDef(); dok && d == r {
+			return 0, false
+		}
+		return in.PostInc, true
+	}
+	if in.Op == isa.OpAddI && in.R1 == r && in.R3 == r {
+		return in.Imm, true
+	}
+	return 0, false
+}
+
+func bodyDefines(in *isa.Inst, r isa.Reg) bool {
+	if d, ok := in.RegDef(); ok && d == r {
+		return true
+	}
+	if d, ok := in.PostIncDef(); ok && d == r {
+		return true
+	}
+	return false
+}
+
+// walkAddr walks backwards from body index from (exclusive), wrapping the
+// loop at most once, following r's lineage: induction steps accumulate into
+// delta, and the walk stops at the first generating definition. A -1 index
+// means r is only ever self-updated (a pure induction register).
+func (b *LoopBody) walkAddr(from int, r isa.Reg) (def int, delta int64) {
+	n := len(b.insts)
+	for step := 1; step <= n; step++ {
+		i := ((from-step)%n + n) % n
+		in := &b.insts[i].in
+		if !bodyDefines(in, r) {
+			continue
+		}
+		if d, ok := bodySelfUpdate(in, r); ok {
+			delta += d
+			continue
+		}
+		return i, delta
+	}
+	return -1, delta
+}
+
+// bodyPoison mirrors the slicer's refusal list: fp<->int transfers and
+// calls end the slice with no classification.
+func bodyPoison(op isa.Op) bool {
+	switch op {
+	case isa.OpGetF, isa.OpFCvtFX, isa.OpBrCall, isa.OpBrRet, isa.OpSetF, isa.OpFCvtXF:
+		return true
+	}
+	return false
+}
+
+// bodyAType mirrors the slicer's replayable transform ops.
+func bodyAType(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpAddI, isa.OpShlAdd, isa.OpMov,
+		isa.OpShl, isa.OpSxt4, isa.OpZxt4, isa.OpAnd:
+		return true
+	}
+	return false
+}
+
+// LoadClass is the static classification of one load in a loop body.
+type LoadClass struct {
+	Verdict Verdict
+	Index   int // body index of the classified load
+	AddrReg isa.Reg
+
+	// VerdictStrided
+	Stride int64
+
+	// VerdictIndirect
+	FeederIndex    int
+	FeederStride   int64
+	FeederAddrReg  isa.Reg
+	FeederDstReg   isa.Reg
+	Transform      []isa.Inst
+	TransformDelta int64
+
+	// VerdictPointer
+	InductionReg isa.Reg
+	UpdateIndex  int
+}
+
+// Classify determines the reference pattern of the load at body index i,
+// mirroring the runtime slicer's classify step for step.
+func (b *LoopBody) Classify(i int) LoadClass {
+	load := &b.insts[i].in
+	rA := load.R3
+	res := LoadClass{Verdict: VerdictUnknown, Index: i, AddrReg: rA}
+	if rA == 0 {
+		return res
+	}
+
+	def, delta := b.walkAddr(i, rA)
+	if def == -1 {
+		if delta != 0 {
+			res.Verdict = VerdictStrided
+			res.Stride = delta
+		}
+		return res
+	}
+	din := &b.insts[def].in
+
+	switch {
+	case isa.IsLoad(din.Op):
+		fdef, fstride := b.walkAddr(def, din.R3)
+		if fdef == -1 && fstride != 0 {
+			res.Verdict = VerdictIndirect
+			res.FeederIndex = def
+			res.FeederStride = fstride
+			res.FeederAddrReg = din.R3
+			res.FeederDstReg = rA
+			res.TransformDelta = delta
+			return res
+		}
+		res.Verdict = VerdictPointer
+		res.InductionReg = rA
+		res.UpdateIndex = def
+		return res
+
+	case bodyPoison(din.Op):
+		return res
+
+	case bodyAType(din.Op):
+		return b.chainClassify(i, rA, def, delta, 0)
+	}
+	return res
+}
+
+// chainClassify follows an address produced by an arithmetic transform
+// chain, mirroring the slicer: inputs resolve to a single strided feeder
+// load (indirect), pure strided recomputes (strided), or a recurrence
+// through memory (pointer chasing); two feeders or depth > 2 give up.
+func (b *LoopBody) chainClassify(i int, rA isa.Reg, def int, accDelta int64, depth int) LoadClass {
+	res := LoadClass{Verdict: VerdictUnknown, Index: i, AddrReg: rA}
+	if depth > 2 {
+		return res
+	}
+	din := &b.insts[def].in
+	transform := []isa.Inst{*din}
+	var strideSum int64
+	feeder := -1
+	var feederStride int64
+	var feederDst isa.Reg
+
+	var uses []isa.Reg
+	uses = din.RegUses(uses)
+	seen := map[isa.Reg]bool{}
+	for _, u := range uses {
+		if u == 0 || seen[u] {
+			continue
+		}
+		seen[u] = true
+		udef, udelta := b.walkAddr(def, u)
+		if udef == -1 {
+			strideSum += udelta
+			continue
+		}
+		uin := &b.insts[udef].in
+		switch {
+		case isa.IsLoad(uin.Op):
+			fdef, fstride := b.walkAddr(udef, uin.R3)
+			if fdef == -1 && fstride != 0 {
+				if feeder != -1 {
+					return res // two feeders: give up
+				}
+				feeder = udef
+				feederStride = fstride
+				feederDst = u
+				continue
+			}
+			res.Verdict = VerdictPointer
+			res.InductionReg = rA
+			res.UpdateIndex = def
+			return res
+		case bodyPoison(uin.Op):
+			return res
+		case bodyAType(uin.Op):
+			sub := b.chainClassify(i, rA, udef, 0, depth+1)
+			switch sub.Verdict {
+			case VerdictIndirect:
+				if feeder != -1 {
+					return res
+				}
+				feeder = sub.FeederIndex
+				feederStride = sub.FeederStride
+				feederDst = sub.FeederDstReg
+				transform = append(sub.Transform, transform...)
+				strideSum += sub.TransformDelta
+			case VerdictStrided:
+				strideSum += sub.Stride
+			case VerdictPointer:
+				return sub
+			default:
+				return res
+			}
+		default:
+			return res
+		}
+	}
+
+	if feeder != -1 {
+		res.Verdict = VerdictIndirect
+		res.FeederIndex = feeder
+		res.FeederStride = feederStride
+		res.FeederAddrReg = b.insts[feeder].in.R3
+		res.FeederDstReg = feederDst
+		res.Transform = transform
+		res.TransformDelta = accDelta + strideSum
+		return res
+	}
+	if strideSum+accDelta != 0 {
+		res.Verdict = VerdictStrided
+		res.Stride = strideSum + accDelta
+		return res
+	}
+	return res
+}

@@ -1,0 +1,580 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Var numbers every architectural register in one flat dataflow variable
+// space: general registers first, then floating registers, then predicates.
+// Hardwired registers (r0, f0, p0) are excluded — they are constants, not
+// dataflow variables.
+type Var uint16
+
+const (
+	grBase = 0
+	frBase = isa.NumGR
+	prBase = isa.NumGR + isa.NumFR
+
+	// NumVars is the size of the dataflow variable space.
+	NumVars = isa.NumGR + isa.NumFR + isa.NumPR
+)
+
+// GRVar maps a general register to its Var, rejecting the hardwired r0.
+func GRVar(r isa.Reg) (Var, bool) {
+	if r == 0 || int(r) >= isa.NumGR {
+		return 0, false
+	}
+	return Var(grBase + int(r)), true
+}
+
+// FRVar maps a floating register to its Var, rejecting the hardwired f0.
+func FRVar(f isa.FReg) (Var, bool) {
+	if f == 0 || int(f) >= isa.NumFR {
+		return 0, false
+	}
+	return Var(frBase + int(f)), true
+}
+
+// PRVar maps a predicate register to its Var, rejecting the hardwired p0.
+func PRVar(p isa.PReg) (Var, bool) {
+	if p == 0 || int(p) >= isa.NumPR {
+		return 0, false
+	}
+	return Var(prBase + int(p)), true
+}
+
+// GR reports the general register a Var denotes, if it is one.
+func (v Var) GR() (isa.Reg, bool) {
+	if int(v) < frBase {
+		return isa.Reg(v), true
+	}
+	return 0, false
+}
+
+// PR reports the predicate register a Var denotes, if it is one.
+func (v Var) PR() (isa.PReg, bool) {
+	if int(v) >= prBase && int(v) < NumVars {
+		return isa.PReg(int(v) - prBase), true
+	}
+	return 0, false
+}
+
+func (v Var) String() string {
+	switch {
+	case int(v) < frBase:
+		return fmt.Sprintf("r%d", int(v))
+	case int(v) < prBase:
+		return fmt.Sprintf("f%d", int(v)-frBase)
+	case int(v) < NumVars:
+		return fmt.Sprintf("p%d", int(v)-prBase)
+	}
+	return fmt.Sprintf("var(%d)", int(v))
+}
+
+// VarSet is a fixed-size bitset over the dataflow variable space. The zero
+// value is the empty set, and sets compare with ==.
+type VarSet [(NumVars + 63) / 64]uint64
+
+// Add inserts v.
+func (s *VarSet) Add(v Var) { s[v>>6] |= 1 << (v & 63) }
+
+// Remove deletes v.
+func (s *VarSet) Remove(v Var) { s[v>>6] &^= 1 << (v & 63) }
+
+// Has reports membership of v.
+func (s VarSet) Has(v Var) bool { return s[v>>6]&(1<<(v&63)) != 0 }
+
+// Or unions o into s.
+func (s *VarSet) Or(o VarSet) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// Empty reports whether the set has no members.
+func (s VarSet) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every member in increasing Var order.
+func (s VarSet) ForEach(fn func(Var)) {
+	for i, w := range s {
+		for w != 0 {
+			b := w & -w
+			var bit int
+			for m := b; m > 1; m >>= 1 {
+				bit++
+			}
+			fn(Var(i*64 + bit))
+			w &^= b
+		}
+	}
+}
+
+// AllVars is the set of every dataflow variable — the maximally
+// conservative liveness boundary for an exit whose continuation is unknown.
+func AllVars() VarSet {
+	var s VarSet
+	for v := 0; v < NumVars; v++ {
+		if v == grBase || v == frBase || v == prBase {
+			continue // hardwired r0/f0/p0 are not variables
+		}
+		s.Add(Var(v))
+	}
+	// grBase+0 etc. were skipped above; r0/f0/p0 never enter the space
+	// through GRVar/FRVar/PRVar either, so the set is consistent.
+	return s
+}
+
+// InstUses appends the dataflow variables read by in: general and floating
+// source registers plus the qualifying predicate.
+func InstUses(in *isa.Inst, dst []Var) []Var {
+	var gr [4]isa.Reg
+	for _, r := range in.RegUses(gr[:0]) {
+		if v, ok := GRVar(r); ok {
+			dst = append(dst, v)
+		}
+	}
+	var fr [4]isa.FReg
+	for _, f := range in.FRegUses(fr[:0]) {
+		if v, ok := FRVar(f); ok {
+			dst = append(dst, v)
+		}
+	}
+	if v, ok := PRVar(in.QP); ok {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// InstDefs appends the dataflow variables written by in: the integer
+// result, a post-increment base, the floating result, and a compare's
+// predicate pair. Whether the defs are conditional is a property of the
+// whole instruction — see MayDef.
+func InstDefs(in *isa.Inst, dst []Var) []Var {
+	if r, ok := in.RegDef(); ok {
+		if v, ok2 := GRVar(r); ok2 {
+			dst = append(dst, v)
+		}
+	}
+	if r, ok := in.PostIncDef(); ok {
+		if v, ok2 := GRVar(r); ok2 {
+			dst = append(dst, v)
+		}
+	}
+	if f, ok := in.FRegDef(); ok {
+		if v, ok2 := FRVar(f); ok2 {
+			dst = append(dst, v)
+		}
+	}
+	if in.Op == isa.OpCmp || in.Op == isa.OpCmpI {
+		if v, ok := PRVar(in.P1); ok {
+			dst = append(dst, v)
+		}
+		if v, ok := PRVar(in.P2); ok {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// MayDef reports whether in's definitions are conditional: a qualifying
+// predicate other than the hardwired p0 makes every def a may-def, which
+// generates but does not kill.
+func MayDef(in *isa.Inst) bool { return in.QP != 0 }
+
+// LiveOpts configures a liveness solve.
+type LiveOpts struct {
+	// Include, when non-nil, restricts the transfer functions to the
+	// instructions it accepts; excluded positions are treated as nops.
+	// The patch verifier uses this to compute the liveness of the
+	// *original* program over a trace that already contains injected
+	// instructions.
+	Include func(pos int) bool
+	// Boundary, when non-nil, supplies the live-out set of an exit edge.
+	// Nil means every exit conservatively keeps all variables live.
+	Boundary func(e ExitEdge) VarSet
+}
+
+// Liveness holds per-block live-in/live-out sets of a backward bit-vector
+// solve: a variable is live when some path reaches a read of it before any
+// unconditional write.
+type Liveness struct {
+	c    *CFG
+	opts LiveOpts
+	In   []VarSet // live at block entry
+	Out  []VarSet // live at block exit
+	// Iterations counts fixpoint rounds, exposed for termination tests.
+	Iterations int
+}
+
+// Liveness runs the backward liveness solver to fixpoint.
+func (c *CFG) Liveness(opts LiveOpts) *Liveness {
+	lv := &Liveness{
+		c: c, opts: opts,
+		In:  make([]VarSet, len(c.Blocks)),
+		Out: make([]VarSet, len(c.Blocks)),
+	}
+	all := AllVars()
+	boundary := func(e ExitEdge) VarSet {
+		if opts.Boundary != nil {
+			return opts.Boundary(e)
+		}
+		return all
+	}
+	for changed := true; changed; {
+		changed = false
+		lv.Iterations++
+		// Postorder (reverse RPO) converges fastest for a backward
+		// problem: successors are visited before their predecessors.
+		for i := len(c.RPO) - 1; i >= 0; i-- {
+			id := c.RPO[i]
+			b := c.Blocks[id]
+			var out VarSet
+			for _, s := range b.Succs {
+				out.Or(lv.In[s])
+			}
+			for _, e := range b.Exits {
+				out.Or(boundary(e))
+			}
+			lv.Out[id] = out
+			in := lv.transfer(b, b.Start, out)
+			if in != lv.In[id] {
+				lv.In[id] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// transfer applies the backward transfer functions of block b from its last
+// instruction down to (and including) position stop, starting from the
+// given live-out set. Predicated defs are may-defs: they do not kill.
+func (lv *Liveness) transfer(b *Block, stop int, out VarSet) VarSet {
+	live := out
+	var defs, uses [8]Var
+	for pos := b.End - 1; pos >= stop; pos-- {
+		if lv.opts.Include != nil && !lv.opts.Include(pos) {
+			continue
+		}
+		in := lv.c.Inst(pos)
+		if in.Op == isa.OpNop {
+			continue
+		}
+		if !MayDef(in) {
+			for _, d := range InstDefs(in, defs[:0]) {
+				live.Remove(d)
+			}
+		}
+		for _, u := range InstUses(in, uses[:0]) {
+			live.Add(u)
+		}
+	}
+	return live
+}
+
+// LiveBefore reports the live set at the program point immediately before
+// position pos executes. When pos is excluded by Include, this is exactly
+// the liveness of the surrounding (included) program at that point.
+func (lv *Liveness) LiveBefore(pos int) VarSet {
+	b := lv.c.BlockOf(pos)
+	if b == nil {
+		return VarSet{}
+	}
+	return lv.transfer(b, pos, lv.Out[b.ID])
+}
+
+// DefSite is one definition site for the reaching-definitions solver.
+type DefSite struct {
+	Pos int  // slot position of the defining instruction
+	Var Var  // variable defined
+	May bool // predicated: generates without killing
+}
+
+// ReachingDefs holds the def-site bitsets of a forward reaching-definitions
+// solve. A site reaches a point when some path from the site arrives
+// without an intervening unconditional redefinition of its variable.
+type ReachingDefs struct {
+	c     *CFG
+	Sites []DefSite
+	// Iterations counts fixpoint rounds, exposed for termination tests.
+	Iterations int
+
+	siteAt [][]int32     // per position: indices into Sites
+	byVar  map[Var][]int // per variable: indices into Sites
+	in     []defBits     // per block
+}
+
+type defBits []uint64
+
+func (d defBits) has(i int) bool { return d[i>>6]&(1<<(i&63)) != 0 }
+func (d defBits) set(i int)      { d[i>>6] |= 1 << (i & 63) }
+func (d defBits) clear(i int)    { d[i>>6] &^= 1 << (i & 63) }
+
+// ReachingDefs runs the forward reaching-definitions solver to fixpoint.
+func (c *CFG) ReachingDefs() *ReachingDefs {
+	rd := &ReachingDefs{c: c, byVar: map[Var][]int{}}
+	n := c.NumSlots()
+	rd.siteAt = make([][]int32, n)
+	var defs [8]Var
+	for pos := 0; pos < n; pos++ {
+		in := c.Inst(pos)
+		if in.Op == isa.OpNop {
+			continue
+		}
+		for _, v := range InstDefs(in, defs[:0]) {
+			idx := len(rd.Sites)
+			rd.Sites = append(rd.Sites, DefSite{Pos: pos, Var: v, May: MayDef(in)})
+			rd.siteAt[pos] = append(rd.siteAt[pos], int32(idx))
+			rd.byVar[v] = append(rd.byVar[v], idx)
+		}
+	}
+	words := (len(rd.Sites) + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	rd.in = make([]defBits, len(c.Blocks))
+	out := make([]defBits, len(c.Blocks))
+	for i := range rd.in {
+		rd.in[i] = make(defBits, words)
+		out[i] = make(defBits, words)
+	}
+	scratch := make(defBits, words)
+	for changed := true; changed; {
+		changed = false
+		rd.Iterations++
+		for _, id := range c.RPO {
+			b := c.Blocks[id]
+			in := rd.in[id]
+			for i := range in {
+				in[i] = 0
+			}
+			for _, p := range b.Preds {
+				for i := range in {
+					in[i] |= out[p][i]
+				}
+			}
+			copy(scratch, in)
+			rd.transfer(b, b.End, scratch)
+			for i := range scratch {
+				if scratch[i] != out[id][i] {
+					copy(out[id], scratch)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return rd
+}
+
+// transfer applies block b's forward transfer from its start up to (but not
+// including) position stop, mutating bits in place.
+func (rd *ReachingDefs) transfer(b *Block, stop int, bits defBits) {
+	for pos := b.Start; pos < b.End && pos < stop; pos++ {
+		for _, idx := range rd.siteAt[pos] {
+			s := rd.Sites[idx]
+			if !s.May {
+				for _, other := range rd.byVar[s.Var] {
+					bits.clear(other)
+				}
+			}
+			bits.set(int(idx))
+		}
+	}
+}
+
+// ReachingBefore returns the indices into Sites of the definitions of v
+// that reach the program point immediately before pos. An empty result
+// means every reaching definition of v is outside the analyzed region.
+func (rd *ReachingDefs) ReachingBefore(pos int, v Var) []int {
+	b := rd.c.BlockOf(pos)
+	if b == nil {
+		return nil
+	}
+	bits := make(defBits, len(rd.in[b.ID]))
+	copy(bits, rd.in[b.ID])
+	rd.transfer(b, pos, bits)
+	var out []int
+	for _, idx := range rd.byVar[v] {
+		if bits.has(idx) {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// AssignState is the definite-assignment lattice for one tracked variable:
+//
+//	Assigned           — written on every path (top)
+//	AssignedIf         — written on every path, but only under a predicate
+//	Unassigned         — some path reaches here with no write (bottom)
+//
+// The meet is pairwise: Assigned ⊓ x = x; AssignedIf(q) ⊓ AssignedIf(q) =
+// AssignedIf(q); mixed predicates or Unassigned collapse to Unassigned.
+type AssignState uint8
+
+const (
+	Unassigned AssignState = iota
+	AssignedIf
+	Assigned
+)
+
+// AssignVal is one lattice value; Pred is meaningful only for AssignedIf.
+type AssignVal struct {
+	State AssignState
+	Pred  isa.PReg
+}
+
+func meetAssign(a, b AssignVal) AssignVal {
+	if a.State == Assigned {
+		return b
+	}
+	if b.State == Assigned {
+		return a
+	}
+	if a.State == AssignedIf && b.State == AssignedIf && a.Pred == b.Pred {
+		return a
+	}
+	return AssignVal{State: Unassigned}
+}
+
+// DefiniteAssign holds a forward must-analysis over a small set of tracked
+// variables, answering "is v certainly written before this point, and under
+// which predicate?". The patch verifier tracks the reserved registers: a
+// read of r27-r30/p6 by injected code is legal only when an injected write
+// dominates it (modulo matching qualifying predicates).
+type DefiniteAssign struct {
+	c    *CFG
+	vars []Var
+	idx  map[Var]int
+	In   [][]AssignVal // per block, per tracked var
+	// Iterations counts fixpoint rounds, exposed for termination tests.
+	Iterations int
+}
+
+// DefiniteAssign runs the forward must-solve over the tracked vars.
+func (c *CFG) DefiniteAssign(vars []Var) *DefiniteAssign {
+	da := &DefiniteAssign{c: c, vars: vars, idx: map[Var]int{}}
+	for i, v := range vars {
+		da.idx[v] = i
+	}
+	da.In = make([][]AssignVal, len(c.Blocks))
+	out := make([][]AssignVal, len(c.Blocks))
+	top := AssignVal{State: Assigned}
+	for i := range da.In {
+		da.In[i] = make([]AssignVal, len(vars))
+		out[i] = make([]AssignVal, len(vars))
+		for j := range out[i] {
+			// Top everywhere but the entry, so the meet over
+			// not-yet-visited back edges starts optimistic.
+			out[i][j] = top
+			da.In[i][j] = top
+		}
+	}
+	if len(c.RPO) == 0 {
+		return da
+	}
+	entry := c.RPO[0]
+	scratch := make([]AssignVal, len(vars))
+	for changed := true; changed; {
+		changed = false
+		da.Iterations++
+		for _, id := range c.RPO {
+			b := c.Blocks[id]
+			in := da.In[id]
+			if id == entry && len(b.Preds) == 0 {
+				for j := range in {
+					in[j] = AssignVal{State: Unassigned}
+				}
+			} else {
+				first := true
+				for _, p := range b.Preds {
+					if first {
+						copy(in, out[p])
+						first = false
+						continue
+					}
+					for j := range in {
+						in[j] = meetAssign(in[j], out[p][j])
+					}
+				}
+				if id == entry {
+					// The entry can have predecessors (a loop
+					// header): nothing is assigned on the path
+					// from outside.
+					for j := range in {
+						in[j] = meetAssign(in[j], AssignVal{State: Unassigned})
+					}
+				}
+			}
+			copy(scratch, in)
+			da.transfer(b, b.End, scratch)
+			for j := range scratch {
+				if scratch[j] != out[id][j] {
+					copy(out[id], scratch)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return da
+}
+
+// transfer applies block b's must-assignment transfer from its start up to
+// (but not including) stop.
+func (da *DefiniteAssign) transfer(b *Block, stop int, vals []AssignVal) {
+	var defs [8]Var
+	for pos := b.Start; pos < b.End && pos < stop; pos++ {
+		in := da.c.Inst(pos)
+		if in.Op == isa.OpNop {
+			continue
+		}
+		for _, d := range InstDefs(in, defs[:0]) {
+			// Redefining a predicate invalidates any assignment that
+			// was conditional on its old value.
+			if p, isPR := d.PR(); isPR {
+				for j, v := range vals {
+					if v.State == AssignedIf && v.Pred == p {
+						vals[j] = AssignVal{State: Unassigned}
+					}
+				}
+			}
+			j, tracked := da.idx[d]
+			if !tracked {
+				continue
+			}
+			if !MayDef(in) {
+				vals[j] = AssignVal{State: Assigned}
+			} else if vals[j].State == Unassigned {
+				vals[j] = AssignVal{State: AssignedIf, Pred: in.QP}
+			}
+		}
+	}
+}
+
+// At reports the assignment state of v immediately before position pos.
+// Untracked variables report Unassigned.
+func (da *DefiniteAssign) At(pos int, v Var) AssignVal {
+	j, tracked := da.idx[v]
+	if !tracked {
+		return AssignVal{State: Unassigned}
+	}
+	b := da.c.BlockOf(pos)
+	if b == nil {
+		return AssignVal{State: Unassigned}
+	}
+	vals := make([]AssignVal, len(da.vars))
+	copy(vals, da.In[b.ID])
+	da.transfer(b, pos, vals)
+	return vals[j]
+}

@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Finding rule names produced by AnalyzeSegment.
+const (
+	FindingUnreachable   = "unreachable-bundle"
+	FindingDeadLfetch    = "dead-lfetch"
+	FindingNeverLoadedPF = "never-loaded-prefetch"
+)
+
+// Finding is one static-analysis diagnostic over a segment.
+type Finding struct {
+	Rule   string
+	Addr   uint64 // PC of the offending instruction or bundle
+	Detail string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s @0x%x: %s", f.Rule, f.Addr, f.Detail)
+}
+
+// LoopReport summarizes one natural loop of a segment.
+type LoopReport struct {
+	Header   uint64 // bundle address of the loop header
+	Blocks   int    // basic blocks in the loop
+	Insts    int    // non-nop instructions (simple loops only)
+	Simple   bool   // single-cycle body, straightened and classified
+	LiveIn   []Var  // variables live entering the header (original code)
+	Loads    []LoadClass
+	Lfetches []LoadClass // lfetch address lineages, classified like loads
+}
+
+// Result is the full static analysis of one code segment.
+type Result struct {
+	Segment  *program.Segment
+	CFG      *CFG
+	Dom      *DomTree
+	Loops    []*Loop
+	Live     *Liveness
+	Reports  []LoopReport
+	Findings []Finding
+}
+
+// AnalyzeSegment builds the CFG, dominators, loops, liveness and per-loop
+// load classifications of a segment, and derives findings: bundles no path
+// reaches, lfetches that prefetch the same line every iteration, and
+// lfetches whose address lineage matches no load in the loop.
+func AnalyzeSegment(seg *program.Segment) *Result {
+	c := Build(SegmentInput(seg))
+	d := c.Dominators()
+	loops := c.NaturalLoops(d)
+	live := c.Liveness(LiveOpts{})
+	res := &Result{Segment: seg, CFG: c, Dom: d, Loops: loops, Live: live}
+
+	for _, bi := range c.UnreachableBundles() {
+		res.Findings = append(res.Findings, Finding{
+			Rule:   FindingUnreachable,
+			Addr:   c.BundlePC(bi),
+			Detail: fmt.Sprintf("bundle %s is unreachable from the segment entry", c.Bundles[bi]),
+		})
+	}
+
+	for _, l := range loops {
+		rep := LoopReport{Header: c.BundlePC(c.Blocks[l.Header].Start / SlotsPerBundle), Blocks: len(l.Blocks)}
+		var liveIn []Var
+		live.In[l.Header].ForEach(func(v Var) { liveIn = append(liveIn, v) })
+		rep.LiveIn = liveIn
+
+		body, ok := c.LoopBody(l)
+		if ok {
+			rep.Simple = true
+			rep.Insts = body.Len()
+			for _, i := range body.LoadIndices() {
+				rep.Loads = append(rep.Loads, body.Classify(i))
+			}
+			for i := 0; i < body.Len(); i++ {
+				in, pos := body.At(i)
+				if in.Op != isa.OpLfetch {
+					continue
+				}
+				lc := body.Classify(i)
+				rep.Lfetches = append(rep.Lfetches, lc)
+				res.Findings = append(res.Findings, checkLfetch(c, l, body, i, pos, lc, rep.Loads)...)
+			}
+		}
+		res.Reports = append(res.Reports, rep)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return res.Findings[i].Addr < res.Findings[j].Addr })
+	return res
+}
+
+// checkLfetch derives the prefetch findings for one in-loop lfetch.
+func checkLfetch(c *CFG, l *Loop, body *LoopBody, i, pos int, lc LoadClass, loads []LoadClass) []Finding {
+	in, _ := body.At(i)
+	var out []Finding
+
+	// Dead lfetch: the address register never advances inside the loop,
+	// so every iteration prefetches the same line again.
+	if in.PostInc == 0 && !loopDefines(c, l, in.R3) {
+		out = append(out, Finding{
+			Rule:   FindingDeadLfetch,
+			Addr:   c.PC(pos),
+			Detail: fmt.Sprintf("lfetch [r%d] address never advances in the loop; it re-prefetches one line every iteration", in.R3),
+		})
+	}
+
+	// Never-loaded prefetch: the lfetch walks a strided sequence that no
+	// load in the loop walks — the prefetched lines are never consumed.
+	// Indirect/pointer lineages are not compared; their address streams
+	// are data-dependent and can legitimately run ahead of the loads.
+	if lc.Verdict == VerdictStrided {
+		matched := false
+		for _, ld := range loads {
+			switch ld.Verdict {
+			case VerdictStrided:
+				if ld.Stride == lc.Stride {
+					matched = true
+				}
+			case VerdictIndirect:
+				if ld.FeederStride == lc.Stride {
+					matched = true
+				}
+			case VerdictPointer, VerdictUnknown:
+				// Cannot rule out a match statically; stay quiet.
+				matched = true
+			}
+		}
+		if len(loads) == 0 {
+			matched = false
+		}
+		if !matched {
+			out = append(out, Finding{
+				Rule:   FindingNeverLoadedPF,
+				Addr:   c.PC(pos),
+				Detail: fmt.Sprintf("lfetch strides by %d but no load in the loop walks that sequence", lc.Stride),
+			})
+		}
+	}
+	return out
+}
+
+// loopDefines reports whether any instruction inside loop l writes r.
+func loopDefines(c *CFG, l *Loop, r isa.Reg) bool {
+	if r == 0 {
+		return false
+	}
+	for _, id := range l.Blocks {
+		b := c.Blocks[id]
+		for p := b.Start; p < b.End; p++ {
+			if bodyDefines(c.Inst(p), r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Fprint writes a human-readable report: segment summary, per-loop CFG,
+// liveness and classification lines, then the findings.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "segment %s: base 0x%x, %d bundles, %d blocks, %d loops\n",
+		r.Segment.Name, r.Segment.Base, len(r.CFG.Bundles), len(r.CFG.Blocks), len(r.Loops))
+	for i, rep := range r.Reports {
+		fmt.Fprintf(w, "  loop %d @0x%x: %d blocks", i, rep.Header, rep.Blocks)
+		if !rep.Simple {
+			fmt.Fprintf(w, ", multi-path (not classified)\n")
+			continue
+		}
+		fmt.Fprintf(w, ", %d insts, live-in {%s}\n", rep.Insts, varList(rep.LiveIn, 8))
+		for _, lc := range rep.Loads {
+			fmt.Fprintf(w, "    load  %s\n", classLine(lc))
+		}
+		for _, lc := range rep.Lfetches {
+			fmt.Fprintf(w, "    lfetch %s\n", classLine(lc))
+		}
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "  finding: %s\n", f)
+	}
+}
+
+func classLine(lc LoadClass) string {
+	switch lc.Verdict {
+	case VerdictStrided:
+		return fmt.Sprintf("[r%d] %s stride %d", lc.AddrReg, lc.Verdict, lc.Stride)
+	case VerdictIndirect:
+		return fmt.Sprintf("[r%d] %s feeder [r%d] stride %d", lc.AddrReg, lc.Verdict, lc.FeederAddrReg, lc.FeederStride)
+	case VerdictPointer:
+		return fmt.Sprintf("[r%d] %s via r%d", lc.AddrReg, lc.Verdict, lc.InductionReg)
+	}
+	return fmt.Sprintf("[r%d] %s", lc.AddrReg, lc.Verdict)
+}
+
+func varList(vars []Var, max int) string {
+	var parts []string
+	for i, v := range vars {
+		if i == max {
+			parts = append(parts, fmt.Sprintf("+%d more", len(vars)-max))
+			break
+		}
+		parts = append(parts, v.String())
+	}
+	return strings.Join(parts, " ")
+}

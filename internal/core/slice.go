@@ -301,3 +301,19 @@ func (b *body) chainClassify(pos int, rA isa.Reg, def *flatInst, accDelta int64,
 	}
 	return res
 }
+
+// ClassifyLoad runs the dependence slicer on the load at the given trace
+// coordinates, exactly as the optimizer does before emitting prefetches.
+// It exposes the classification step on its own so the static classifier
+// in internal/analysis can be differentially checked against it: on a
+// pristine loop trace whose bundles equal a straightened natural loop, the
+// two must produce the same verdict for every load. Reports false when the
+// coordinates do not name a load.
+func ClassifyLoad(t *Trace, bundle, slot int) (Analysis, bool) {
+	b := flatten(t)
+	pos := b.find(bundle, slot)
+	if pos < 0 || !isa.IsLoad(b.insts[pos].in.Op) {
+		return Analysis{}, false
+	}
+	return b.classify(pos), true
+}

@@ -90,7 +90,9 @@ type accounting struct {
 
 // SetImage attaches compiler loop metadata so accounting splits per loop.
 // Without an image the whole-core stack is still maintained. No-op unless
-// Config.Accounting is set.
+// Config.Accounting is set. Setup-time, not per-cycle.
+//
+//adore:coldpath
 func (c *CPU) SetImage(img *program.Image) {
 	if !c.cfg.Accounting {
 		return
@@ -116,6 +118,10 @@ func (c *CPU) resetAccounting() {
 }
 
 // loopStack returns (creating on first use) the counters of one loop ID.
+// Called on loop transitions, not per cycle; the allocation happens once
+// per distinct loop ID over the whole run.
+//
+//adore:coldpath
 func (a *accounting) loopStack(id int) *[5]uint64 {
 	ls := a.loops[id]
 	if ls == nil {
@@ -143,7 +149,9 @@ func (c *CPU) Accounting() (CPIStack, bool) {
 
 // LoopAccounting returns a copy of the per-loop CPI stacks (key -1 is time
 // outside every static loop, including installed traces). Nil without an
-// attached image.
+// attached image. Read-out path (per profile window), not per-cycle.
+//
+//adore:coldpath
 func (c *CPU) LoopAccounting() map[int]CPIStack {
 	if c.acct.loops == nil {
 		return nil
@@ -163,7 +171,9 @@ func (c *CPU) LoopAccounting() map[int]CPIStack {
 }
 
 // LoopIDs returns the loop IDs with accounted time, sorted — the
-// deterministic iteration order event emission needs.
+// deterministic iteration order event emission needs. Read-out path.
+//
+//adore:coldpath
 func (c *CPU) LoopIDs() []int {
 	if c.acct.loops == nil {
 		return nil

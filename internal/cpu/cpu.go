@@ -204,7 +204,9 @@ func (c *CPU) Now() uint64 { return c.cycle }
 func (c *CPU) Halted() bool { return c.halted }
 
 // AddPollHook registers fn to run every interval cycles, at bundle
-// boundaries.
+// boundaries. Called during setup, before the run loop starts.
+//
+//adore:coldpath
 func (c *CPU) AddPollHook(interval uint64, fn PollHook) {
 	next := c.cycle + interval
 	c.hooks = append(c.hooks, pollEntry{interval: interval, next: next, fn: fn})

@@ -54,7 +54,10 @@ func (c *CPU) attachCode(code *program.CodeSpace) {
 	code.OnChange(c.onCodeChange)
 }
 
-// add predecodes one segment into a new slab.
+// add predecodes one segment into a new slab. Runs once per segment
+// registration or patch, never per fetched bundle.
+//
+//adore:coldpath
 func (p *predecode) add(seg *program.Segment) *codeSlab {
 	s := &codeSlab{
 		base:    seg.Base,

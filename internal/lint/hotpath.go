@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// HotPathFiles lists the run-loop files held to the zero-allocation rule,
+// relative to the module root. These are the files the per-cycle and
+// per-access paths of the simulator live in; a stray allocation or
+// time.Now here costs every simulated bundle. memdiff.go is deliberately
+// absent — it is a debugging aid, never on the run path.
+var HotPathFiles = []string{
+	"internal/cpu/accounting.go",
+	"internal/cpu/arch.go",
+	"internal/cpu/cpu.go",
+	"internal/cpu/predecode.go",
+	"internal/memsys/cache.go",
+	"internal/memsys/hierarchy.go",
+	"internal/memsys/memory.go",
+}
+
+// coldDirective marks a function as off the per-cycle path, exempting it
+// from the hotpath check. Put it in the function's doc comment.
+const coldDirective = "//adore:coldpath"
+
+// HotPath checks one file for per-step allocation hazards: calls to the
+// allocating builtins (make, new, append), address-taken composite
+// literals, closures, goroutine launches, and calls to time.Now or any
+// fmt function. Functions named New* or String and functions whose doc
+// comment carries //adore:coldpath are exempt; so are files that are not
+// Go source.
+func HotPath(path string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var fs []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || hotPathExempt(fn) {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if msg := hotPathHazard(n); msg != "" {
+				fs = append(fs, Finding{
+					Pos:   fset.Position(n.Pos()),
+					Check: "hotpath",
+					Msg:   msg + " in hot-path function " + fn.Name.Name,
+				})
+			}
+			return true
+		})
+	}
+	return fs, nil
+}
+
+// hotPathExempt reports whether fn is outside the zero-allocation rule:
+// a constructor, a Stringer, or explicitly marked cold.
+func hotPathExempt(fn *ast.FuncDecl) bool {
+	if strings.HasPrefix(fn.Name.Name, "New") || fn.Name.Name == "String" {
+		return true
+	}
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == coldDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// hotPathHazard classifies one AST node as an allocation or timing
+// hazard, returning a diagnostic message or "".
+func hotPathHazard(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		switch fun := n.Fun.(type) {
+		case *ast.Ident:
+			switch fun.Name {
+			case "make", "new", "append":
+				return "calls allocating builtin " + fun.Name
+			}
+		case *ast.SelectorExpr:
+			pkg, ok := fun.X.(*ast.Ident)
+			if !ok {
+				return ""
+			}
+			if pkg.Name == "time" && fun.Sel.Name == "Now" {
+				return "calls time.Now (wall-clock read per step)"
+			}
+			// fmt.Errorf is allowed: the run loop constructs an error
+			// only on paths that terminate the simulation.
+			if pkg.Name == "fmt" && fun.Sel.Name != "Errorf" {
+				return "calls fmt." + fun.Sel.Name + " (formats and allocates)"
+			}
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				return "heap-allocates &composite literal"
+			}
+		}
+	case *ast.FuncLit:
+		return "creates a closure (captured variables escape)"
+	case *ast.GoStmt:
+		return "launches a goroutine"
+	}
+	return ""
+}

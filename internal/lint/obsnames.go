@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// ObsNames checks that every Kind* constant declared in the given file
+// (internal/obs/obs.go) has an entry in its kindNames table. A missing
+// entry is invisible at compile time — the sparse composite literal just
+// leaves a "" hole, or the array silently stops short — and every event
+// of that kind then prints as "Kind?" in logs and traces.
+func ObsNames(path string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// All top-level constants named Kind<Something>.
+	type constDecl struct {
+		name string
+		pos  token.Pos
+	}
+	var kinds []constDecl
+	named := map[string]bool{} // keys present in kindNames
+	tableFound := false
+
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.CONST:
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, id := range vs.Names {
+					if strings.HasPrefix(id.Name, "Kind") && len(id.Name) > len("Kind") {
+						kinds = append(kinds, constDecl{id.Name, id.Pos()})
+					}
+				}
+			}
+		case token.VAR:
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for i, id := range vs.Names {
+					if id.Name != "kindNames" || i >= len(vs.Values) {
+						continue
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					tableFound = true
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							named[key.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	var fs []Finding
+	if !tableFound {
+		fs = append(fs, Finding{
+			Pos:   fset.Position(file.Pos()),
+			Check: "obsnames",
+			Msg:   "kindNames table not found (expected a keyed composite literal)",
+		})
+		return fs, nil
+	}
+	for _, k := range kinds {
+		if !named[k.name] {
+			fs = append(fs, Finding{
+				Pos:   fset.Position(k.pos),
+				Check: "obsnames",
+				Msg:   "constant " + k.name + " has no kindNames entry; its events print as \"Kind?\"",
+			})
+		}
+	}
+	return fs, nil
+}

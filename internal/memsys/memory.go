@@ -65,7 +65,10 @@ func (m *Memory) pageFor(addr uint64, create bool) *page {
 }
 
 // pageSlow consults (and on a create miss, grows) the page map, refilling
-// the translation cache.
+// the translation cache. The per-access fast path is pageFor; the
+// allocation here runs once per 4 KiB of footprint, on first touch.
+//
+//adore:coldpath
 func (m *Memory) pageSlow(idx uint64, create bool) *page {
 	p := m.pages[idx]
 	if p == nil {

@@ -1,0 +1,161 @@
+package progfuzz_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/progfuzz"
+	"repro/internal/program"
+)
+
+// flattenBundles lists the non-nop instructions of a bundle sequence in
+// execution order — the common flattened shape of the runtime slicer and
+// the static classifier.
+func flattenBundles(bs []isa.Bundle) []isa.Inst {
+	var out []isa.Inst
+	for _, b := range bs {
+		for _, in := range b.Slots {
+			if in.Op != isa.OpNop {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// FuzzAnalysis is the static-analysis robustness and differential target:
+// bytes → a constrained random program → AnalyzeSegment must not panic,
+// its result must be identical after an image encode/decode round trip
+// (decoding preserves bundle order, so analysis must too), and on every
+// simple loop the static classifier must agree with the runtime slicer
+// run on a trace made of the same bundles.
+func FuzzAnalysis(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	seed := make([]byte, 160)
+	for i := range seed {
+		seed[i] = byte(i*37 + 11)
+	}
+	f.Add(seed)
+	hot := make([]byte, 200)
+	for i := range hot {
+		hot[i] = 0xff
+	}
+	f.Add(hot)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := progfuzz.Generate(data)
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		res := analysis.AnalyzeSegment(p.Image.Code) // must not panic
+
+		// Stability under a bundle-order-preserving re-decode: the same
+		// machine code must yield the same reports and findings.
+		var buf bytes.Buffer
+		if err := program.EncodeImage(&buf, p.Image); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		img2, err := program.DecodeImage(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		res2 := analysis.AnalyzeSegment(img2.Code)
+		if !reflect.DeepEqual(res.Reports, res2.Reports) {
+			t.Fatalf("loop reports changed across encode/decode:\n%+v\nvs\n%+v", res.Reports, res2.Reports)
+		}
+		if !reflect.DeepEqual(res.Findings, res2.Findings) {
+			t.Fatalf("findings changed across encode/decode:\n%v\nvs\n%v", res.Findings, res2.Findings)
+		}
+
+		// Differential: on every simple loop, run the runtime slicer over
+		// a trace built from the loop's own bundles and compare verdicts
+		// for every load.
+		seg := p.Image.Code
+		c := res.CFG
+		for _, l := range res.Loops {
+			body, ok := c.LoopBody(l)
+			if !ok {
+				continue
+			}
+			// Collect the loop's bundles in straightened order; a bundle
+			// split across non-adjacent blocks has no single trace shape.
+			var tr core.Trace
+			tr.IsLoop = true
+			last, dup := -1, false
+			seen := map[int]bool{}
+			for i := 0; i < body.Len(); i++ {
+				_, pos := body.At(i)
+				bi := pos / analysis.SlotsPerBundle
+				if bi == last {
+					continue
+				}
+				if seen[bi] {
+					dup = true
+					break
+				}
+				seen[bi] = true
+				last = bi
+				tr.Bundles = append(tr.Bundles, seg.Bundles[bi])
+				tr.Orig = append(tr.Orig, seg.Base+uint64(bi)*isa.BundleBytes)
+			}
+			if dup || len(tr.Bundles) == 0 {
+				continue
+			}
+			tr.Start = tr.Orig[0]
+			tr.BackEdge = len(tr.Bundles) - 1
+			// Only compare when the trace flattens to exactly the body
+			// (an out-of-loop slot sharing a bundle would diverge).
+			flat := flattenBundles(tr.Bundles)
+			if len(flat) != body.Len() {
+				continue
+			}
+			match := true
+			for i := range flat {
+				in, _ := body.At(i)
+				if in != flat[i] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			for _, li := range body.LoadIndices() {
+				_, pos := body.At(li)
+				bi := pos / analysis.SlotsPerBundle
+				ti := -1
+				for i, a := range tr.Orig {
+					if a == seg.Base+uint64(bi)*isa.BundleBytes {
+						ti = i
+					}
+				}
+				an, ok := core.ClassifyLoad(&tr, ti, pos%analysis.SlotsPerBundle)
+				if !ok {
+					t.Fatalf("slicer did not find load at body index %d (pos %d)", li, pos)
+				}
+				lc := body.Classify(li)
+				agree := false
+				switch an.Pattern {
+				case core.PatternDirect:
+					agree = lc.Verdict == analysis.VerdictStrided && lc.Stride == an.Stride
+				case core.PatternIndirect:
+					agree = lc.Verdict == analysis.VerdictIndirect &&
+						lc.FeederStride == an.FeederStride && lc.FeederAddrReg == an.FeederAddrReg
+				case core.PatternPointer:
+					agree = lc.Verdict == analysis.VerdictPointer && lc.InductionReg == an.InductionReg
+				default:
+					agree = lc.Verdict == analysis.VerdictUnknown
+				}
+				if !agree {
+					t.Errorf("loop @%#x load pos %d: runtime slicer %v (stride %d) vs static %v (stride %d)",
+						tr.Start, pos, an.Pattern, an.Stride, lc.Verdict, lc.Stride)
+				}
+			}
+		}
+	})
+}

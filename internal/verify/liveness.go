@@ -1,0 +1,273 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// This file is the dataflow-backed half of the verifier. The original
+// patch-safety check was a pair of linear scans encoding the reserved-
+// register convention (r27-r30/p6 are dead, so injected code may use them);
+// it is now a theorem the analysis engine proves per patch point:
+//
+//   - an injected write is legal iff its target is dead in the *original*
+//     program at that exact point — per-point liveness over the trace CFG,
+//     with exit boundaries refined through Options.Code into the liveness
+//     of the branched-to segment code;
+//   - an injected read of a reserved register is legal iff a definition
+//     reaches it on every path (a definite-assignment must-analysis that
+//     understands qualifying predicates), not merely somewhere earlier in
+//     the bundle list.
+
+// reservedVars lists the dataflow variables of the runtime-reserved
+// registers r27-r30 and p6.
+func reservedVars() []analysis.Var {
+	var vars []analysis.Var
+	for r := isa.ReservedGRFirst; r <= isa.ReservedGRLast; r++ {
+		if v, ok := analysis.GRVar(r); ok {
+			vars = append(vars, v)
+		}
+	}
+	if v, ok := analysis.PRVar(isa.ReservedPR); ok {
+		vars = append(vars, v)
+	}
+	return vars
+}
+
+// conventionalBoundary is the liveness assumed at an exit whose
+// continuation cannot be analyzed: every register may be read downstream
+// except the runtime-reserved set, which the reservation convention keeps
+// dead in compiled code.
+func conventionalBoundary() analysis.VarSet {
+	s := analysis.AllVars()
+	for _, v := range reservedVars() {
+		s.Remove(v)
+	}
+	return s
+}
+
+// traceCFG builds the CFG of a trace as the optimizer left it: the back
+// edge still targets Start (resolved to the loop head bundle, exactly what
+// TracePool.Install retargets it to), every other branch leaves the trace,
+// and falling off the last bundle continues after its original address —
+// where Install's appended exit bundle branches.
+func traceCFG(cur TraceView) *analysis.CFG {
+	head := 0
+	if cur.IsLoop {
+		head = cur.LoopHead
+	}
+	var fallOff uint64
+	if n := len(cur.Bundles); n > 0 {
+		if a := cur.orig(n - 1); a != 0 {
+			fallOff = a + isa.BundleBytes
+		}
+	}
+	return analysis.Build(analysis.Input{
+		Bundles: cur.Bundles,
+		PCOf:    cur.orig,
+		Resolve: func(target uint64) (int, bool) {
+			if target == cur.Start {
+				return head, true
+			}
+			return 0, false
+		},
+		FallOff: fallOff,
+	})
+}
+
+// exitBoundary builds the per-exit live-out oracle for a trace: when the
+// exit target is mapped code (Options.Code), the boundary is the actual
+// liveness of the target segment at that address; otherwise the
+// conventional all-but-reserved set. Segment liveness solves are cached
+// across the exits of one trace.
+func exitBoundary(opt Options, conv analysis.VarSet) func(analysis.ExitEdge) analysis.VarSet {
+	segLive := map[*program.Segment]*analysis.Liveness{}
+	edge := map[analysis.ExitEdge]analysis.VarSet{}
+	return func(e analysis.ExitEdge) analysis.VarSet {
+		if got, ok := edge[e]; ok {
+			return got
+		}
+		out := conv
+		if e.Known && opt.Code != nil && e.Target%isa.BundleBytes == 0 {
+			if seg, ok := opt.Code.SegmentAt(e.Target); ok {
+				lv := segLive[seg]
+				if lv == nil {
+					sc := analysis.Build(analysis.SegmentInput(seg))
+					lv = sc.Liveness(analysis.LiveOpts{
+						Boundary: func(analysis.ExitEdge) analysis.VarSet { return conv },
+					})
+					segLive[seg] = lv
+				}
+				pos := int((e.Target-seg.Base)/isa.BundleBytes) * analysis.SlotsPerBundle
+				out = lv.LiveBefore(pos)
+			}
+		}
+		edge[e] = out
+		return out
+	}
+}
+
+// checkPatchSafety holds every injected instruction to the patch rules:
+// no injected branches, only speculative/non-faulting memory operations,
+// stores and post-increments confined to reserved cursors, writes only to
+// registers the liveness analysis proves dead in the original code at the
+// patch point, and no read of a reserved register without a definition on
+// every path to it.
+func checkPatchSafety(cur TraceView, inj injectedSet, opt Options) []Finding {
+	if len(cur.Bundles) == 0 {
+		return nil
+	}
+	if cur.IsLoop && (cur.BackEdge < 0 || cur.BackEdge >= len(cur.Bundles) ||
+		cur.LoopHead < 0 || cur.LoopHead > cur.BackEdge) {
+		return nil // structural findings already reported by checkTraceBranches
+	}
+	c := traceCFG(cur)
+	conv := conventionalBoundary()
+
+	// Liveness of the ORIGINAL instructions only: injected positions are
+	// transparent, so LiveBefore(pos) at an injected slot is exactly the
+	// original program's liveness at the patch point.
+	lvOrig := c.Liveness(analysis.LiveOpts{
+		Include:  func(pos int) bool { return !inj.at(pos/analysis.SlotsPerBundle, pos%analysis.SlotsPerBundle) },
+		Boundary: exitBoundary(opt, conv),
+	})
+
+	// Definite assignment of the reserved registers over ALL instructions
+	// (original and injected): answers whether a reserved read is
+	// dominated by a write, predicate-aware.
+	da := c.DefiniteAssign(reservedVars())
+
+	// Reserved registers the original code reads before defining are
+	// live-in program state (a build without register reservation): reads
+	// observe the program's own value and are legal, while writes will be
+	// caught by the liveness clobber rule.
+	extern := lvOrig.In[0]
+
+	var fs []Finding
+	var uses []isa.Reg
+	for bi, b := range cur.Bundles {
+		pc := cur.orig(bi)
+		for si, in := range b.Slots {
+			if in.Op == isa.OpNop || !inj.at(bi, si) {
+				continue
+			}
+			pos := bi*analysis.SlotsPerBundle + si
+			add := func(rule Rule, detail string) {
+				fs = append(fs, Finding{Rule: rule, PC: pc, Bundle: bi, Slot: si, Detail: detail})
+			}
+			if isa.IsBranch(in.Op) {
+				add(RuleInjectedOp, fmt.Sprintf("injected %s: runtime patching must not add branches", in.Op))
+			}
+			if isa.IsLoad(in.Op) && in.Op != isa.OpLdS && !in.Spec {
+				add(RuleInjectedOp, fmt.Sprintf("injected %s is not speculative/non-faulting", in.Op))
+			}
+			if isa.IsStore(in.Op) && !reservedGR(in.R3) {
+				add(RuleInjectedOp, fmt.Sprintf("injected %s through non-reserved base r%d", in.Op, in.R3))
+			}
+
+			live := lvOrig.LiveBefore(pos)
+			liveAt := func(v analysis.Var, ok bool) bool { return ok && live.Has(v) }
+			if d, ok := in.RegDef(); ok {
+				switch {
+				case !reservedGR(d):
+					add(RuleClobber, fmt.Sprintf("injected %s writes non-reserved r%d", in.Op, d))
+				case liveAt(analysis.GRVar(d)):
+					add(RuleClobber, fmt.Sprintf("injected %s writes r%d, live in the original trace", in.Op, d))
+				}
+			}
+			if d, ok := in.PostIncDef(); ok {
+				switch {
+				case !reservedGR(d):
+					add(RulePostInc, fmt.Sprintf("injected post-increment mutates non-reserved r%d", d))
+				case liveAt(analysis.GRVar(d)):
+					add(RuleClobber, fmt.Sprintf("injected post-increment writes r%d, live in the original trace", d))
+				}
+			}
+			if f, ok := in.FRegDef(); ok {
+				add(RuleClobber, fmt.Sprintf("injected %s writes floating register f%d", in.Op, f))
+			}
+			ps, n := predDefs(in)
+			for k := 0; k < n; k++ {
+				switch {
+				case ps[k] != isa.ReservedPR:
+					add(RuleClobber, fmt.Sprintf("injected compare writes non-reserved p%d", ps[k]))
+				case liveAt(analysis.PRVar(ps[k])):
+					add(RuleClobber, fmt.Sprintf("injected compare writes p%d, live in the original trace", ps[k]))
+				}
+			}
+
+			assigned := func(v analysis.Var) bool {
+				if extern.Has(v) {
+					return true
+				}
+				st := da.At(pos, v)
+				if st.State == analysis.Assigned {
+					return true
+				}
+				return st.State == analysis.AssignedIf && in.QP == st.Pred
+			}
+			uses = in.RegUses(uses[:0])
+			for _, r := range uses {
+				if !reservedGR(r) {
+					continue
+				}
+				if v, ok := analysis.GRVar(r); ok && !assigned(v) {
+					add(RuleUseBeforeDef, fmt.Sprintf("injected %s reads r%d before any definition", in.Op, r))
+				}
+			}
+			if in.QP == isa.ReservedPR {
+				if v, ok := analysis.PRVar(in.QP); ok && !assigned(v) {
+					add(RuleUseBeforeDef, fmt.Sprintf("injected %s predicated on p%d before any definition", in.Op, in.QP))
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// checkCrossBundleRAW reports advisory cross-bundle RAW hazards: a read
+// whose reaching definition sits in the immediately preceding bundle of
+// the same basic block. The simulated CPU executes slots in order so this
+// is legal here, but on real hardware the pair could share an issue group
+// and would need a stop bit between the bundles. The old advisory rule
+// only saw RAW inside a single bundle; the reaching-definitions solver
+// sees across them.
+func checkCrossBundleRAW(seg *program.Segment) []Finding {
+	c := analysis.Build(analysis.SegmentInput(seg))
+	rd := c.ReachingDefs()
+	var fs []Finding
+	var uses []isa.Reg
+	for pos := 0; pos < c.NumSlots(); pos++ {
+		in := c.Inst(pos)
+		if in.Op == isa.OpNop {
+			continue
+		}
+		bi := pos / analysis.SlotsPerBundle
+		if bi == 0 {
+			continue
+		}
+		blk := c.BlockOf(pos)
+		seen := map[isa.Reg]bool{}
+		uses = in.RegUses(uses[:0])
+		for _, r := range uses {
+			v, ok := analysis.GRVar(r)
+			if !ok || seen[r] {
+				continue
+			}
+			seen[r] = true
+			for _, si := range rd.ReachingBefore(pos, v) {
+				s := rd.Sites[si]
+				if s.Pos/analysis.SlotsPerBundle == bi-1 && c.BlockOf(s.Pos) == blk {
+					fs = append(fs, Finding{Rule: RuleRAWCross, Sev: SevAdvisory,
+						PC: c.BundlePC(bi), Bundle: bi, Slot: pos % analysis.SlotsPerBundle,
+						Detail: fmt.Sprintf("r%d written in the previous bundle reaches this %s (issue-group split on real hardware)", r, in.Op)})
+					break
+				}
+			}
+		}
+	}
+	return fs
+}

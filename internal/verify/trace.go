@@ -48,7 +48,7 @@ func CheckTrace(cur TraceView, baseline *TraceView, opt Options) []Finding {
 	if baseline != nil {
 		inj, diffFs := diffInjected(cur, baseline)
 		fs = append(fs, diffFs...)
-		fs = append(fs, checkPatchSafety(cur, inj)...)
+		fs = append(fs, checkPatchSafety(cur, inj, opt)...)
 		fs = append(fs, checkPrefetchSanity(cur, inj)...)
 	}
 	return fs
@@ -168,136 +168,6 @@ func diffInjected(cur TraceView, baseline *TraceView) (injectedSet, []Finding) {
 
 func (s injectedSet) at(bi, si int) bool {
 	return bi < len(s) && s[bi][si]
-}
-
-// checkPatchSafety holds every injected instruction to the patch rules:
-// writes confined to reserved registers that are dead in the original
-// trace, no injected branches, only speculative/non-faulting memory
-// operations, post-increments only on reserved cursors, and no read of a
-// reserved register before the trace defines it.
-func checkPatchSafety(cur TraceView, inj injectedSet) []Finding {
-	var fs []Finding
-
-	// Live-in of the ORIGINAL instructions: a register they read before
-	// any original definition is program state the patch must preserve.
-	var liveGR, defGR [isa.NumGR]bool
-	var liveP, defP [isa.NumPR]bool
-	var uses []isa.Reg
-	for bi, b := range cur.Bundles {
-		for si, in := range b.Slots {
-			if in.Op == isa.OpNop || inj.at(bi, si) {
-				continue
-			}
-			// Out-of-range register numbers (reported separately by
-			// checkRegRange) are skipped rather than indexed.
-			uses = in.RegUses(uses[:0])
-			for _, r := range uses {
-				if r != 0 && int(r) < isa.NumGR && !defGR[r] {
-					liveGR[r] = true
-				}
-			}
-			if in.QP != 0 && int(in.QP) < isa.NumPR && !defP[in.QP] {
-				liveP[in.QP] = true
-			}
-			if d, ok := in.RegDef(); ok && int(d) < isa.NumGR {
-				defGR[d] = true
-			}
-			if d, ok := in.PostIncDef(); ok && int(d) < isa.NumGR {
-				defGR[d] = true
-			}
-			ps, n := predDefs(in)
-			for k := 0; k < n; k++ {
-				if int(ps[k]) < isa.NumPR {
-					defP[ps[k]] = true
-				}
-			}
-		}
-	}
-
-	// Reserved registers start undefined (the reservation convention says
-	// the program leaves them dead) unless the original trace itself
-	// reads them first — then they are live program state.
-	var okGR [isa.NumGR]bool
-	var okP [isa.NumPR]bool
-	for r := range okGR {
-		okGR[r] = !reservedGR(isa.Reg(r)) || liveGR[r]
-	}
-	for p := range okP {
-		okP[p] = isa.PReg(p) != isa.ReservedPR || liveP[p]
-	}
-
-	for bi, b := range cur.Bundles {
-		pc := cur.orig(bi)
-		for si, in := range b.Slots {
-			if in.Op == isa.OpNop {
-				continue
-			}
-			if inj.at(bi, si) {
-				add := func(rule Rule, detail string) {
-					fs = append(fs, Finding{Rule: rule, PC: pc, Bundle: bi, Slot: si, Detail: detail})
-				}
-				if isa.IsBranch(in.Op) {
-					add(RuleInjectedOp, fmt.Sprintf("injected %s: runtime patching must not add branches", in.Op))
-				}
-				if isa.IsLoad(in.Op) && in.Op != isa.OpLdS && !in.Spec {
-					add(RuleInjectedOp, fmt.Sprintf("injected %s is not speculative/non-faulting", in.Op))
-				}
-				if isa.IsStore(in.Op) && !reservedGR(in.R3) {
-					add(RuleInjectedOp, fmt.Sprintf("injected %s through non-reserved base r%d", in.Op, in.R3))
-				}
-				if d, ok := in.RegDef(); ok {
-					switch {
-					case !reservedGR(d):
-						add(RuleClobber, fmt.Sprintf("injected %s writes non-reserved r%d", in.Op, d))
-					case liveGR[d]:
-						add(RuleClobber, fmt.Sprintf("injected %s writes r%d, live in the original trace", in.Op, d))
-					}
-				}
-				if d, ok := in.PostIncDef(); ok {
-					switch {
-					case !reservedGR(d):
-						add(RulePostInc, fmt.Sprintf("injected post-increment mutates non-reserved r%d", d))
-					case liveGR[d]:
-						add(RuleClobber, fmt.Sprintf("injected post-increment writes r%d, live in the original trace", d))
-					}
-				}
-				if f, ok := in.FRegDef(); ok {
-					add(RuleClobber, fmt.Sprintf("injected %s writes floating register f%d", in.Op, f))
-				}
-				ps, n := predDefs(in)
-				for k := 0; k < n; k++ {
-					switch {
-					case ps[k] != isa.ReservedPR:
-						add(RuleClobber, fmt.Sprintf("injected compare writes non-reserved p%d", ps[k]))
-					case liveP[ps[k]]:
-						add(RuleClobber, fmt.Sprintf("injected compare writes p%d, live in the original trace", ps[k]))
-					}
-				}
-				uses = in.RegUses(uses[:0])
-				for _, r := range uses {
-					if reservedGR(r) && !okGR[r] {
-						add(RuleUseBeforeDef, fmt.Sprintf("injected %s reads r%d before any definition", in.Op, r))
-					}
-				}
-				if in.QP == isa.ReservedPR && !okP[in.QP] {
-					add(RuleUseBeforeDef, fmt.Sprintf("injected %s predicated on p%d before any definition", in.Op, in.QP))
-				}
-			}
-			if d, ok := in.RegDef(); ok && int(d) < isa.NumGR {
-				okGR[d] = true
-			}
-			if d, ok := in.PostIncDef(); ok && int(d) < isa.NumGR {
-				okGR[d] = true
-			}
-			ps, n := predDefs(in)
-			for k := 0; k < n; k++ {
-				if int(ps[k]) < isa.NumPR {
-					okP[ps[k]] = true
-				}
-			}
-		}
-	}
-	return fs
 }
 
 // checkPrefetchSanity validates every injected lfetch. A self-advancing

@@ -11,14 +11,20 @@
 //   - template legality: slot units versus Template.SlotUnits, MLX pairing,
 //     branches only in B slots;
 //   - register dataflow: predicate WAW inside a bundle, advisory RAW inside
-//     a bundle (the interpreter executes slots sequentially, so these are
-//     legal here but would split an issue group on real hardware), and
-//     use-before-def of the runtime-reserved registers on a trace;
+//     a bundle and (via the internal/analysis reaching-definitions solver)
+//     across adjacent bundles of a block — the interpreter executes slots
+//     sequentially, so these are legal here but would split an issue group
+//     on real hardware — and use-before-def of the runtime-reserved
+//     registers on a trace;
 //   - patch safety: runtime-injected code must confine its writes to the
-//     reserved registers r27-r30/p6 and must not touch one that the original
-//     trace reads before defining; injected memory operations are limited to
-//     lfetch, speculative loads and stores through a reserved cursor;
-//     branch targets must stay mapped after cloning;
+//     reserved registers r27-r30/p6, and the internal/analysis liveness
+//     solver must prove the written register dead in the original code at
+//     the exact patch point (the reservation convention is checked, not
+//     assumed); an injected read of a reserved register needs a definition
+//     on every path to it (predicate-aware definite assignment); injected
+//     memory operations are limited to lfetch, speculative loads and stores
+//     through a reserved cursor; branch targets must stay mapped after
+//     cloning;
 //   - prefetch sanity: injected lfetch distances are non-zero, agree in
 //     sign with the stride they chase, and are multiples of it (or of the
 //     64-byte L1D line, which the §3.3 alignment rounds to).
@@ -56,6 +62,12 @@ const (
 	// sequentially, so this is legal here; on real IA-64 it would need a
 	// stop bit. Reported only when Options.Advisory is set.
 	RuleRAWGroup Rule = "raw-in-group"
+	// RuleRAWCross (advisory): a general-register read whose reaching
+	// definition (per the dataflow solver) sits in the immediately
+	// preceding bundle of the same basic block — the pair could share an
+	// issue group on real hardware and would need a stop bit between the
+	// bundles. Reported only when Options.Advisory is set.
+	RuleRAWCross Rule = "raw-cross-bundle"
 	// RuleReservedUse: code compiled under register reservation touches
 	// r27-r30 or p6, which belong to the runtime optimizer.
 	RuleReservedUse Rule = "reserved-use"
@@ -374,6 +386,9 @@ func CheckSegment(seg *program.Segment, opt Options) []Finding {
 		for si, in := range b.Slots {
 			fs = append(fs, checkBranchTarget(pc, i, si, in, seg, opt)...)
 		}
+	}
+	if opt.Advisory {
+		fs = append(fs, checkCrossBundleRAW(seg)...)
 	}
 	return fs
 }

@@ -345,6 +345,79 @@ func TestTraceBackEdgeIntegrity(t *testing.T) {
 	}
 }
 
+// Negative fixture 4 (liveness-only): the injected write lands *between*
+// the original definition of r27 and its original use, so r27 is live at
+// the exact patch point. The old linear scan concluded "defined before
+// read, hence dead" from bundle order alone and accepted this corruption;
+// per-point liveness over the CFG rejects it.
+func TestFixturePerPointLiveClobber(t *testing.T) {
+	mkView := func() verify.TraceView {
+		return verify.TraceView{
+			Start:  0x1000,
+			IsLoop: true, LoopHead: 0, BackEdge: 2,
+			Orig: []uint64{0x1000, 0x1010, 0x1020},
+			Bundles: []isa.Bundle{
+				{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{
+					{Op: isa.OpAddI, R1: 27, Imm: 0, R3: 14}, // r27 = r14 (no-reserve build)
+					isa.Nop, // free M slot between def and use
+					{Op: isa.OpAddI, R1: 10, Imm: -1, R3: 10},
+				}},
+				{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{
+					{Op: isa.OpLd8, R1: 20, R3: 27}, // ...then loads through r27
+					isa.Nop, isa.Nop,
+				}},
+				{Tmpl: isa.TmplMIB, Slots: [3]isa.Inst{
+					{Op: isa.OpCmpI, Rel: isa.CmpLt, P1: 1, P2: 2, Imm: 0, R3: 10},
+					isa.Nop,
+					{Op: isa.OpBrCond, QP: 1, Target: 0x1000},
+				}},
+			},
+		}
+	}
+	base := mkView()
+	cur := mkView()
+	// Re-anchoring r27 here silently moves the original load's address.
+	cur.Bundles[0].Slots[1] = isa.Inst{Op: isa.OpAddI, R1: 27, Imm: 64, R3: 14}
+	wantExactly(t, verify.CheckTrace(cur, &base, verify.Options{}), verify.RuleClobber)
+}
+
+// Negative fixture 5 (definite-assignment-only): the cursor init is
+// predicated on p1 but the lfetch that reads the cursor is unpredicated,
+// so on the p1-false path it prefetches through a register nothing
+// assigned. The old scan treated any textually-earlier definition as
+// covering, predicate or not, and accepted it.
+func TestFixturePredicatedDefUseBeforeDef(t *testing.T) {
+	base := loopView()
+	cur := withPrologue(loopView(), isa.Inst{Op: isa.OpAddI, QP: 1, R1: 27, Imm: 128, R3: 14})
+	cur.Bundles[1].Slots[1] = isa.Inst{Op: isa.OpLfetch, R3: 27, PostInc: 8}
+	wantExactly(t, verify.CheckTrace(cur, &base, verify.Options{}), verify.RuleUseBeforeDef)
+}
+
+// Cross-bundle RAW is invisible to the per-bundle scan; the
+// reaching-definitions solver reports it (advisory, adjacent bundles of
+// one block only).
+func TestRAWCrossBundleAdvisory(t *testing.T) {
+	seg := &program.Segment{Base: 0x1000, Bundles: []isa.Bundle{
+		{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{{Op: isa.OpLd8, R1: 4, R3: 5}, isa.Nop, isa.Nop}},
+		{Tmpl: isa.TmplMMI, Slots: [3]isa.Inst{{Op: isa.OpSt8, R2: 4, R3: 6}, isa.Nop, isa.Nop}},
+	}}
+	if fs := verify.CheckSegment(seg, verify.Options{}); len(fs) != 0 {
+		t.Fatalf("cross-bundle RAW reported without Advisory: %v", fs)
+	}
+	fs := verify.CheckSegment(seg, verify.Options{Advisory: true})
+	wantExactly(t, fs, verify.RuleRAWCross)
+	if fs[0].Sev != verify.SevAdvisory {
+		t.Fatalf("severity = %v, want advisory", fs[0].Sev)
+	}
+
+	// With a full bundle in between the pair no longer shares an issue
+	// group; the rule must stay quiet.
+	seg.Bundles = []isa.Bundle{seg.Bundles[0], isa.NopBundle(), seg.Bundles[1]}
+	if fs := verify.CheckSegment(seg, verify.Options{Advisory: true}); len(fs) != 0 {
+		t.Fatalf("non-adjacent RAW flagged: %v", fs)
+	}
+}
+
 // ---- acceptance: every compiled workload verifies clean ----
 
 func TestAllWorkloadImagesVerifyClean(t *testing.T) {
