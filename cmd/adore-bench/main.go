@@ -5,6 +5,7 @@
 //	adore-bench [-exp fig7a|fig7b|table1|table2|fig8|fig9|fig10|fig11|policymatrix|all] [-scale 1.0] [-j 0] [-json]
 //	adore-bench -bench mcf [-scale 1.0] -trace out.json [-events out.jsonl]
 //	adore-bench ... [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	adore-bench ... [-metrics-addr :8123] [-linger 30s]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison. Sweeps run on the
@@ -16,6 +17,11 @@
 // layer on and exports the recorded event stream: -trace writes a Chrome
 // trace-event file loadable in Perfetto (ui.perfetto.dev), -events a JSONL
 // stream. See DESIGN.md §10.
+//
+// -metrics-addr serves live telemetry while the sweeps run — Prometheus
+// text on /metrics, per-sweep progress JSON on /status, and the Go
+// runtime profiler on /debug/pprof — and -linger keeps the endpoint up
+// after completion for polling scrapers. See DESIGN.md §15.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"repro/cmd/internal/cli"
 	"repro/internal/compiler"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/workloads"
 )
 
@@ -48,6 +55,8 @@ func main() {
 	eventsOut := flag.String("events", "", "observed-run mode: write the event stream as JSONL to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address while running (e.g. :8123)")
+	linger := flag.Duration("linger", 0, "keep the -metrics-addr endpoint up this long after the sweeps finish")
 	flag.Parse()
 
 	// Host profiling of the simulator itself (DESIGN.md §12): profiles are
@@ -76,8 +85,10 @@ func main() {
 		return
 	}
 
+	status := newStatusTracker()
 	var jobsDone atomic.Int64
 	onProgress := func(p harness.Progress) {
+		status.Progress(p)
 		if !*progress {
 			return
 		}
@@ -86,7 +97,14 @@ func main() {
 				jobsDone.Add(1), p.Sweep, p.Job, p.Index+1, p.Total)
 		}
 	}
-	eng := harness.NewEngine(harness.EngineConfig{Parallelism: *jobs, OnProgress: onProgress})
+	var reg *metrics.Registry
+	if *metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		shutdown, err := serveMetrics(*metricsAddr, reg, status, *linger)
+		cli.Fatal(err)
+		defer shutdown()
+	}
+	eng := harness.NewEngine(harness.EngineConfig{Parallelism: *jobs, OnProgress: onProgress, Metrics: reg})
 
 	cfg := harness.DefaultExpConfig()
 	cfg.Scale = *scale
@@ -157,17 +175,20 @@ func main() {
 
 	hits, misses := eng.Cache().Stats()
 	rhits, rmisses := eng.Results().Stats()
+	obsDropped, samplesDropped := reportDrops(eng)
 	if *jsonOut {
 		results["_meta"] = map[string]any{
-			"scale":             *scale,
-			"parallelism":       eng.Parallelism(),
-			"policies":          adore.Policies(),
-			"build_cache_hits":  hits,
-			"build_cache_miss":  misses,
-			"result_cache_hits": rhits,
-			"result_cache_miss": rmisses,
-			"elapsed_seconds":   elapsed,
-			"total_seconds":     time.Since(start).Seconds(),
+			"scale":              *scale,
+			"parallelism":        eng.Parallelism(),
+			"policies":           adore.Policies(),
+			"build_cache_hits":   hits,
+			"build_cache_miss":   misses,
+			"result_cache_hits":  rhits,
+			"result_cache_miss":  rmisses,
+			"obs_events_dropped": obsDropped,
+			"samples_dropped":    samplesDropped,
+			"elapsed_seconds":    elapsed,
+			"total_seconds":      time.Since(start).Seconds(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -209,6 +230,9 @@ func observedRun(ctx context.Context, name string, scale float64, tracePath, eve
 	}
 	if res.Obs != nil {
 		fmt.Printf("events: %d recorded, %d dropped\n", len(res.Obs.Events), res.Obs.Dropped)
+		if res.Obs.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d observability events dropped (ring overwrites); the exported stream is incomplete\n", res.Obs.Dropped)
+		}
 	}
 	pf := res.Mem.Prefetch()
 	fmt.Printf("prefetch: %d issued, %d useful, %d late, %d evicted unused\n",

@@ -6,22 +6,34 @@
 //
 //	adore-profile -bench gcc [-scale 1.0] [-cover 0.98]
 //	adore-profile -bench mcf -timeline
+//	adore-profile -bench mcf -annotate [-adore] [-sample-every 4093]
+//	adore-profile -bench mcf -profile sim.pb.gz   # then: go tool pprof -top sim.pb.gz
 //
 // With -timeline the workload instead runs under ADORE with the
 // observability layer on, and the recorded event stream prints as a
 // per-window text timeline (windows, CPI-stack shares, prefetch deltas,
 // phase/patch events).
+//
+// With -annotate or -profile the workload runs under the simulated-execution
+// profiler (cycle sampling on the simulated clock; DESIGN.md §15):
+// -annotate prints a perf-annotate-style disassembly with per-bundle cycle
+// shares, L2/L3 miss and prefetch-usefulness columns — the fastest answer
+// to "which loads miss" — and -profile writes a gzipped pprof proto that
+// `go tool pprof` reads directly. -adore attaches the optimizer first, so
+// the listing shows the post-patch cost distribution.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
 	"repro"
 	"repro/cmd/internal/cli"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -29,6 +41,10 @@ func main() {
 	name := flag.String("bench", "gcc", "benchmark: "+strings.Join(workloads.Names(), " "))
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	timeline := flag.Bool("timeline", false, "run under ADORE with observability and print the event timeline")
+	annotate := flag.Bool("annotate", false, "run the cycle-sampling profiler and print an annotated disassembly")
+	profileOut := flag.String("profile", "", "run the cycle-sampling profiler and write a pprof proto (gzipped) to this file")
+	sampleEvery := flag.Uint64("sample-every", 4093, "profiler sampling interval in simulated cycles (prefer a prime)")
+	withADORE := flag.Bool("adore", false, "attach the ADORE optimizer during -annotate/-profile runs")
 	flag.Parse()
 
 	bench, err := adore.Benchmark(*name, *scale)
@@ -41,6 +57,11 @@ func main() {
 			adore.WithObserve(adore.WithADORE(adore.RunOptions())))
 		fatal(err)
 		fmt.Print(adore.Timeline(res.Obs))
+		return
+	}
+
+	if *annotate || *profileOut != "" {
+		fatal(simProfile(build, *withADORE, *sampleEvery, *annotate, *profileOut))
 		return
 	}
 
@@ -87,6 +108,38 @@ func main() {
 		fmt.Printf("%-4d %-16s %12d %14d %7.1f%% %12v\n",
 			a.id, a.loop, a.events, a.lat, 100*float64(a.lat)/float64(total), a.pfable)
 	}
+}
+
+// simProfile runs build under the cycle-sampling profiler and renders the
+// requested views.
+func simProfile(build *adore.Build, withADORE bool, sampleEvery uint64, annotate bool, profileOut string) error {
+	rc := adore.RunOptions()
+	rc.ADORE = withADORE
+	rc.Profile = sampleEvery
+	res, err := harness.RunContext(cli.Context(), build, rc)
+	if err != nil {
+		return err
+	}
+	if annotate {
+		if err := obs.WriteAnnotate(os.Stdout, res.Profile, build.Image); err != nil {
+			return err
+		}
+	}
+	if profileOut != "" {
+		f, err := os.Create(profileOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WritePprof(f, res.Profile); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (inspect with: go tool pprof -top %s)\n", profileOut, profileOut)
+	}
+	return nil
 }
 
 func fatal(err error) { cli.Fatal(err) }

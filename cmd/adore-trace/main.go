@@ -80,6 +80,10 @@ func main() {
 
 	fmt.Printf("\nrun: %d cycles, %d instructions (CPI %.3f)\n", st.Cycles, st.Retired, st.CPI())
 	fmt.Printf("ADORE: %+v\n", ctrl.Stats)
+	if d := ctrl.Stats.SamplesDropped; d > 0 {
+		fmt.Printf("samples dropped: %d\n", d)
+		fmt.Fprintf(os.Stderr, "warning: %d PMU samples dropped (unhandled SSB overflows); the profile is incomplete\n", d)
+	}
 	fmt.Printf("prefetches inserted: %d (%d direct, %d indirect, %d pointer-chasing)\n",
 		ctrl.Stats.TotalPrefetches(), ctrl.Stats.DirectPrefetches,
 		ctrl.Stats.IndirectPrefetches, ctrl.Stats.PointerPrefetches)
@@ -110,6 +114,10 @@ func main() {
 	}
 	if observe {
 		cap := ctrl.Capture()
+		fmt.Printf("events: %d recorded, %d dropped\n", len(cap.Events), cap.Dropped)
+		if cap.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d observability events dropped (ring overwrites); the exported stream is incomplete\n", cap.Dropped)
+		}
 		export(*traceOut, cap, obs.WriteChromeTrace)
 		export(*eventsOut, cap, obs.WriteJSONL)
 	}

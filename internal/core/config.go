@@ -136,6 +136,11 @@ type Config struct {
 	// ObserveCapacity bounds the event ring (obs.DefaultCapacity when 0).
 	ObserveCapacity int
 
+	// Telemetry is the controller's live metric set (telemetry.go). The
+	// zero value disables it for free; it is excluded from the run
+	// fingerprint (instruments observe a run without shaping its result).
+	Telemetry Telemetry `json:"-"`
+
 	// Policy names the prefetch policy driving §3 code injection. The
 	// empty string (and "paper") is the paper's slice-analysis pipeline;
 	// see RegisterPrefetchPolicy / PrefetchPolicyNames for the rest.

@@ -168,6 +168,7 @@ func (c *Controller) Attach(m *cpu.CPU) {
 func (c *Controller) onOverflow(samples []pmu.Sample) {
 	w := c.ueb.AddWindow(samples)
 	c.Stats.WindowsObserved++
+	c.cfg.Telemetry.WindowsObserved.Inc()
 	c.newWindows = append(c.newWindows, w)
 	c.observeWindow(w)
 	if c.OnWindow != nil {
@@ -188,6 +189,7 @@ func (c *Controller) poll(now uint64) uint64 {
 			charge += c.onStablePhase(now, info)
 		case PhaseChanged:
 			c.Stats.PhaseChanges++
+			c.cfg.Telemetry.PhaseChanges.Inc()
 			c.observePhaseChange(now)
 		}
 	}
@@ -218,6 +220,7 @@ func sigMatches(list []float64, sig, tol float64) bool {
 // phase, per §2.3-§3. now is the polling cycle, used to stamp events.
 func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 	c.Stats.PhasesDetected++
+	c.cfg.Telemetry.PhasesDetected.Inc()
 	tol := c.cfg.PCDev
 
 	// A phase executing inside the trace pool was already optimized:
@@ -256,6 +259,7 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 	}
 	traces := c.trace.Select(info, samples)
 	c.Stats.TracesSelected += len(traces)
+	c.cfg.Telemetry.TracesSelected.Add(uint64(len(traces)))
 	for _, t := range traces {
 		c.observeTraceSelected(now, t)
 	}
@@ -267,6 +271,7 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 	if c.sel != nil {
 		pol = c.sel.Pick(ctx)
 		c.Stats.PolicySelections++
+		c.cfg.Telemetry.PolicySelections.Inc()
 		c.observePolicySelected(now, info, pol.PolicyName())
 	}
 
@@ -304,6 +309,7 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 				if fres := fb.Optimize(t, loads, ctx); fres.Total() > 0 {
 					res = fres
 					c.Stats.PolicySwitches++
+					c.cfg.Telemetry.PolicySwitches.Inc()
 					c.sel.noteUse(fb.PolicyName())
 					c.observePolicySwitched(now, t, pol.PolicyName(), fb.PolicyName())
 				} else {
@@ -329,6 +335,7 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 		}
 		preFindings := len(c.findings)
 		if !c.verifyTrace(t, pristine) {
+			c.cfg.Telemetry.VerifyRejects.Inc()
 			c.observeVerifyReject(now, t, len(c.findings)-preFindings)
 			continue // fail-safe: leave the original code unpatched
 		}
@@ -343,6 +350,7 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 		rec.TraceEnd = c.pool.seg.Base + uint64(c.pool.next)*16
 		c.patches = append(c.patches, rec)
 		c.Stats.TracesPatched++
+		c.cfg.Telemetry.TracesPatched.Inc()
 		c.observePatchInstalled(now, rec, res.Total())
 		charge += c.cfg.PatchCharge
 		if instr != nil {
@@ -381,6 +389,7 @@ func (c *Controller) checkProfitability(now uint64, info *PhaseInfo) uint64 {
 		if info.CPI > rec.PrePatch*c.cfg.UnpatchSlowdown {
 			if err := undoPatch(c.code, rec); err == nil {
 				c.Stats.Unpatches++
+				c.cfg.Telemetry.Unpatches.Inc()
 				c.blacklist = append(c.blacklist, info.PCCenter)
 				c.observeUnpatch(now, rec, info.CPI)
 				return c.cfg.PatchCharge
@@ -406,6 +415,7 @@ func (c *Controller) UnpatchAll() error {
 			return err
 		}
 		c.Stats.Unpatches++
+		c.cfg.Telemetry.Unpatches.Inc()
 	}
 	return nil
 }

@@ -1,0 +1,47 @@
+package core
+
+import "repro/internal/metrics"
+
+// Telemetry is the controller's live metric set: counters the control
+// loop bumps as its pipeline events happen, so an adore-bench process
+// serving /metrics shows optimizer activity while long experiments are
+// still running (Stats carries the same totals, but only after a run
+// finishes).
+//
+// The zero value is the disabled telemetry: every field is a nil
+// instrument whose methods are no-ops (the internal/metrics contract), so
+// the controller increments unconditionally and pays two nil checks per
+// event when telemetry is off.
+//
+// These counters aggregate across every run wired to the same registry —
+// a fleet view, not a per-run one (per-run totals live in Stats). Runs
+// served from the engine's result cache execute no controller, so they
+// contribute nothing here; the engine's folded adore_sim_* metrics are
+// the ones with served-work semantics.
+type Telemetry struct {
+	WindowsObserved  *metrics.Counter
+	PhasesDetected   *metrics.Counter
+	PhaseChanges     *metrics.Counter
+	TracesSelected   *metrics.Counter
+	TracesPatched    *metrics.Counter
+	Unpatches        *metrics.Counter
+	VerifyRejects    *metrics.Counter
+	PolicySelections *metrics.Counter
+	PolicySwitches   *metrics.Counter
+}
+
+// NewTelemetry registers the controller's metric set on r (nil-safe: a
+// nil registry yields the zero, disabled Telemetry).
+func NewTelemetry(r *metrics.Registry) Telemetry {
+	return Telemetry{
+		WindowsObserved:  r.Counter("adore_core_windows_observed_total", "profile windows copied from the SSB"),
+		PhasesDetected:   r.Counter("adore_core_phases_detected_total", "stable phases confirmed by the detector"),
+		PhaseChanges:     r.Counter("adore_core_phase_changes_total", "stable phases that ended"),
+		TracesSelected:   r.Counter("adore_core_traces_selected_total", "candidate traces produced by selection"),
+		TracesPatched:    r.Counter("adore_core_patches_installed_total", "traces patched live into the pool"),
+		Unpatches:        r.Counter("adore_core_unpatches_total", "patches removed (unprofitable or dyn_close)"),
+		VerifyRejects:    r.Counter("adore_core_verify_rejects_total", "traces the static verifier refused"),
+		PolicySelections: r.Counter("adore_core_policy_selections_total", "per-phase prefetch-policy decisions"),
+		PolicySwitches:   r.Counter("adore_core_policy_switches_total", "selector fallbacks after an empty optimize"),
+	}
+}

@@ -136,6 +136,7 @@ type CPU struct {
 	l1iShift uint
 
 	acct accounting // CPI-stack attribution (Config.Accounting)
+	prof profiler   // cycle-sampling profiler (EnableProfiler; profile.go)
 
 	Stats Stats
 }
@@ -188,6 +189,7 @@ func (c *CPU) Reset() {
 	}
 	c.Stats = Stats{}
 	c.resetAccounting()
+	c.resetProfiler()
 }
 
 // SetPC sets the next fetch address.

@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/program"
+)
+
+// profTestCPU builds a small streaming loop (cold 2 MiB load stream, so it
+// has real load stalls and cache misses to attribute) and returns the
+// machine, optionally with the sampler enabled.
+func profTestCPU(t *testing.T, sampleEvery uint64) *CPU {
+	t.Helper()
+	b := asm.New(0)
+	b.MovI(4, 0x100000)
+	b.MovI(10, 1<<15)
+	b.Label("loop")
+	b.Ld(8, 2, 4, 64)
+	b.Add(3, 3, 2)
+	b.AddI(10, -1, 10)
+	b.CmpI(isa.CmpLt, 1, 2, 0, 10)
+	b.BrCond(1, "loop")
+	b.Halt()
+	r, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := program.NewCodeSpace()
+	if err := cs.AddSegment(&program.Segment{Name: "m", Base: 0, Bundles: r.Bundles}); err != nil {
+		t.Fatal(err)
+	}
+	c := New(DefaultConfig(), cs, memsys.NewMemory(), memsys.NewHierarchy(memsys.DefaultConfig()), nil)
+	c.SetPC(0)
+	if sampleEvery > 0 {
+		c.EnableProfiler(sampleEvery)
+	}
+	return c
+}
+
+// TestProfilerNonPerturbing pins the charge-0 contract: enabling the
+// sampler leaves every Stats field bit-identical to an unsampled run.
+func TestProfilerNonPerturbing(t *testing.T) {
+	plain := profTestCPU(t, 0)
+	stPlain, err := plain.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := profTestCPU(t, 4093)
+	stSampled, err := sampled.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stPlain != stSampled {
+		t.Fatalf("sampling perturbed the simulation:\nplain   %+v\nsampled %+v", stPlain, stSampled)
+	}
+	if len(sampled.ProfilePCs()) == 0 {
+		t.Fatal("sampler collected nothing")
+	}
+}
+
+// TestProfilerDeterminism pins that two sampled runs of the same image
+// produce bit-identical profiles.
+func TestProfilerDeterminism(t *testing.T) {
+	run := func() (Stats, map[uint64]PCSample) {
+		c := profTestCPU(t, 4093)
+		st, err := c.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, c.ProfileSamples()
+	}
+	st1, p1 := run()
+	st2, p2 := run()
+	if st1 != st2 {
+		t.Fatalf("stats differ between identical runs:\n%+v\n%+v", st1, st2)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("profiles differ between identical runs:\n%+v\n%+v", p1, p2)
+	}
+}
+
+// TestProfilerAttribution checks the delta estimator's bookkeeping: the
+// attributed totals never exceed the run totals, the shortfall is less
+// than one sampling interval (the un-attributed tail after the last fire),
+// and the stalling loop body owns the bulk of the attributed cycles.
+func TestProfilerAttribution(t *testing.T) {
+	const interval = 4093
+	c := profTestCPU(t, interval)
+	st, err := c.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tot PCSample
+	for _, pc := range c.ProfilePCs() {
+		s := c.ProfileSample(pc)
+		tot.add(s)
+	}
+	if tot.Cycles > st.Cycles {
+		t.Fatalf("attributed %d cycles, run took %d", tot.Cycles, st.Cycles)
+	}
+	if st.Cycles-tot.Cycles >= 2*interval {
+		t.Fatalf("attribution tail too large: attributed %d of %d cycles", tot.Cycles, st.Cycles)
+	}
+	if tot.LoadStall > st.LoadStalls {
+		t.Fatalf("attributed %d load-stall cycles, run had %d", tot.LoadStall, st.LoadStalls)
+	}
+	if tot.LoadStall == 0 {
+		t.Fatal("cold-stream loop attributed no load stalls")
+	}
+	if tot.L3Miss == 0 {
+		t.Fatal("cold 2 MiB stream attributed no L3 misses")
+	}
+	// The loop body spans bundles well below 0x100; everything sampled
+	// should be in the image.
+	for _, pc := range c.ProfilePCs() {
+		if pc >= 0x200 {
+			t.Fatalf("sample at %#x outside the program image", pc)
+		}
+	}
+}
+
+// TestProfilerReset pins that Reset clears the profile and baselines so a
+// re-run reproduces the first run's profile exactly.
+func TestProfilerReset(t *testing.T) {
+	c := profTestCPU(t, 4093)
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	first := c.ProfileSamples()
+	c.Reset()
+	c.Hier.Reset() // memory-system counters feed the delta baselines
+	c.SetPC(0)
+	if got := c.ProfilePCs(); got != nil {
+		t.Fatalf("Reset left %d profile cells", len(got))
+	}
+	if _, err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, c.ProfileSamples()) {
+		t.Fatal("re-run after Reset produced a different profile")
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/metrics"
 )
 
 // The experiment engine: the paper's evaluation sweeps 17 benchmarks ×
@@ -38,6 +40,12 @@ type EngineConfig struct {
 	// OnProgress, when set, observes every job start and finish. It is
 	// invoked from worker goroutines and must be safe for concurrent use.
 	OnProgress func(Progress)
+
+	// Metrics, when set, instruments the engine on this registry: job and
+	// worker telemetry, cache hit/miss counters, and per-job folds of the
+	// simulated aggregates (see metrics.go for the semantics). Nil runs
+	// the engine unmetered at no cost.
+	Metrics *metrics.Registry
 }
 
 // Engine runs experiment jobs on a worker pool with shared build and
@@ -48,6 +56,8 @@ type Engine struct {
 	cfg     EngineConfig
 	cache   *BuildCache
 	results *ResultCache
+	metrics engineMetrics
+	drops   dropCounts
 }
 
 // NewEngine creates an engine with fresh caches. Share one engine across
@@ -55,7 +65,17 @@ type Engine struct {
 // Fig. 11 all compile the same O2 kernels, and Table 2 re-runs Fig. 7's
 // exact machine configurations.
 func NewEngine(cfg EngineConfig) *Engine {
-	return &Engine{cfg: cfg, cache: NewBuildCache(), results: NewResultCache()}
+	e := &Engine{cfg: cfg, cache: NewBuildCache(), results: NewResultCache()}
+	e.metrics = newEngineMetrics(cfg.Metrics)
+	e.metrics.workers.Set(int64(e.Parallelism()))
+	r := cfg.Metrics
+	e.cache.SetMetrics(
+		r.Counter("adore_engine_build_cache_hits_total", "compiles served by the build cache"),
+		r.Counter("adore_engine_build_cache_misses_total", "actual compiles"))
+	e.results.SetMetrics(
+		r.Counter("adore_engine_result_cache_hits_total", "runs served by the result cache"),
+		r.Counter("adore_engine_result_cache_misses_total", "actual simulations"))
+	return e
 }
 
 // Parallelism returns the effective worker count.
@@ -157,9 +177,19 @@ type Job struct {
 // build cache.
 func (e *Engine) RunJobs(ctx context.Context, sweep string, jobs []Job) ([]*RunResult, error) {
 	out := make([]*RunResult, len(jobs))
+	sweepStart := time.Now()
 	err := e.Map(ctx, len(jobs), func(ctx context.Context, i int) error {
 		j := &jobs[i]
+		jobStart := time.Now()
+		e.metrics.queueWait.Observe(uint64(jobStart.Sub(sweepStart)))
+		e.metrics.jobsStarted.Inc()
+		e.metrics.inflight.Inc()
 		e.report(Progress{Sweep: sweep, Job: j.Name, Index: i, Total: len(jobs)})
+		if j.Config.Metrics == nil {
+			// A metered engine meters its jobs' controllers too. Metrics is
+			// fingerprint-exempt, so this never splits result-cache entries.
+			j.Config.Metrics = e.cfg.Metrics
+		}
 		build, err := e.cache.Build(j.Compile)
 		if err == nil {
 			if j.Config.OnOptimize == nil {
@@ -172,6 +202,16 @@ func (e *Engine) RunJobs(ctx context.Context, sweep string, jobs []Job) ([]*RunR
 			} else {
 				out[i], err = RunContext(ctx, build, j.Config)
 			}
+		}
+		elapsed := uint64(time.Since(jobStart))
+		e.metrics.inflight.Dec()
+		e.metrics.jobLatency.Observe(elapsed)
+		e.metrics.workerBusy.Add(elapsed)
+		if err != nil {
+			e.metrics.jobsFailed.Inc()
+		} else {
+			e.metrics.jobsDone.Inc()
+			e.foldResult(out[i])
 		}
 		e.report(Progress{Sweep: sweep, Job: j.Name, Index: i, Total: len(jobs), Done: true, Err: err})
 		if err != nil {
@@ -193,6 +233,8 @@ type BuildCache struct {
 	entries map[string]*cacheEntry
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	mHits   *metrics.Counter // optional live mirrors (SetMetrics)
+	mMisses *metrics.Counter
 }
 
 type cacheEntry struct {
@@ -206,6 +248,12 @@ func NewBuildCache() *BuildCache {
 	return &BuildCache{entries: map[string]*cacheEntry{}}
 }
 
+// SetMetrics mirrors the cache's hit/miss counters onto live metric
+// counters (nil instruments are valid and free). Call before use.
+func (c *BuildCache) SetMetrics(hits, misses *metrics.Counter) {
+	c.mHits, c.mMisses = hits, misses
+}
+
 // Build returns the build for spec, compiling at most once per key no
 // matter how many goroutines ask concurrently: latecomers block until the
 // first caller's compile finishes and share its result (and error).
@@ -215,6 +263,7 @@ func (c *BuildCache) Build(spec CompileSpec) (*compiler.BuildResult, error) {
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
+		c.mHits.Inc()
 		<-e.ready
 		return e.build, e.err
 	}
@@ -222,6 +271,7 @@ func (c *BuildCache) Build(spec CompileSpec) (*compiler.BuildResult, error) {
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
+	c.mMisses.Inc()
 	e.build, e.err = compiler.Build(spec.Kernel, spec.Options)
 	close(e.ready)
 	return e.build, e.err
@@ -243,6 +293,8 @@ type ResultCache struct {
 	entries map[string]*resultEntry
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	mHits   *metrics.Counter // optional live mirrors (SetMetrics)
+	mMisses *metrics.Counter
 }
 
 type resultEntry struct {
@@ -256,6 +308,12 @@ func NewResultCache() *ResultCache {
 	return &ResultCache{entries: map[string]*resultEntry{}}
 }
 
+// SetMetrics mirrors the cache's hit/miss counters onto live metric
+// counters (nil instruments are valid and free). Call before use.
+func (c *ResultCache) SetMetrics(hits, misses *metrics.Counter) {
+	c.mHits, c.mMisses = hits, misses
+}
+
 // Run returns the result of simulating build under cfg, running each
 // distinct (compileKey, cfg.Fingerprint()) pair at most once no matter how
 // many goroutines ask concurrently. A failed run is handed to its waiters
@@ -267,6 +325,7 @@ func (c *ResultCache) Run(ctx context.Context, compileKey string, build *compile
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
+		c.mHits.Inc()
 		<-e.ready
 		return e.res, e.err
 	}
@@ -274,6 +333,7 @@ func (c *ResultCache) Run(ctx context.Context, compileKey string, build *compile
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
+	c.mMisses.Inc()
 	e.res, e.err = RunContext(ctx, build, cfg)
 	if e.err != nil {
 		c.mu.Lock()

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/memsys"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/program"
@@ -51,6 +52,22 @@ type RunConfig struct {
 	// RunResult.Obs / CPIStack / LoopCPI. Off by default; when off the run
 	// is bit-identical to one built without the layer.
 	Observe bool
+
+	// Profile, when nonzero, enables the CPU's cycle-sampling profiler at
+	// this interval (simulated cycles; prefer a prime — see
+	// cpu.EnableProfiler) and fills RunResult.Profile. The sampler's hook
+	// charges nothing, so cpu.Stats and all simulated results stay
+	// bit-identical to an unprofiled run; only the result shape changes,
+	// which is why the field participates in the fingerprint (a profiled
+	// and an unprofiled job must not alias in the result cache).
+	Profile uint64
+
+	// Metrics, when set, wires this run's controller to a live metric
+	// registry (core.Telemetry). Excluded from the fingerprint like
+	// OnOptimize: instruments observe a run without shaping its result,
+	// and a metrics-carrying run may share a result-cache entry with a
+	// bare one.
+	Metrics *metrics.Registry `json:"-"`
 }
 
 // Fingerprint returns a stable hash of every configuration field that
@@ -116,6 +133,10 @@ type RunResult struct {
 	Obs      *obs.Capture         `json:",omitempty"` // controller event stream (ADORE runs)
 	CPIStack *cpu.CPIStack        `json:",omitempty"` // whole-run cycle accounting
 	LoopCPI  map[int]cpu.CPIStack `json:",omitempty"` // per-loop cycle accounting
+
+	// Profile is the simulated-execution profile, non-nil only with
+	// RunConfig.Profile (and omitted from JSON otherwise).
+	Profile *obs.Profile `json:",omitempty"`
 
 	// FinalMemory is the simulated data memory after the run — the
 	// observable program results, used by semantics-preservation tests.
@@ -194,6 +215,9 @@ func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*R
 		cfg.Core.Observe = true
 		cfg.CPU.Accounting = true
 	}
+	if cfg.Metrics != nil {
+		cfg.Core.Telemetry = core.NewTelemetry(cfg.Metrics)
+	}
 	needPMU := cfg.ADORE || cfg.SampleOnly
 	if needPMU {
 		p = pmu.New(cfg.Core.Sampling)
@@ -201,6 +225,9 @@ func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*R
 	m := cpu.New(cfg.CPU, code, mem, hier, p)
 	m.SetPC(img.Entry)
 	m.SetImage(img) // no-op without Accounting
+	if cfg.Profile > 0 {
+		m.EnableProfiler(cfg.Profile)
+	}
 
 	record := func(w core.WindowMetrics) {
 		if !cfg.RecordSeries {
@@ -271,6 +298,9 @@ func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*R
 		s := stack
 		res.CPIStack = &s
 		res.LoopCPI = m.LoopAccounting()
+	}
+	if cfg.Profile > 0 {
+		res.Profile = obs.BuildProfile(img.Name, cfg.Profile, st.Cycles, m.ProfileSamples(), img)
 	}
 	return res, nil
 }

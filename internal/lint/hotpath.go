@@ -17,9 +17,11 @@ var HotPathFiles = []string{
 	"internal/cpu/arch.go",
 	"internal/cpu/cpu.go",
 	"internal/cpu/predecode.go",
+	"internal/cpu/profile.go",
 	"internal/memsys/cache.go",
 	"internal/memsys/hierarchy.go",
 	"internal/memsys/memory.go",
+	"internal/metrics/metrics.go",
 }
 
 // coldDirective marks a function as off the per-cycle path, exempting it

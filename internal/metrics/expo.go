@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the two interchange formats the telemetry
+// endpoints serve:
+//
+//   - Prometheus text exposition format (version 0.0.4) — what a scraper
+//     reads from /metrics. Histograms render as cumulative `_bucket` series
+//     with `le` upper bounds, a `+Inf` bucket equal to `_count`, and the
+//     `_sum`/`_count` pair, per the format specification.
+//   - JSON — an array of Snapshot objects for /metrics.json and for
+//     embedding in a /status document.
+//
+// Both writers iterate metrics in name order and format numbers with
+// strconv, so identical registry states serialize to identical bytes (the
+// golden test relies on this).
+
+// Snapshot is one metric's point-in-time value, the JSON exposition unit.
+type Snapshot struct {
+	Name      string
+	Help      string             `json:",omitempty"`
+	Kind      string             // "counter", "gauge" or "histogram"
+	Counter   uint64             `json:",omitempty"`
+	Gauge     int64              `json:",omitempty"`
+	Histogram *HistogramSnapshot `json:",omitempty"`
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets []Bucket // cumulative, ascending by upper bound; +Inf omitted
+}
+
+// Bucket is one cumulative histogram cell: N observations had values <= Le.
+type Bucket struct {
+	Le uint64
+	N  uint64
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *HistogramSnapshot) Mean() float64 {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Snapshot captures every registered metric in name order. Nil-safe.
+func (r *Registry) Snapshot() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	ms := r.sorted()
+	out := make([]Snapshot, 0, len(ms))
+	for _, m := range ms {
+		s := Snapshot{Name: m.name, Help: m.help, Kind: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			s.Counter = m.counter.Value()
+		case KindGauge:
+			s.Gauge = m.gauge.Value()
+		case KindHistogram:
+			s.Histogram = snapshotHistogram(m.hist)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// snapshotHistogram converts the per-bit-length cells into cumulative
+// buckets, keeping leading cells only up to the highest populated one.
+func snapshotHistogram(h *Histogram) *HistogramSnapshot {
+	hs := &HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	top := -1
+	for i := 0; i < histBuckets; i++ {
+		if h.Bucket(i) > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Bucket(i)
+		hs.Buckets = append(hs.Buckets, Bucket{Le: bucketBound(i), N: cum})
+	}
+	return hs
+}
+
+// bucketBound returns the inclusive upper bound of bucket i: the largest
+// value with bit-length i (0 for i == 0, 2^i - 1 otherwise; the final
+// bucket's bound is the maximum uint64 and renders as +Inf).
+func bucketBound(i int) uint64 {
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// WriteJSON writes the registry snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snaps := r.Snapshot()
+	if snaps == nil {
+		snaps = []Snapshot{}
+	}
+	return enc.Encode(snaps)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.sorted() {
+		if m.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(m.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(m.name)
+		bw.WriteByte(' ')
+		bw.WriteString(m.kind.String())
+		bw.WriteByte('\n')
+		switch m.kind {
+		case KindCounter:
+			writeSample(bw, m.name, "", strconv.FormatUint(m.counter.Value(), 10))
+		case KindGauge:
+			writeSample(bw, m.name, "", strconv.FormatInt(m.gauge.Value(), 10))
+		case KindHistogram:
+			hs := snapshotHistogram(m.hist)
+			for _, b := range hs.Buckets {
+				writeSample(bw, m.name+"_bucket", `{le="`+strconv.FormatUint(b.Le, 10)+`"}`,
+					strconv.FormatUint(b.N, 10))
+			}
+			writeSample(bw, m.name+"_bucket", `{le="+Inf"}`, strconv.FormatUint(hs.Count, 10))
+			writeSample(bw, m.name+"_sum", "", strconv.FormatUint(hs.Sum, 10))
+			writeSample(bw, m.name+"_count", "", strconv.FormatUint(hs.Count, 10))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fixtureRegistry builds a registry with one instrument of each kind in a
+// deterministic state.
+func fixtureRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("adore_jobs_completed_total", "experiment jobs finished")
+	c.Add(17)
+	g := r.Gauge("adore_jobs_inflight", "jobs currently running")
+	g.Set(3)
+	h := r.Histogram("adore_job_latency_ns", "per-job wall time")
+	for _, v := range []uint64{0, 1, 5, 5, 900, 1 << 20} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusGolden pins the exposition bytes: name-ordered metrics,
+// HELP/TYPE headers, cumulative buckets with power-of-two bounds, +Inf,
+// _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := fixtureRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP adore_job_latency_ns per-job wall time
+# TYPE adore_job_latency_ns histogram
+adore_job_latency_ns_bucket{le="0"} 1
+adore_job_latency_ns_bucket{le="1"} 2
+adore_job_latency_ns_bucket{le="3"} 2
+adore_job_latency_ns_bucket{le="7"} 4
+adore_job_latency_ns_bucket{le="15"} 4
+adore_job_latency_ns_bucket{le="31"} 4
+adore_job_latency_ns_bucket{le="63"} 4
+adore_job_latency_ns_bucket{le="127"} 4
+adore_job_latency_ns_bucket{le="255"} 4
+adore_job_latency_ns_bucket{le="511"} 4
+adore_job_latency_ns_bucket{le="1023"} 5
+adore_job_latency_ns_bucket{le="2047"} 5
+adore_job_latency_ns_bucket{le="4095"} 5
+adore_job_latency_ns_bucket{le="8191"} 5
+adore_job_latency_ns_bucket{le="16383"} 5
+adore_job_latency_ns_bucket{le="32767"} 5
+adore_job_latency_ns_bucket{le="65535"} 5
+adore_job_latency_ns_bucket{le="131071"} 5
+adore_job_latency_ns_bucket{le="262143"} 5
+adore_job_latency_ns_bucket{le="524287"} 5
+adore_job_latency_ns_bucket{le="1048575"} 5
+adore_job_latency_ns_bucket{le="2097151"} 6
+adore_job_latency_ns_bucket{le="+Inf"} 6
+adore_job_latency_ns_sum 1049487
+adore_job_latency_ns_count 6
+# HELP adore_jobs_completed_total experiment jobs finished
+# TYPE adore_jobs_completed_total counter
+adore_jobs_completed_total 17
+# HELP adore_jobs_inflight jobs currently running
+# TYPE adore_jobs_inflight gauge
+adore_jobs_inflight 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+var (
+	commentLine = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	sampleLine  = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([0-9]+|\+Inf)"\})? (-?[0-9]+)$`)
+)
+
+// TestPrometheusParses validates the line format of the exposition and the
+// histogram invariants a scraper relies on: every line is a comment or a
+// sample, bucket counts are cumulative and monotone, the +Inf bucket
+// equals _count, and _sum/_count are present exactly once per histogram.
+func TestPrometheusParses(t *testing.T) {
+	var b strings.Builder
+	if err := fixtureRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	type hist struct {
+		buckets  []uint64
+		last     uint64
+		inf      *uint64
+		sum, cnt *uint64
+	}
+	hists := map[string]*hist{}
+	getHist := func(name string) *hist {
+		h := hists[name]
+		if h == nil {
+			h = &hist{}
+			hists[name] = h
+		}
+		return h
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !commentLine.MatchString(line) {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		name, le, val := m[1], m[3], m[4]
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			t.Fatalf("line %d: value %q: %v", i+1, val, err)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket") && le == "+Inf":
+			h := getHist(strings.TrimSuffix(name, "_bucket"))
+			h.inf = &n
+		case strings.HasSuffix(name, "_bucket"):
+			h := getHist(strings.TrimSuffix(name, "_bucket"))
+			if n < h.last {
+				t.Errorf("%s: bucket counts not cumulative (%d after %d)", name, n, h.last)
+			}
+			h.last = n
+			h.buckets = append(h.buckets, n)
+		case strings.HasSuffix(name, "_sum"):
+			getHist(strings.TrimSuffix(name, "_sum")).sum = &n
+		case strings.HasSuffix(name, "_count"):
+			getHist(strings.TrimSuffix(name, "_count")).cnt = &n
+		}
+	}
+	if len(hists) != 1 {
+		t.Fatalf("parsed %d histograms, want 1", len(hists))
+	}
+	for name, h := range hists {
+		if h.inf == nil || h.sum == nil || h.cnt == nil {
+			t.Fatalf("%s: missing +Inf/_sum/_count", name)
+		}
+		if *h.inf != *h.cnt {
+			t.Errorf("%s: +Inf bucket %d != count %d", name, *h.inf, *h.cnt)
+		}
+		if len(h.buckets) > 0 && h.buckets[len(h.buckets)-1] > *h.inf {
+			t.Errorf("%s: last bucket %d exceeds +Inf %d", name, h.buckets[len(h.buckets)-1], *h.inf)
+		}
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	var b strings.Builder
+	if err := fixtureRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snaps); err != nil {
+		t.Fatalf("JSON exposition does not parse: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snaps))
+	}
+	byName := map[string]Snapshot{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	if s := byName["adore_jobs_completed_total"]; s.Kind != "counter" || s.Counter != 17 {
+		t.Errorf("counter snapshot wrong: %+v", s)
+	}
+	if s := byName["adore_jobs_inflight"]; s.Kind != "gauge" || s.Gauge != 3 {
+		t.Errorf("gauge snapshot wrong: %+v", s)
+	}
+	h := byName["adore_job_latency_ns"].Histogram
+	if h == nil || h.Count != 6 || h.Sum != 1049487 {
+		t.Fatalf("histogram snapshot wrong: %+v", h)
+	}
+	if got := h.Buckets[len(h.Buckets)-1].N; got != h.Count {
+		t.Errorf("last cumulative bucket %d != count %d", got, h.Count)
+	}
+	if mean := h.Mean(); mean < 174914 || mean > 174915 {
+		t.Errorf("mean = %f", mean)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(Handler(fixtureRegistry()))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if got := res.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Errorf("content type %q", got)
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "adore_jobs_completed_total 17") {
+		t.Errorf("exposition body missing counter:\n%s", body)
+	}
+
+	res2, err := srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	var snaps []Snapshot
+	if err := json.NewDecoder(res2.Body).Decode(&snaps); err != nil {
+		t.Fatalf("json endpoint: %v", err)
+	}
+	if len(snaps) != 3 {
+		t.Errorf("json endpoint returned %d metrics", len(snaps))
+	}
+}

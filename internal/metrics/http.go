@@ -1,0 +1,26 @@
+package metrics
+
+import (
+	"log"
+	"net/http"
+)
+
+// Handler returns an http.Handler exposing the registry: Prometheus text
+// exposition by default, the JSON snapshot form with `?format=json`. A nil
+// registry serves an empty (but well-formed) document of either format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if err := r.WriteJSON(w); err != nil {
+				log.Printf("metrics: json exposition: %v", err)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// The write failed mid-stream (client gone); nothing to send.
+			log.Printf("metrics: exposition: %v", err)
+		}
+	})
+}

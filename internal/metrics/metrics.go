@@ -1,0 +1,142 @@
+// Package metrics is the telemetry registry of the reproduction: a
+// dependency-free set of atomic counters, gauges and exponential-bucket
+// histograms with snapshot, Prometheus text exposition and JSON export.
+//
+// The design constraints mirror the obs.Recorder contract (DESIGN.md §10):
+// recording is zero-allocation and lock-free (a single atomic RMW per
+// update), and every instrument is nil-receiver-safe — a nil *Counter is a
+// valid disabled counter whose methods are no-ops. Instrumented code
+// therefore asks an optional registry for its instruments unconditionally:
+// with no registry the instruments are nil and the recording sites cost a
+// nil check, which is how "telemetry off" stays free without branching on
+// configuration at every site.
+//
+// This file holds only the recording paths; it is on the adore-vet
+// zero-allocation list (internal/lint.HotPathFiles), like the simulator's
+// run-loop files. Construction and exposition live in registry.go and
+// expo.go, which are not.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter is a valid disabled counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value that can move both ways. The zero
+// value is ready to use; a nil *Gauge is a valid disabled gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative deltas decrease it). No-op on a
+// nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc moves the gauge up by one. No-op on a nil receiver.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec moves the gauge down by one. No-op on a nil receiver.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count of a Histogram: bucket i holds the
+// observations whose value has bit-length i, so the buckets cover the full
+// uint64 range in powers of two and Observe needs no search, no
+// configuration and no allocation.
+const histBuckets = 65
+
+// Histogram counts observations in exponential (power-of-two) buckets:
+// an observation v lands in bucket bits.Len64(v), whose upper bound is
+// 2^i - 1 (bucket 0 holds exactly the zeros). Sum and Count are tracked
+// alongside, so mean and Prometheus histogram invariants come for free.
+// The zero value is ready to use; a nil *Histogram is a valid disabled
+// histogram.
+//
+// Updates are three independent atomic adds — a concurrent snapshot may
+// catch one observation between them, which Prometheus scrapes tolerate
+// (counts are cumulative and monotone per cell).
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket returns the observation count of bucket i (values of bit-length
+// i; upper bound 2^i - 1). Zero on a nil receiver or out-of-range i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil || i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1 << 40} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := h.Sum(); got != 0+1+2+3+4+100+1<<40 {
+		t.Fatalf("sum = %d", got)
+	}
+	// Bucket i holds values of bit-length i.
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 1, 7: 1, 41: 1}
+	for i, n := range want {
+		if got := h.Bucket(i); got != n {
+			t.Errorf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+}
+
+// TestNilInstruments pins the disabled-telemetry contract: every recording
+// and reading method is a no-op on a nil receiver, and a nil registry
+// hands out nil instruments.
+func TestNilInstruments(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bucket(3) != 0 {
+		t.Error("nil histogram has state")
+	}
+
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Error("nil registry handed out live instruments")
+	}
+	if r.Len() != 0 || r.Snapshot() != nil {
+		t.Error("nil registry has contents")
+	}
+}
+
+// TestRecordingZeroAlloc pins the hot-path claim: recording on live and on
+// nil instruments never allocates.
+func TestRecordingZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_ns", "")
+	var nc *Counter
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(3)
+		h.Observe(12345)
+		nc.Inc()
+		nh.Observe(99)
+	}); n != 0 {
+		t.Fatalf("recording allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("jobs_total", "jobs")
+	b := r.Counter("jobs_total", "jobs")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared counter not shared")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("registry has %d metrics, want 1", r.Len())
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+// TestConcurrentRecording exercises the lock-free update paths under the
+// race detector and checks the totals are exact.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared_total", "")
+			h := r.Histogram("shared_ns", "")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("shared_ns", "").Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a registered metric for the exposition writers.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "kind?"
+}
+
+// metric is one registered instrument with its exposition metadata.
+type metric struct {
+	name string
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds named instruments. Registration is idempotent by name —
+// asking twice for the same counter returns the same instrument — so
+// independent components may share aggregate metrics without coordination.
+// A nil *Registry is a valid disabled registry: its constructors return nil
+// instruments, whose recording methods are no-ops, which is how code is
+// instrumented unconditionally and pays nothing when telemetry is off.
+//
+// Names follow the Prometheus convention (snake_case, `_total` suffix on
+// counters, an explicit unit suffix like `_ns` on histograms). Labels are
+// deliberately unsupported: the fleet-level dimensions (shard, worker)
+// belong to the scraper's job/instance labels, and flat names keep the
+// registry allocation-free on the recording path.
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	ordered []*metric // insertion order; sorted on exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a valid disabled counter) on a nil registry. Asking
+// for a name previously registered as a different kind panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, KindCounter)
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a valid disabled gauge) on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, KindGauge)
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil (a valid disabled histogram) on a nil registry.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, help, KindHistogram)
+	return m.hist
+}
+
+// lookup finds or creates the named metric.
+func (r *Registry) lookup(name, help string, kind Kind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("metrics: %q registered as %v, requested as %v", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case KindCounter:
+		m.counter = new(Counter)
+	case KindGauge:
+		m.gauge = new(Gauge)
+	case KindHistogram:
+		m.hist = new(Histogram)
+	}
+	r.byName[name] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// sorted returns the registered metrics in name order — the deterministic
+// iteration order both exposition formats rely on.
+func (r *Registry) sorted() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, len(r.ordered))
+	copy(out, r.ordered)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Len reports the number of registered metrics (0 on a nil registry).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ordered)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Annotated disassembly, in the style of `perf annotate`: the image's
+// bundle listing with the sampled profile's attribution folded in on the
+// left — per-bundle share of attributed cycles, the raw cycle and
+// load-stall counts, L2/L3 data-miss counts, and the prefetch-usefulness
+// deltas. Loop boundaries from the compiler's loop table are marked
+// inline, and a per-loop summary table leads the listing, so "which loads
+// miss" is answerable by eye: find the hot loop in the summary, jump to
+// its section, read off the bundles carrying the stall and miss columns.
+
+// WriteAnnotate writes the annotated listing of img's code segment.
+// Bundles the sampler never observed print with empty columns; profile
+// cells outside the segment (installed traces in a patch pool segment,
+// for instance) are listed in a trailing section.
+func WriteAnnotate(w io.Writer, p *Profile, img *program.Image) error {
+	bw := bufio.NewWriter(w)
+	attr := p.AttributedCycles()
+
+	fmt.Fprintf(bw, "# %s — simulated-execution profile, annotated\n", p.Program)
+	fmt.Fprintf(bw, "# sample interval: %d cycles   total: %d cycles   attributed: %d cycles (%.1f%%)\n",
+		p.SampleEvery, p.TotalCycles, attr, pct(attr, p.TotalCycles))
+	fmt.Fprintf(bw, "#\n")
+
+	// Per-loop summary, hottest first.
+	fmt.Fprintf(bw, "# %7s %14s %14s %10s %10s %9s %8s  %s\n",
+		"cyc%", "cycles", "ldstall", "l2miss", "l3miss", "pf-use", "pf-late", "loop")
+	for _, lp := range p.ByLoop() {
+		fmt.Fprintf(bw, "# %6.2f%% %14d %14d %10d %10d %9d %8d  %s\n",
+			pct(lp.Cycles, attr), lp.Cycles, lp.LoadStall, lp.L2Miss, lp.L3Miss,
+			lp.PfUseful, lp.PfLate, FrameName(lp.Loop, lp.Name, p.Program))
+	}
+	fmt.Fprintf(bw, "\n")
+
+	// Index the profile by PC for the listing walk.
+	cells := make(map[uint64]*BundleProfile, len(p.Bundles))
+	for i := range p.Bundles {
+		cells[p.Bundles[i].PC] = &p.Bundles[i]
+	}
+
+	// Loop boundary markers, keyed by bundle address.
+	starts := map[uint64]*program.LoopInfo{}
+	ends := map[uint64]*program.LoopInfo{}
+	var seg *program.Segment
+	if img != nil {
+		seg = img.Code
+		for i := range img.Loops {
+			l := &img.Loops[i]
+			starts[l.BodyStart] = l
+			ends[l.BodyEnd] = l
+		}
+	}
+
+	fmt.Fprintf(bw, "%8s %12s %10s %7s %7s %7s %7s\n",
+		"cyc%", "cycles", "ldstall", "l2miss", "l3miss", "pf-use", "pf-late")
+	listed := map[uint64]bool{}
+	if seg != nil {
+		for i := range seg.Bundles {
+			addr := seg.Base + uint64(i)*isa.BundleBytes
+			if l, ok := ends[addr]; ok {
+				fmt.Fprintf(bw, "%62s ── end %s ──\n", "", loopTitle(l))
+			}
+			if l, ok := starts[addr]; ok {
+				fmt.Fprintf(bw, "%62s ┌─ loop %s ─┐\n", "", loopTitle(l))
+			}
+			listed[addr] = true
+			writeAnnotLine(bw, cells[addr], attr, addr, seg.Bundles[i].String())
+		}
+	}
+
+	// Sampled addresses outside the image's code segment (patch pool).
+	var extra []uint64
+	for pc := range cells {
+		if !listed[pc] {
+			extra = append(extra, pc)
+		}
+	}
+	if len(extra) > 0 {
+		sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+		fmt.Fprintf(bw, "\n# sampled outside the image code segment:\n")
+		for _, pc := range extra {
+			writeAnnotLine(bw, cells[pc], attr, pc, "(outside image)")
+		}
+	}
+	return bw.Flush()
+}
+
+// writeAnnotLine emits one listing row; a nil cell prints empty columns.
+func writeAnnotLine(bw *bufio.Writer, c *BundleProfile, attr, addr uint64, disasm string) {
+	if c == nil {
+		fmt.Fprintf(bw, "%8s %12s %10s %7s %7s %7s %7s  %#06x  %s\n",
+			"", "", "", "", "", "", "", addr, disasm)
+		return
+	}
+	fmt.Fprintf(bw, "%7.2f%% %12d %10d %7d %7d %7d %7d  %#06x  %s\n",
+		pct(c.Cycles, attr), c.Cycles, c.LoadStall, c.L2Miss, c.L3Miss,
+		c.PfUseful, c.PfLate, addr, disasm)
+}
+
+func loopTitle(l *program.LoopInfo) string {
+	if l.Name != "" {
+		return l.Name
+	}
+	return fmt.Sprintf("#%d", l.ID)
+}
+
+func pct(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// Hand-rolled pprof export: renders a Profile as a gzipped
+// profile.proto message so `go tool pprof` — and anything else that
+// speaks the format — can browse a *simulated* execution profile exactly
+// as it would a native one. Only the small, stable subset of the schema
+// the viewers require is emitted; the encoder below writes raw protobuf
+// wire format (varints and length-delimited fields), which keeps the
+// repository free of generated code and proto dependencies.
+//
+// Shape: one Sample per sampled bundle address, whose single Location
+// carries the bundle address and a Line resolving to a synthetic Function
+// named after the owning compiler loop (FrameName). `pprof -top` then
+// aggregates at loop granularity — the same unit as cpu.LoopAccounting,
+// which is what the cross-check test compares against.
+//
+// Determinism: bundles are already PC-sorted, IDs are assigned in that
+// order, no wall-clock time is embedded (time_nanos is left unset), and
+// gzip's header has a zero ModTime by default — identical profiles
+// serialize to identical bytes.
+
+// protobuf wire types.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+// pbuf is a minimal protobuf wire-format writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+// uint64Field emits a varint field, omitting zero values as proto3 does.
+func (p *pbuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, wireVarint)
+	p.varint(v)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packedField emits a repeated varint field in packed encoding.
+func (p *pbuf) packedField(field int, vs []uint64) {
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// profile.proto field numbers (the subset emitted here).
+const (
+	profSampleType        = 1
+	profSample            = 2
+	profMapping           = 3
+	profLocation          = 4
+	profFunction          = 5
+	profStringTable       = 6
+	profDurationNanos     = 10
+	profPeriodType        = 11
+	profPeriod            = 12
+	profDefaultSampleType = 14
+
+	vtType = 1
+	vtUnit = 2
+
+	sampleLocationID = 1
+	sampleValue      = 2
+
+	mappingID           = 1
+	mappingLimit        = 3
+	mappingFile         = 5
+	mappingHasFunctions = 7
+
+	locationID      = 1
+	locationMapping = 2
+	locationAddress = 3
+	locationLine    = 4
+
+	lineFunctionID = 1
+
+	functionID   = 1
+	functionName = 2
+)
+
+// strTable interns strings into the profile string table (index 0 is
+// always "", as the format requires).
+type strTable struct {
+	byVal map[string]uint64
+	vals  []string
+}
+
+func newStrTable() *strTable {
+	return &strTable{byVal: map[string]uint64{"": 0}, vals: []string{""}}
+}
+
+func (t *strTable) index(s string) uint64 {
+	if i, ok := t.byVal[s]; ok {
+		return i
+	}
+	i := uint64(len(t.vals))
+	t.byVal[s] = i
+	t.vals = append(t.vals, s)
+	return i
+}
+
+// sampleValueNames are the per-sample value columns, in order. "cycles"
+// is the default view: `pprof -top` on the export ranks loops by
+// attributed simulated cycles.
+var sampleValueNames = [...][2]string{
+	{"samples", "count"},
+	{"cycles", "cycles"},
+	{"loadstall", "cycles"},
+	{"l2miss", "count"},
+	{"l3miss", "count"},
+	{"pfuseful", "count"},
+	{"pflate", "count"},
+}
+
+// WritePprof writes the profile as a gzipped profile.proto message.
+func WritePprof(w io.Writer, p *Profile) error {
+	strs := newStrTable()
+	var body pbuf
+
+	// sample_type: the value schema, one ValueType per column.
+	for _, vt := range sampleValueNames {
+		var m pbuf
+		m.uint64Field(vtType, strs.index(vt[0]))
+		m.uint64Field(vtUnit, strs.index(vt[1]))
+		body.bytesField(profSampleType, m.b)
+	}
+
+	// function: one synthetic frame per loop, in first-appearance (PC)
+	// order. funcID is 1-based; funcOf[loop] remembers the assignment.
+	funcOf := map[int]uint64{}
+	for i := range p.Bundles {
+		b := &p.Bundles[i]
+		if _, ok := funcOf[b.Loop]; ok {
+			continue
+		}
+		id := uint64(len(funcOf) + 1)
+		funcOf[b.Loop] = id
+		var f pbuf
+		f.uint64Field(functionID, id)
+		f.uint64Field(functionName, strs.index(FrameName(b.Loop, b.LoopName, p.Program)))
+		body.bytesField(profFunction, f.b)
+	}
+
+	// location: one per bundle, ID = index+1, address = bundle PC.
+	var maxPC uint64
+	for i := range p.Bundles {
+		b := &p.Bundles[i]
+		if b.PC > maxPC {
+			maxPC = b.PC
+		}
+		var line pbuf
+		line.uint64Field(lineFunctionID, funcOf[b.Loop])
+		var loc pbuf
+		loc.uint64Field(locationID, uint64(i+1))
+		loc.uint64Field(locationMapping, 1)
+		loc.uint64Field(locationAddress, b.PC)
+		loc.bytesField(locationLine, line.b)
+		body.bytesField(profLocation, loc.b)
+	}
+
+	// sample: one per bundle, leaf-only stack.
+	for i := range p.Bundles {
+		b := &p.Bundles[i]
+		var s pbuf
+		s.packedField(sampleLocationID, []uint64{uint64(i + 1)})
+		s.packedField(sampleValue, []uint64{
+			b.Samples, b.Cycles, b.LoadStall,
+			b.L2Miss, b.L3Miss, b.PfUseful, b.PfLate,
+		})
+		body.bytesField(profSample, s.b)
+	}
+
+	// mapping: one synthetic text mapping covering the sampled range, so
+	// viewers render addresses instead of complaining about orphans.
+	var m pbuf
+	m.uint64Field(mappingID, 1)
+	// memory_start is 0 (omitted as a proto3 zero); the limit is one
+	// bundle past the highest sampled address.
+	m.uint64Field(mappingLimit, maxPC+16)
+	m.uint64Field(mappingFile, strs.index(p.Program))
+	// has_functions: every location resolves to a named frame already, so
+	// pprof must not try (and noisily fail) to symbolize the "binary".
+	m.uint64Field(mappingHasFunctions, 1)
+	body.bytesField(profMapping, m.b)
+
+	// period: the sampler's cycle interval; duration: the run length in
+	// simulated cycles (reported nominally as nanoseconds — no wall time
+	// exists in a simulated profile).
+	var pt pbuf
+	pt.uint64Field(vtType, strs.index("cycles"))
+	pt.uint64Field(vtUnit, strs.index("cycles"))
+	body.bytesField(profPeriodType, pt.b)
+	body.uint64Field(profPeriod, p.SampleEvery)
+	body.uint64Field(profDurationNanos, p.TotalCycles)
+	body.uint64Field(profDefaultSampleType, strs.index("cycles"))
+
+	// string_table last in construction but order within the message is
+	// irrelevant to parsers; emit every interned string, index order.
+	for _, s := range strs.vals {
+		body.bytesField(profStringTable, []byte(s))
+	}
+
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(body.b); err != nil {
+		return err
+	}
+	return zw.Close()
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/cpu"
+	"repro/internal/program"
+)
+
+// This file aggregates the CPU's raw cycle-sampling profile (per bundle
+// address) into the exportable Profile form: bundle cells joined with the
+// compiler's loop table, so every downstream view — the pprof export, the
+// annotated listing, the JSON form — can group by loop without re-deriving
+// the mapping.
+
+// BundleProfile is the attributed cost of one bundle address.
+type BundleProfile struct {
+	PC       uint64
+	Loop     int    // compiler loop ID; -1 outside every static loop
+	LoopName string `json:",omitempty"`
+
+	Samples   uint64
+	Cycles    uint64
+	LoadStall uint64
+	L2Miss    uint64
+	L3Miss    uint64
+	PfUseful  uint64
+	PfLate    uint64
+}
+
+// LoopProfile is the attributed cost of one compiler loop (or, for ID -1,
+// of all code outside static loops, including installed traces).
+type LoopProfile struct {
+	Loop      int
+	Name      string
+	Bundles   int // distinct sampled bundle addresses
+	Samples   uint64
+	Cycles    uint64
+	LoadStall uint64
+	L2Miss    uint64
+	L3Miss    uint64
+	PfUseful  uint64
+	PfLate    uint64
+}
+
+// Profile is one run's aggregated simulated-execution profile.
+type Profile struct {
+	Program     string
+	SampleEvery uint64          // sampling interval, simulated cycles
+	TotalCycles uint64          // the run's full cycle count (attribution ⊆ this)
+	Bundles     []BundleProfile // ascending by PC
+}
+
+// BuildProfile joins the CPU's raw per-PC samples with the image's loop
+// table. img may be nil (every bundle lands on loop -1). samples is the
+// map returned by cpu.(*CPU).ProfileSamples.
+func BuildProfile(prog string, sampleEvery, totalCycles uint64,
+	samples map[uint64]cpu.PCSample, img *program.Image) *Profile {
+	p := &Profile{Program: prog, SampleEvery: sampleEvery, TotalCycles: totalCycles}
+	if len(samples) == 0 {
+		return p
+	}
+	p.Bundles = make([]BundleProfile, 0, len(samples))
+	for pc, s := range samples {
+		b := BundleProfile{
+			PC:      pc,
+			Loop:    -1,
+			Samples: s.Samples, Cycles: s.Cycles, LoadStall: s.LoadStall,
+			L2Miss: s.L2Miss, L3Miss: s.L3Miss,
+			PfUseful: s.PfUseful, PfLate: s.PfLate,
+		}
+		if img != nil {
+			if l, ok := img.LoopAt(pc); ok {
+				b.Loop = l.ID
+				b.LoopName = l.Name
+			}
+		}
+		p.Bundles = append(p.Bundles, b)
+	}
+	sort.Slice(p.Bundles, func(i, j int) bool { return p.Bundles[i].PC < p.Bundles[j].PC })
+	return p
+}
+
+// AttributedCycles returns the cycles the sampler attributed in total —
+// at most TotalCycles, short by less than one interval (the tail after
+// the final fire).
+func (p *Profile) AttributedCycles() uint64 {
+	var tot uint64
+	for i := range p.Bundles {
+		tot += p.Bundles[i].Cycles
+	}
+	return tot
+}
+
+// ByLoop folds the bundle cells per compiler loop, sorted by attributed
+// cycles descending (ties by loop ID, so the order is deterministic).
+func (p *Profile) ByLoop() []LoopProfile {
+	if len(p.Bundles) == 0 {
+		return nil
+	}
+	byID := make(map[int]*LoopProfile)
+	for i := range p.Bundles {
+		b := &p.Bundles[i]
+		lp := byID[b.Loop]
+		if lp == nil {
+			lp = &LoopProfile{Loop: b.Loop, Name: b.LoopName}
+			byID[b.Loop] = lp
+		}
+		if lp.Name == "" {
+			lp.Name = b.LoopName
+		}
+		lp.Bundles++
+		lp.Samples += b.Samples
+		lp.Cycles += b.Cycles
+		lp.LoadStall += b.LoadStall
+		lp.L2Miss += b.L2Miss
+		lp.L3Miss += b.L3Miss
+		lp.PfUseful += b.PfUseful
+		lp.PfLate += b.PfLate
+	}
+	out := make([]LoopProfile, 0, len(byID))
+	for _, lp := range byID {
+		out = append(out, *lp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Loop < out[j].Loop
+	})
+	return out
+}
+
+// FrameName is the synthetic "function" name a loop renders as in the
+// pprof export and the annotated listing — the aggregation unit shared by
+// both views and by cpu.LoopAccounting cross-checks.
+func FrameName(loop int, name, prog string) string {
+	if loop < 0 {
+		if prog == "" {
+			prog = "program"
+		}
+		return prog + "::outside_loops"
+	}
+	if name == "" {
+		return "loop#" + strconv.Itoa(loop)
+	}
+	return name
+}

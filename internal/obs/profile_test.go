@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// testImage builds a two-loop image whose code segment spans 6 bundles:
+// loop 0 at [0x10,0x30), loop 1 at [0x30,0x50).
+func testImage() *program.Image {
+	bundles := make([]isa.Bundle, 6)
+	for i := range bundles {
+		bundles[i] = isa.Bundle{Tmpl: isa.TmplMII, Slots: [3]isa.Inst{isa.Nop, isa.Nop, isa.Nop}}
+	}
+	seg := &program.Segment{Name: "text", Base: 0, Bundles: bundles}
+	img := program.NewImage("toy", seg, 0)
+	img.Loops = []program.LoopInfo{
+		{ID: 0, Name: "stream_sum", Head: 0x10, BodyStart: 0x10, BodyEnd: 0x30},
+		{ID: 1, Name: "scatter", Head: 0x30, BodyStart: 0x30, BodyEnd: 0x50},
+	}
+	return img
+}
+
+func testSamples() map[uint64]cpu.PCSample {
+	return map[uint64]cpu.PCSample{
+		0x00: {Samples: 1, Cycles: 50},
+		0x10: {Samples: 10, Cycles: 4000, LoadStall: 3000, L2Miss: 40, L3Miss: 12, PfUseful: 5, PfLate: 2},
+		0x20: {Samples: 4, Cycles: 1000, LoadStall: 200, L2Miss: 8},
+		0x40: {Samples: 2, Cycles: 500, LoadStall: 100, L3Miss: 1},
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	p := BuildProfile("toy", 4093, 6000, testSamples(), testImage())
+	if len(p.Bundles) != 4 {
+		t.Fatalf("profile has %d bundles, want 4", len(p.Bundles))
+	}
+	// PC-sorted.
+	for i := 1; i < len(p.Bundles); i++ {
+		if p.Bundles[i-1].PC >= p.Bundles[i].PC {
+			t.Fatal("bundles not PC-sorted")
+		}
+	}
+	byPC := map[uint64]BundleProfile{}
+	for _, b := range p.Bundles {
+		byPC[b.PC] = b
+	}
+	if b := byPC[0x10]; b.Loop != 0 || b.LoopName != "stream_sum" {
+		t.Errorf("0x10 resolved to loop %d %q", b.Loop, b.LoopName)
+	}
+	if b := byPC[0x40]; b.Loop != 1 || b.LoopName != "scatter" {
+		t.Errorf("0x40 resolved to loop %d %q", b.Loop, b.LoopName)
+	}
+	if b := byPC[0x00]; b.Loop != -1 {
+		t.Errorf("0x00 resolved to loop %d, want -1", b.Loop)
+	}
+	if got := p.AttributedCycles(); got != 5550 {
+		t.Errorf("attributed %d cycles, want 5550", got)
+	}
+
+	loops := p.ByLoop()
+	if len(loops) != 3 {
+		t.Fatalf("ByLoop returned %d entries, want 3", len(loops))
+	}
+	if loops[0].Loop != 0 || loops[0].Cycles != 5000 || loops[0].LoadStall != 3200 ||
+		loops[0].L2Miss != 48 || loops[0].Bundles != 2 {
+		t.Errorf("hottest loop wrong: %+v", loops[0])
+	}
+	if loops[1].Loop != 1 || loops[2].Loop != -1 {
+		t.Errorf("loop order wrong: %+v", loops)
+	}
+}
+
+// pprofMsg is a decoded protobuf message: field number -> varint values
+// and field number -> raw bytes payloads.
+type pprofMsg struct {
+	ints  map[int][]uint64
+	bytes map[int][][]byte
+}
+
+// parseProto walks protobuf wire format (varint and length-delimited
+// fields only — all profile.proto uses).
+func parseProto(t *testing.T, b []byte) pprofMsg {
+	t.Helper()
+	m := pprofMsg{ints: map[int][]uint64{}, bytes: map[int][][]byte{}}
+	for len(b) > 0 {
+		key, n := uvarint(b)
+		if n <= 0 {
+			t.Fatal("bad varint key")
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v, n := uvarint(b)
+			if n <= 0 {
+				t.Fatal("bad varint value")
+			}
+			b = b[n:]
+			m.ints[field] = append(m.ints[field], v)
+		case 2:
+			l, n := uvarint(b)
+			if n <= 0 || uint64(len(b)-n) < l {
+				t.Fatal("bad length-delimited field")
+			}
+			m.bytes[field] = append(m.bytes[field], b[n:n+int(l)])
+			b = b[n+int(l):]
+		default:
+			t.Fatalf("unexpected wire type %d", wire)
+		}
+	}
+	return m
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, -1
+}
+
+func parsePacked(t *testing.T, b []byte) []uint64 {
+	t.Helper()
+	var out []uint64
+	for len(b) > 0 {
+		v, n := uvarint(b)
+		if n <= 0 {
+			t.Fatal("bad packed varint")
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out
+}
+
+// TestWritePprof decodes the export with a minimal wire-format parser and
+// checks the structural invariants `go tool pprof` relies on.
+func TestWritePprof(t *testing.T) {
+	p := BuildProfile("toy", 4093, 6000, testSamples(), testImage())
+	var buf bytes.Buffer
+	if err := WritePprof(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("export is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := parseProto(t, raw)
+
+	// String table: index 0 must be "".
+	strs := msg.bytes[6]
+	if len(strs) == 0 || len(strs[0]) != 0 {
+		t.Fatal("string_table[0] is not the empty string")
+	}
+	str := func(i uint64) string {
+		if i >= uint64(len(strs)) {
+			t.Fatalf("string index %d out of range", i)
+		}
+		return string(strs[i])
+	}
+
+	// sample_type count must match every sample's value count.
+	nTypes := len(msg.bytes[1])
+	if nTypes != len(sampleValueNames) {
+		t.Fatalf("%d sample types, want %d", nTypes, len(sampleValueNames))
+	}
+	samples := msg.bytes[2]
+	if len(samples) != 4 {
+		t.Fatalf("%d samples, want 4", len(samples))
+	}
+	var totalCycles uint64
+	for _, sb := range samples {
+		sm := parseProto(t, sb)
+		locs := parsePacked(t, sm.bytes[1][0])
+		if len(locs) != 1 {
+			t.Fatalf("sample has %d locations, want 1", len(locs))
+		}
+		vals := parsePacked(t, sm.bytes[2][0])
+		if len(vals) != nTypes {
+			t.Fatalf("sample has %d values, want %d", len(vals), nTypes)
+		}
+		totalCycles += vals[1]
+	}
+	if totalCycles != 5550 {
+		t.Errorf("samples sum to %d cycles, want 5550", totalCycles)
+	}
+
+	// Locations resolve to functions named per loop.
+	funcs := map[uint64]string{}
+	for _, fb := range msg.bytes[5] {
+		fm := parseProto(t, fb)
+		funcs[fm.ints[1][0]] = str(fm.ints[2][0])
+	}
+	names := map[string]bool{}
+	for _, n := range funcs {
+		names[n] = true
+	}
+	for _, want := range []string{"stream_sum", "scatter", "toy::outside_loops"} {
+		if !names[want] {
+			t.Errorf("function %q missing from export (have %v)", want, funcs)
+		}
+	}
+	locFuncs := map[uint64]bool{}
+	for _, lb := range msg.bytes[4] {
+		lm := parseProto(t, lb)
+		line := parseProto(t, lm.bytes[4][0])
+		fid := line.ints[1][0]
+		if _, ok := funcs[fid]; !ok {
+			t.Fatalf("location references unknown function %d", fid)
+		}
+		locFuncs[fid] = true
+	}
+	if len(locFuncs) != 3 {
+		t.Errorf("locations reference %d functions, want 3", len(locFuncs))
+	}
+
+	// Period and default sample type.
+	if got := msg.ints[12]; len(got) != 1 || got[0] != 4093 {
+		t.Errorf("period = %v, want [4093]", got)
+	}
+	if got := msg.ints[14]; len(got) != 1 || str(got[0]) != "cycles" {
+		t.Errorf("default_sample_type wrong: %v", got)
+	}
+
+	// Determinism: a second export is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WritePprof(&buf2, BuildProfile("toy", 4093, 6000, testSamples(), testImage())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two exports of the same profile differ")
+	}
+}
+
+func TestWriteAnnotate(t *testing.T) {
+	p := BuildProfile("toy", 4093, 6000, testSamples(), testImage())
+	var b strings.Builder
+	if err := WriteAnnotate(&b, p, testImage()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# toy — simulated-execution profile",
+		"sample interval: 4093 cycles",
+		"loop stream_sum",    // boundary marker
+		"stream_sum",         // summary row
+		"toy::outside_loops", // the loop -1 frame
+		"0x000010",           // hottest bundle's address
+		"3000",               // its load-stall count
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated listing missing %q:\n%s", want, out)
+		}
+	}
+	// The hottest loop leads the summary.
+	sumIdx := strings.Index(out, "stream_sum")
+	scatIdx := strings.Index(out, "scatter")
+	if sumIdx < 0 || scatIdx < 0 || sumIdx > scatIdx {
+		t.Errorf("summary not sorted hottest-first:\n%s", out)
+	}
+	// Unsampled bundles still list (6 bundles => 6 address rows).
+	for _, addr := range []string{"0x000000", "0x000010", "0x000020", "0x000030", "0x000040", "0x000050"} {
+		if !strings.Contains(out, addr) {
+			t.Errorf("listing missing bundle %s", addr)
+		}
+	}
+}
+
+// TestPprofToolReadsExport runs the real `go tool pprof -top` over the
+// export — the end-to-end guarantee the hand-rolled encoder exists for.
+func TestPprofToolReadsExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs the go tool")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	p := BuildProfile("toy", 4093, 6000, testSamples(), testImage())
+	path := filepath.Join(t.TempDir(), "sim.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePprof(f, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(gobin, "tool", "pprof", "-top", "-sample_index=cycles", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"stream_sum", "scatter", "toy::outside_loops"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("pprof -top output missing %q:\n%s", want, out)
+		}
+	}
+}
