@@ -57,6 +57,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof on this address while running (e.g. :8123)")
 	linger := flag.Duration("linger", 0, "keep the -metrics-addr endpoint up this long after the sweeps finish")
+	fork := flag.Bool("fork", false, "run the policy-matrix sweep on the checkpoint/fork engine (DESIGN.md §16): one warmup probe per (workload, options) group, policy continuations resume from its snapshot")
+	forkJSON := flag.String("fork-json", "", "with -fork: write the fork-engine throughput summary as JSON to this file")
 	flag.Parse()
 
 	// Host profiling of the simulator itself (DESIGN.md §12): profiles are
@@ -164,8 +166,14 @@ func main() {
 		r, err := harness.RunFig11Context(ctx, cfg)
 		return r, err
 	})
+	var forkStats *harness.ForkStats
 	run("policymatrix", func(ctx context.Context) (renderer, error) {
-		r, err := harness.RunPolicyMatrixContext(ctx, cfg)
+		if !*fork {
+			r, err := harness.RunPolicyMatrixContext(ctx, cfg)
+			return r, err
+		}
+		r, stats, err := harness.RunPolicyMatrixForkedContext(ctx, cfg)
+		forkStats = stats
 		return r, err
 	})
 
@@ -173,10 +181,24 @@ func main() {
 		cli.Fatal(fmt.Errorf("unknown experiment %q (want fig7a fig7b table1 table2 fig8 fig9 fig10 fig11 policymatrix all)", *exp))
 	}
 
+	if forkStats != nil {
+		if *forkJSON != "" {
+			cli.Fatal(writeForkJSON(*forkJSON, *scale, forkStats))
+		}
+		if !*jsonOut {
+			fmt.Printf("fork engine: %d groups, %d forked runs, %d straight runs, warmup %d -> %d cycles (%.1fx reduction)\n",
+				forkStats.Groups, forkStats.ForkedRuns, forkStats.StraightRuns,
+				forkStats.WarmupStraight, forkStats.WarmupForked, forkStats.WarmupReduction())
+		}
+	}
+
 	hits, misses := eng.Cache().Stats()
 	rhits, rmisses := eng.Results().Stats()
 	obsDropped, samplesDropped := reportDrops(eng)
 	if *jsonOut {
+		if forkStats != nil {
+			results["_fork"] = forkSummary(*scale, forkStats)
+		}
 		results["_meta"] = map[string]any{
 			"scale":              *scale,
 			"parallelism":        eng.Parallelism(),
@@ -201,6 +223,44 @@ func main() {
 
 // renderer is any experiment result that can print itself as text.
 type renderer interface{ Render() string }
+
+// forkSummary shapes one forked sweep's throughput numbers for JSON
+// output, with the methodology the numbers are only meaningful under.
+func forkSummary(scale float64, s *harness.ForkStats) map[string]any {
+	return map[string]any{
+		"experiment":             "policymatrix",
+		"scale":                  scale,
+		"groups":                 s.Groups,
+		"forked_runs":            s.ForkedRuns,
+		"straight_runs":          s.StraightRuns,
+		"warmup_cycles_straight": s.WarmupStraight,
+		"warmup_cycles_forked":   s.WarmupForked,
+		"warmup_reduction":       s.WarmupReduction(),
+		"methodology": []string{
+			"The policy-matrix sweep runs every workload x {O2,O3} pair under each prefetch-policy column; all ADORE columns of one pair execute an identical simulation prefix up to the run's first policy-dependent decision.",
+			"A fork group is the set of ADORE jobs sharing a compile key and a policy-neutral config fingerprint; its first member runs as the probe, capturing a whole-machine snapshot (CPU, memory, caches, MSHRs, PMU, controller, code image) at the policy-divergence point.",
+			"warmup_cycles_straight is what a non-forked sweep simulates for the grouped jobs' shared prefixes: group members x snapshot cycle, summed over groups that captured a snapshot.",
+			"warmup_cycles_forked is what the forked sweep simulated for the same work: each group's snapshot cycle once. warmup_reduction is their ratio.",
+			"Groups whose probe never reached a snapshot-worthy boundary (e.g. no stable phase at this scale) fall back to straight runs and are excluded from both warmup totals.",
+			"Forked results are bit-identical to straight runs; TestForkPolicyMatrixBitIdentical asserts the full matrix JSON byte-for-byte.",
+		},
+	}
+}
+
+// writeForkJSON writes the fork-engine summary (BENCH_fork.json).
+func writeForkJSON(path string, scale float64, s *harness.ForkStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(forkSummary(scale, s)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // observedRun executes one benchmark under ADORE with the observability
 // layer enabled and exports the recorded stream.

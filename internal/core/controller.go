@@ -114,6 +114,16 @@ type Controller struct {
 	// (tooling and tests; not used by the pipeline itself).
 	OnOptimize func(t *Trace, loads []DelinquentLoad, res OptimizeResult)
 
+	// OnPolicyPoint, when set, fires immediately before the controller's
+	// first policy-dependent act of a stable phase — the moment the
+	// prefetch policy (or the runtime selector) is consulted. Everything
+	// the controller does before this callback is independent of
+	// Config.Policy/Config.Selector, which is the fork engine's contract:
+	// a snapshot taken at any hook boundary before the callback fires can
+	// seed continuations running any policy (DESIGN.md §16). Observation
+	// only; must not perturb the controller.
+	OnPolicyPoint func(now uint64)
+
 	Stats Stats
 }
 
@@ -266,6 +276,9 @@ func (c *Controller) onStablePhase(now uint64, info *PhaseInfo) uint64 {
 
 	// One prefetch-policy decision per stable phase: with the selector on,
 	// the live counters pick the policy; otherwise the configured one runs.
+	if c.OnPolicyPoint != nil {
+		c.OnPolicyPoint(now)
+	}
 	ctx := c.prefetchContext(info.CPI)
 	pol := c.pf
 	if c.sel != nil {

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/memsys"
+	"repro/internal/obs"
+	"repro/internal/pmu"
+	"repro/internal/verify"
+)
+
+// Controller snapshotting for the checkpoint/fork engine (DESIGN.md §16).
+// A snapshot deep-copies every run-varying field of the dynopt pipeline:
+// the UEB (windows and their samples), the phase detector (history,
+// aggregation, signature table), the trace pool cursor, patch records,
+// handled-phase signatures, pending windows, live instrumentation
+// experiments, verifier findings, selector usage, the observability
+// recorder contents and per-window delta baselines, and Stats.
+//
+// The controller's structural wiring — code space, PMU, policies, hooks —
+// is NOT captured: a fork continuation assembles its own controller (with
+// its own, possibly different, prefetch policy and selector) and Restore
+// overwrites only the accumulated state. That is what makes forking at a
+// policy-divergence point meaningful: everything the pipeline did before
+// the snapshot is policy-independent, so the same snapshot seeds any
+// policy's continuation.
+
+// instrState captures one live instrumentation experiment. The patch
+// pointer is flattened to an index into the snapshot's patch list and
+// re-linked on restore.
+type instrState struct {
+	patchIdx int // index into patches; -1 when unlinked
+	bufBase  uint64
+	loadPC   uint64
+	addrReg  isa.Reg
+	avgLat   float64
+	origCopy *Trace
+	phaseCPI float64
+}
+
+// Snapshot captures the controller's run-varying state.
+type Snapshot struct {
+	uebWindows  []windowData
+	uebSeq      int
+	prevCycles  uint64
+	prevRetired uint64
+	prevDMiss   uint64
+	havePrev    bool
+
+	detHistory     []WindowMetrics
+	detPending     []WindowMetrics
+	detAgg         int
+	detInStable    bool
+	detSinceStable int
+	detLastSig     float64
+	detWindowsSeen int
+	detDouble      int
+	detTable       []tableEntry
+	detTableHits   int
+	detTableMisses int
+
+	poolSize int // pool capacity in bundles, for restore validation
+	poolNext int
+
+	patches    []PatchRecord
+	optimized  []float64
+	blacklist  []float64
+	newWindows []WindowMetrics
+	instr      []instrState
+	findings   []verify.Finding
+	selUse     map[string]int
+
+	obsEvents    []obs.Event
+	obsDropped   uint64
+	obsRecording bool
+	prevStack    cpu.CPIStack
+	prevLoop     map[int]cpu.CPIStack
+	prevPf       memsys.PrefetchStats
+	prevL1D      memsys.CacheStats
+
+	stats Stats
+}
+
+// Snapshot deep-copies the controller's mutable state.
+func (c *Controller) Snapshot() *Snapshot {
+	s := &Snapshot{
+		uebSeq:      c.ueb.seq,
+		prevCycles:  c.ueb.prevCycles,
+		prevRetired: c.ueb.prevRetired,
+		prevDMiss:   c.ueb.prevDMiss,
+		havePrev:    c.ueb.havePrev,
+
+		detHistory:     append([]WindowMetrics(nil), c.det.history...),
+		detPending:     append([]WindowMetrics(nil), c.det.pending...),
+		detAgg:         c.det.agg,
+		detInStable:    c.det.inStable,
+		detSinceStable: c.det.sinceStable,
+		detLastSig:     c.det.lastSig,
+		detWindowsSeen: c.det.windowsSeen,
+		detDouble:      c.det.DoubleEvents,
+		detTable:       append([]tableEntry(nil), c.det.table...),
+		detTableHits:   c.det.TableHits,
+		detTableMisses: c.det.TableMisses,
+
+		poolSize: len(c.pool.seg.Bundles),
+		poolNext: c.pool.next,
+
+		optimized:  append([]float64(nil), c.optimized...),
+		blacklist:  append([]float64(nil), c.blacklist...),
+		newWindows: append([]WindowMetrics(nil), c.newWindows...),
+		findings:   append([]verify.Finding(nil), c.findings...),
+
+		obsRecording: c.obs.rec != nil,
+		prevStack:    c.obs.prevStack,
+		prevPf:       c.obs.prevPf,
+		prevL1D:      c.obs.prevL1D,
+
+		stats: c.Stats,
+	}
+	s.uebWindows = make([]windowData, len(c.ueb.windows))
+	for i, w := range c.ueb.windows {
+		s.uebWindows[i] = windowData{
+			samples: append([]pmu.Sample(nil), w.samples...),
+			metrics: w.metrics,
+		}
+	}
+	s.patches = make([]PatchRecord, len(c.patches))
+	for i, rec := range c.patches {
+		s.patches[i] = *rec
+	}
+	s.instr = make([]instrState, 0, len(c.instr))
+	for _, ir := range c.instr {
+		st := instrState{
+			patchIdx: -1,
+			bufBase:  ir.bufBase,
+			loadPC:   ir.loadPC,
+			addrReg:  ir.addrReg,
+			avgLat:   ir.avgLat,
+			phaseCPI: ir.phaseCPI,
+		}
+		if ir.origCopy != nil {
+			st.origCopy = cloneTrace(ir.origCopy)
+		}
+		for pi, rec := range c.patches {
+			if rec == ir.patch {
+				st.patchIdx = pi
+				break
+			}
+		}
+		s.instr = append(s.instr, st)
+	}
+	if c.sel != nil {
+		s.selUse = make(map[string]int, len(c.sel.use))
+		for k, v := range c.sel.use {
+			s.selUse[k] = v
+		}
+	}
+	if c.obs.rec != nil {
+		s.obsEvents = c.obs.rec.Events()
+		s.obsDropped = c.obs.rec.Dropped()
+		s.prevLoop = make(map[int]cpu.CPIStack, len(c.obs.prevLoop))
+		for k, v := range c.obs.prevLoop {
+			s.prevLoop[k] = v
+		}
+	}
+	return s
+}
+
+// Restore overwrites the controller's mutable state from s. Call it on a
+// freshly assembled controller after Attach (Restore rewinds nothing on
+// the CPU or PMU — those have their own snapshots). The receiver's
+// prefetch policy and selector MAY differ from the snapshotted run's: the
+// snapshot must then have been taken before any policy-dependent decision
+// (the fork engine's OnPolicyPoint contract). Structural mismatches —
+// trace pool capacity, observability enablement — are errors.
+func (c *Controller) Restore(s *Snapshot) error {
+	if len(c.pool.seg.Bundles) != s.poolSize {
+		return fmt.Errorf("core: snapshot pool capacity %d does not match %d", s.poolSize, len(c.pool.seg.Bundles))
+	}
+	if (c.obs.rec != nil) != s.obsRecording {
+		return fmt.Errorf("core: snapshot observability (%v) does not match controller's (%v)", s.obsRecording, c.obs.rec != nil)
+	}
+
+	c.ueb.windows = make([]windowData, len(s.uebWindows))
+	for i, w := range s.uebWindows {
+		c.ueb.windows[i] = windowData{
+			samples: append([]pmu.Sample(nil), w.samples...),
+			metrics: w.metrics,
+		}
+	}
+	c.ueb.seq = s.uebSeq
+	c.ueb.prevCycles = s.prevCycles
+	c.ueb.prevRetired = s.prevRetired
+	c.ueb.prevDMiss = s.prevDMiss
+	c.ueb.havePrev = s.havePrev
+
+	c.det.history = append(c.det.history[:0], s.detHistory...)
+	c.det.pending = append(c.det.pending[:0], s.detPending...)
+	c.det.agg = s.detAgg
+	c.det.inStable = s.detInStable
+	c.det.sinceStable = s.detSinceStable
+	c.det.lastSig = s.detLastSig
+	c.det.windowsSeen = s.detWindowsSeen
+	c.det.DoubleEvents = s.detDouble
+	c.det.table = append(c.det.table[:0], s.detTable...)
+	c.det.TableHits = s.detTableHits
+	c.det.TableMisses = s.detTableMisses
+
+	c.pool.next = s.poolNext
+
+	c.patches = make([]*PatchRecord, len(s.patches))
+	for i := range s.patches {
+		rec := s.patches[i]
+		c.patches[i] = &rec
+	}
+	c.optimized = append([]float64(nil), s.optimized...)
+	c.blacklist = append([]float64(nil), s.blacklist...)
+	c.newWindows = append([]WindowMetrics(nil), s.newWindows...)
+	c.findings = append([]verify.Finding(nil), s.findings...)
+
+	c.instr = make([]*instrRecord, 0, len(s.instr))
+	for _, st := range s.instr {
+		ir := &instrRecord{
+			bufBase:  st.bufBase,
+			loadPC:   st.loadPC,
+			addrReg:  st.addrReg,
+			avgLat:   st.avgLat,
+			phaseCPI: st.phaseCPI,
+		}
+		if st.origCopy != nil {
+			ir.origCopy = cloneTrace(st.origCopy)
+		}
+		if st.patchIdx >= 0 && st.patchIdx < len(c.patches) {
+			ir.patch = c.patches[st.patchIdx]
+		}
+		c.instr = append(c.instr, ir)
+	}
+
+	if c.sel != nil {
+		use := make(map[string]int, len(s.selUse))
+		for k, v := range s.selUse {
+			use[k] = v
+		}
+		c.sel.use = use
+	}
+
+	if c.obs.rec != nil {
+		if err := c.obs.rec.Restore(s.obsEvents, s.obsDropped); err != nil {
+			return err
+		}
+		c.obs.prevStack = s.prevStack
+		c.obs.prevPf = s.prevPf
+		c.obs.prevL1D = s.prevL1D
+		c.obs.prevLoop = make(map[int]cpu.CPIStack, len(s.prevLoop))
+		for k, v := range s.prevLoop {
+			c.obs.prevLoop[k] = v
+		}
+	}
+
+	c.Stats = s.stats
+	return nil
+}
+
+// PendingWindows reports the number of profile windows delivered by the
+// PMU but not yet consumed by the poll hook — the fork engine's gate for
+// snapshot-worthy hook boundaries (a pending window may be about to make a
+// phase stable and trigger the first policy decision).
+func (c *Controller) PendingWindows() int { return len(c.newWindows) }

@@ -127,6 +127,11 @@ type CPU struct {
 	// (^0 when none) — the next-event gate that keeps the per-bundle
 	// cost of hook scheduling to one compare.
 	hookNext uint64
+	// preHook, when set, observes hook boundaries just before the due
+	// hooks run (OnHookBoundary) — the fork engine's snapshot gate. It
+	// rides the existing hookNext compare, so the nil default adds no
+	// per-bundle work.
+	preHook func(now uint64)
 
 	pre predecode // direct-indexed code image (predecode.go)
 
@@ -204,6 +209,16 @@ func (c *CPU) Now() uint64 { return c.cycle }
 // Halted reports whether the program has executed halt (or returned from
 // its outermost frame).
 func (c *CPU) Halted() bool { return c.halted }
+
+// OnHookBoundary registers fn to observe every hook boundary — each point
+// where the run loop pauses at a bundle boundary to run due poll hooks —
+// immediately before those hooks fire. The callback must not perturb the
+// simulation; the fork engine uses it to snapshot machine state at
+// positions a restored run can resume from (the pending hooks re-fire
+// under the continuation's own configuration). Setup-time, not per-cycle.
+//
+//adore:coldpath
+func (c *CPU) OnHookBoundary(fn func(now uint64)) { c.preHook = fn }
 
 // AddPollHook registers fn to run every interval cycles, at bundle
 // boundaries. Called during setup, before the run loop starts.
@@ -312,6 +327,9 @@ func (c *CPU) step() error {
 	// next-fire cycle across hooks, so the no-hook (and between-fires)
 	// path is a single compare.
 	if c.cycle >= c.hookNext {
+		if c.preHook != nil {
+			c.preHook(c.cycle)
+		}
 		c.runHooks()
 	}
 

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -45,36 +46,120 @@ func TestRunErrorReportsCurrentCycles(t *testing.T) {
 // with Reset between runs and demands bit-identical CPU and cache
 // statistics — the regression net for stale microarchitectural state
 // (lastFetchLine, hook next-fire times, scoreboard, victim/way memos)
-// surviving a Reset.
+// surviving a Reset. The variants re-prove the invariant with each
+// optional observation subsystem enabled: CPI-stack accounting with a
+// loop image attached (observe), the simulated-execution profiler, and
+// both at once under a telemetry-style counting hook — a poll hook that
+// only reads state, the shape the harness's metric wiring uses.
 func TestReusedCPUBitIdenticalStats(t *testing.T) {
 	const base, n = 0x10000, 400
-	c, r := buildMachine(t, sumLoop(base, n), nil)
-	for i := 0; i < n; i++ {
-		c.Mem.WriteN(base+uint64(i*8), 8, uint64(i*7))
+	variants := []struct {
+		name       string
+		accounting bool
+		profiler   uint64 // sampling interval; 0 = off
+		telemetry  bool
+	}{
+		{name: "plain"},
+		{name: "observe", accounting: true},
+		{name: "profiler", profiler: 4099},
+		{name: "observe+profiler+telemetry", accounting: true, profiler: 4099, telemetry: true},
 	}
-	// A poll hook with a charge exercises the hook schedule reset too.
-	c.AddPollHook(700, func(uint64) uint64 { return 3 })
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			b := sumLoop(base, n)
+			r, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := program.NewCodeSpace()
+			if err := cs.AddSegment(&program.Segment{Name: "main", Base: r.Base, Bundles: r.Bundles}); err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Accounting = v.accounting
+			c := New(cfg, cs, memsys.NewMemory(), memsys.NewHierarchy(memsys.DefaultConfig()), nil)
+			c.SetPC(r.Base)
+			for i := 0; i < n; i++ {
+				c.Mem.WriteN(base+uint64(i*8), 8, uint64(i*7))
+			}
+			if v.accounting {
+				loopAddr, _ := r.AddrOf("loop")
+				c.SetImage(&program.Image{Name: "sumloop", Loops: []program.LoopInfo{
+					{ID: 1, Name: "loop", Head: loopAddr, BodyStart: loopAddr, BodyEnd: loopAddr + 2*isa.BundleBytes},
+				}})
+			}
+			if v.profiler != 0 {
+				c.EnableProfiler(v.profiler)
+			}
+			// A poll hook with a charge exercises the hook schedule reset
+			// too; the telemetry variant adds a read-only counting hook.
+			c.AddPollHook(700, func(uint64) uint64 { return 3 })
+			var polls uint64
+			if v.telemetry {
+				c.AddPollHook(900, func(uint64) uint64 { polls++; return 0 })
+			}
 
-	run1 := run(t, c)
-	sum1 := c.GR[8]
-	h1 := [4]memsys.CacheStats{c.Hier.L1D.Stats, c.Hier.L1I.Stats, c.Hier.L2.Stats, c.Hier.L3.Stats}
+			type observation struct {
+				stats Stats
+				sum   uint64
+				hier  [4]memsys.CacheStats
+				stack CPIStack
+				loops map[int]CPIStack
+				prof  map[uint64]PCSample
+				polls uint64
+			}
+			observe := func() observation {
+				o := observation{
+					stats: run(t, c),
+					sum:   c.GR[8],
+					hier:  [4]memsys.CacheStats{c.Hier.L1D.Stats, c.Hier.L1I.Stats, c.Hier.L2.Stats, c.Hier.L3.Stats},
+					polls: polls,
+				}
+				o.stack, _ = c.Accounting()
+				o.loops = c.LoopAccounting()
+				o.prof = c.ProfileSamples()
+				return o
+			}
 
-	// Reset the machine and the hierarchy (which belongs to the caller,
-	// per the Reset contract) and re-run the identical image.
-	c.Reset()
-	c.Hier.Reset()
-	c.SetPC(r.Base)
-	run2 := run(t, c)
-	h2 := [4]memsys.CacheStats{c.Hier.L1D.Stats, c.Hier.L1I.Stats, c.Hier.L2.Stats, c.Hier.L3.Stats}
+			o1 := observe()
+			// Reset the machine and the hierarchy (which belongs to the
+			// caller, per the Reset contract) and re-run the identical image.
+			c.Reset()
+			c.Hier.Reset()
+			c.SetPC(r.Base)
+			polls = 0
+			o2 := observe()
 
-	if run1 != run2 {
-		t.Fatalf("reused CPU diverged:\n run1 %+v\n run2 %+v", run1, run2)
-	}
-	if c.GR[8] != sum1 {
-		t.Fatalf("architectural divergence: sum %d then %d", sum1, c.GR[8])
-	}
-	if h1 != h2 {
-		t.Fatalf("cache stats diverged:\n run1 %+v\n run2 %+v", h1, h2)
+			if o1.stats != o2.stats {
+				t.Fatalf("reused CPU diverged:\n run1 %+v\n run2 %+v", o1.stats, o2.stats)
+			}
+			if o1.sum != o2.sum {
+				t.Fatalf("architectural divergence: sum %d then %d", o1.sum, o2.sum)
+			}
+			if o1.hier != o2.hier {
+				t.Fatalf("cache stats diverged:\n run1 %+v\n run2 %+v", o1.hier, o2.hier)
+			}
+			if o1.stack != o2.stack {
+				t.Fatalf("CPI stack diverged:\n run1 %+v\n run2 %+v", o1.stack, o2.stack)
+			}
+			if !reflect.DeepEqual(o1.loops, o2.loops) {
+				t.Fatalf("per-loop CPI stacks diverged:\n run1 %+v\n run2 %+v", o1.loops, o2.loops)
+			}
+			if !reflect.DeepEqual(o1.prof, o2.prof) {
+				t.Fatalf("profiler samples diverged:\n run1 %+v\n run2 %+v", o1.prof, o2.prof)
+			}
+			if o1.polls != o2.polls {
+				t.Fatalf("telemetry hook fired %d then %d times", o1.polls, o2.polls)
+			}
+			if v.accounting {
+				if _, ok := o1.loops[1]; !ok {
+					t.Fatal("loop attribution produced no stack for loop 1 — variant not exercising accounting")
+				}
+			}
+			if v.profiler != 0 && len(o1.prof) == 0 {
+				t.Fatal("profiler produced no samples — variant not exercising the profiler")
+			}
+		})
 	}
 }
 

@@ -61,6 +61,32 @@ func RunPolicyMatrix(cfg ExpConfig) (*PolicyMatrixResult, error) {
 // Core.Policy/Core.Selector — which is exactly the aliasing hazard the run
 // fingerprint exists to prevent (see ResultCache).
 func RunPolicyMatrixContext(ctx context.Context, cfg ExpConfig) (*PolicyMatrixResult, error) {
+	benches, cols, jobs := policyMatrixJobs(cfg)
+	runs, err := cfg.engine().RunJobs(ctx, "policymatrix", jobs)
+	if err != nil {
+		return nil, err
+	}
+	return policyMatrixResult(benches, cols, runs), nil
+}
+
+// RunPolicyMatrixForkedContext runs the identical matrix on the
+// checkpoint/fork engine: per benchmark, the ADORE columns share one
+// warmup through a divergence-point snapshot (RunJobsForked) instead of
+// each simulating it. The result is bit-identical to
+// RunPolicyMatrixContext's; the returned ForkStats report the warmup
+// cycles the sharing saved.
+func RunPolicyMatrixForkedContext(ctx context.Context, cfg ExpConfig) (*PolicyMatrixResult, *ForkStats, error) {
+	benches, cols, jobs := policyMatrixJobs(cfg)
+	runs, stats, err := cfg.engine().RunJobsForked(ctx, "policymatrix", jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return policyMatrixResult(benches, cols, runs), stats, nil
+}
+
+// policyMatrixJobs builds the sweep's job list: benches × columns, in
+// row-major order (the layout policyMatrixResult depends on).
+func policyMatrixJobs(cfg ExpConfig) ([]workloads.Benchmark, []string, []Job) {
 	benches := workloads.All(cfg.Scale)
 	cols := PolicyColumns()
 	jobs := make([]Job, 0, len(benches)*len(cols))
@@ -83,10 +109,11 @@ func RunPolicyMatrixContext(ctx context.Context, cfg ExpConfig) (*PolicyMatrixRe
 			jobs = append(jobs, Job{Name: b.Name + "/" + col, Compile: sp, Config: rc})
 		}
 	}
-	runs, err := cfg.engine().RunJobs(ctx, "policymatrix", jobs)
-	if err != nil {
-		return nil, err
-	}
+	return benches, cols, jobs
+}
+
+// policyMatrixResult assembles the matrix from row-major run results.
+func policyMatrixResult(benches []workloads.Benchmark, cols []string, runs []*RunResult) *PolicyMatrixResult {
 	res := &PolicyMatrixResult{Policies: cols}
 	for i, b := range benches {
 		row := PolicyMatrixRow{
@@ -103,7 +130,7 @@ func RunPolicyMatrixContext(ctx context.Context, cfg ExpConfig) (*PolicyMatrixRe
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	return res
 }
 
 // AggregateCycles sums each column over the whole suite.

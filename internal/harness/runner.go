@@ -190,6 +190,16 @@ func RunImage(img *program.Image, cfg RunConfig) (*RunResult, error) {
 
 // RunImageContext is RunImage with cancellation.
 func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*RunResult, error) {
+	return runImage(ctx, img, cfg, nil, nil)
+}
+
+// runImage assembles and runs one machine. The two optional fork
+// parameters (fork.go) select the checkpoint/fork engine's modes: a
+// non-nil probe captures a ForkSnapshot while the run executes normally;
+// a non-nil resume rewinds the freshly assembled machine to the snapshot
+// before the first simulated cycle, so the run replays only the
+// continuation. At most one may be set; plain runs pass nil for both.
+func runImage(ctx context.Context, img *program.Image, cfg RunConfig, probe *forkProbe, resume *ForkSnapshot) (*RunResult, error) {
 	code := program.NewCodeSpace()
 	// Each run gets a private copy of the code: ADORE patches bundles in
 	// place, and runs must not contaminate each other.
@@ -201,9 +211,17 @@ func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*R
 	if err := code.AddSegment(seg); err != nil {
 		return nil, err
 	}
-	mem := memsys.NewMemory()
-	if img.InitData != nil {
-		img.InitData(mem)
+	var mem *memsys.Memory
+	if resume != nil {
+		// A continuation forks the snapshot's frozen memory image instead
+		// of re-initializing: pages are shared copy-on-write, so N
+		// continuations fan out from one warmup without copying the heap.
+		mem = resume.mem.Fork()
+	} else {
+		mem = memsys.NewMemory()
+		if img.InitData != nil {
+			img.InitData(mem)
+		}
 	}
 	hier := memsys.NewHierarchy(cfg.Hierarchy)
 
@@ -267,6 +285,17 @@ func RunImageContext(ctx context.Context, img *program.Image, cfg RunConfig) (*R
 			record(ueb.AddWindow(s))
 		})
 		p.Start(0)
+	}
+
+	if probe != nil {
+		if err := probe.arm(m, mem, code, hier, p, ctrl, res); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", img.Name, err)
+		}
+	}
+	if resume != nil {
+		if err := resume.restore(m, code, hier, p, ctrl, res); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", img.Name, err)
+		}
 	}
 
 	maxInsts := cfg.MaxInsts

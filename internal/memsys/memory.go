@@ -44,8 +44,26 @@ type Memory struct {
 	// Direct-mapped translation cache in front of the page map: the map
 	// lookup per access is the dominant cost of functional memory once
 	// the working set spans many pages. Pages are never freed, so entries
-	// never go stale.
+	// never go stale — but after Fork a page may be *replaced* by a
+	// private copy, which is why the write path runs through wtlb below
+	// and repairs both caches when it copies.
 	tlb [1 << tlbBits]tlbEntry
+
+	// Copy-on-write fork support (Fork). wtlb caches translations for the
+	// write path only and holds exclusively pages known to be private, so
+	// the write fast path of a forked memory is the same single array
+	// probe as before forking. shared marks page indices whose *page is
+	// aliased by another Memory; a write to one copies the page first.
+	// Both stay nil/empty until Fork is called, keeping the unforked
+	// write path allocation-free and bit-identical to the pre-fork code.
+	wtlb   [1 << tlbBits]tlbEntry
+	shared map[uint64]struct{}
+
+	// sealed records that every resident page is marked shared and wtlb
+	// is empty — the state Fork leaves both sides in. It lets Fork skip
+	// mutating an already-sealed receiver, so any number of goroutines
+	// may Fork the same frozen snapshot memory concurrently.
+	sealed bool
 }
 
 // NewMemory returns an empty memory.
@@ -53,43 +71,111 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64]*page)}
 }
 
-// pageFor resolves addr's page, optionally creating it. The cache-hit path
-// is small enough to inline into ReadN/WriteN.
-func (m *Memory) pageFor(addr uint64, create bool) *page {
+// pageFor resolves addr's page for reading (nil if absent). The cache-hit
+// path is small enough to inline into ReadN.
+func (m *Memory) pageFor(addr uint64) *page {
 	idx := addr >> pageBits
 	e := &m.tlb[idx&(1<<tlbBits-1)]
 	if e.p != nil && e.idx == idx {
 		return e.p
 	}
-	return m.pageSlow(idx, create)
+	return m.pageSlow(idx)
 }
 
-// pageSlow consults (and on a create miss, grows) the page map, refilling
-// the translation cache. The per-access fast path is pageFor; the
-// allocation here runs once per 4 KiB of footprint, on first touch.
+// pageSlow consults the page map on a read miss, refilling the
+// translation cache. The per-access fast path is pageFor; reads of absent
+// pages return nil (callers treat them as zero).
 //
 //adore:coldpath
-func (m *Memory) pageSlow(idx uint64, create bool) *page {
+func (m *Memory) pageSlow(idx uint64) *page {
 	p := m.pages[idx]
 	if p == nil {
-		if !create {
-			return nil
-		}
+		return nil
+	}
+	m.tlb[idx&(1<<tlbBits-1)] = tlbEntry{idx: idx, p: p}
+	return p
+}
+
+// pageForWrite resolves addr's page for writing. The fast path probes the
+// write translation cache, which by construction holds only private pages,
+// so a hit never needs a copy-on-write check.
+func (m *Memory) pageForWrite(addr uint64) *page {
+	idx := addr >> pageBits
+	e := &m.wtlb[idx&(1<<tlbBits-1)]
+	if e.p != nil && e.idx == idx {
+		return e.p
+	}
+	return m.pageWriteSlow(idx)
+}
+
+// pageWriteSlow grows the page map on first touch and, after a Fork,
+// copies a shared page before handing it out. It repairs both translation
+// caches: the read cache may still hold the pre-copy alias, and leaving it
+// would make reads observe the frozen fork-side bytes.
+//
+//adore:coldpath
+func (m *Memory) pageWriteSlow(idx uint64) *page {
+	m.sealed = false
+	p := m.pages[idx]
+	switch {
+	case p == nil:
 		p = new(page)
 		if m.pages == nil {
 			m.pages = make(map[uint64]*page)
 		}
 		m.pages[idx] = p
+	case m.shared != nil:
+		if _, aliased := m.shared[idx]; aliased {
+			cp := new(page)
+			*cp = *p
+			p = cp
+			m.pages[idx] = p
+			delete(m.shared, idx)
+		}
 	}
-	m.tlb[idx&(1<<tlbBits-1)] = tlbEntry{idx: idx, p: p}
+	slot := idx & (1<<tlbBits - 1)
+	m.wtlb[slot] = tlbEntry{idx: idx, p: p}
+	m.tlb[slot] = tlbEntry{idx: idx, p: p}
 	return p
+}
+
+// Fork returns a copy-on-write clone: both memories see the same bytes at
+// the moment of the call, share all resident pages, and transparently copy
+// a page the first time either side writes it. Forking is O(resident
+// pages) and copies no data. A Memory produced by Fork and never written
+// to ("sealed") may itself be forked by any number of goroutines
+// concurrently — the idiom the fork-sweep engine uses, freezing one
+// snapshot memory and forking a private memory per continuation.
+//
+//adore:coldpath
+func (m *Memory) Fork() *Memory {
+	n := &Memory{
+		pages:  make(map[uint64]*page, len(m.pages)),
+		shared: make(map[uint64]struct{}, len(m.pages)),
+		sealed: true,
+	}
+	for idx, p := range m.pages {
+		n.pages[idx] = p
+		n.shared[idx] = struct{}{}
+	}
+	if !m.sealed {
+		if m.shared == nil {
+			m.shared = make(map[uint64]struct{}, len(m.pages))
+		}
+		for idx := range m.pages {
+			m.shared[idx] = struct{}{}
+		}
+		m.wtlb = [1 << tlbBits]tlbEntry{}
+		m.sealed = true
+	}
+	return n
 }
 
 // ReadN reads size bytes (1, 2, 4 or 8) little-endian at addr.
 func (m *Memory) ReadN(addr uint64, size int) uint64 {
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
-		p := m.pageFor(addr, false)
+		p := m.pageFor(addr)
 		if p == nil {
 			return 0
 		}
@@ -116,7 +202,7 @@ func (m *Memory) ReadN(addr uint64, size int) uint64 {
 func (m *Memory) WriteN(addr uint64, size int, v uint64) {
 	off := addr & pageMask
 	if off+uint64(size) <= pageSize {
-		p := m.pageFor(addr, true)
+		p := m.pageForWrite(addr)
 		switch size {
 		case 1:
 			p[off] = byte(v)
@@ -138,7 +224,7 @@ func (m *Memory) WriteN(addr uint64, size int, v uint64) {
 }
 
 func (m *Memory) readByte(addr uint64) byte {
-	p := m.pageFor(addr, false)
+	p := m.pageFor(addr)
 	if p == nil {
 		return 0
 	}
@@ -146,7 +232,7 @@ func (m *Memory) readByte(addr uint64) byte {
 }
 
 func (m *Memory) writeByte(addr uint64, b byte) {
-	m.pageFor(addr, true)[addr&pageMask] = b
+	m.pageForWrite(addr)[addr&pageMask] = b
 }
 
 // Read64 reads an 8-byte value.

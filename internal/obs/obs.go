@@ -11,6 +11,11 @@
 // call sites.
 package obs
 
+import (
+	"errors"
+	"fmt"
+)
+
 // Kind identifies what an Event records. The controller-pipeline kinds
 // mirror the ADORE control loop (DESIGN.md §10); the counter kinds carry
 // per-profile-window deltas for the Perfetto counter tracks.
@@ -168,6 +173,28 @@ func (r *Recorder) Events() []Event {
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
 	return out
+}
+
+// Restore replaces the recorder's contents with the given oldest-first
+// events and dropped count — the values a prior Events()/Dropped() pair
+// returned. The ring resumes exactly as the original would: a full ring
+// keeps overwriting oldest-first, so the event stream a restored run
+// produces is identical to the uninterrupted one. Restoring more events
+// than the ring's capacity is an error.
+func (r *Recorder) Restore(events []Event, dropped uint64) error {
+	if r == nil {
+		if len(events) > 0 {
+			return errors.New("obs: restoring events into a nil recorder")
+		}
+		return nil
+	}
+	if len(events) > cap(r.buf) {
+		return fmt.Errorf("obs: restoring %d events into a %d-capacity recorder", len(events), cap(r.buf))
+	}
+	r.buf = append(r.buf[:0], events...)
+	r.next = 0
+	r.dropped = dropped
+	return nil
 }
 
 // LoopLabel names one compiler loop for the exporters' per-loop tracks.

@@ -1,0 +1,89 @@
+package pmu
+
+import "fmt"
+
+// Snapshot captures the PMU's run-varying state for the checkpoint/fork
+// engine (DESIGN.md §16): counters, the branch trace buffer, DEAR, the
+// sampling schedule including the jitter rng, and the pending SSB
+// contents. The configuration and the overflow handler are not captured —
+// the handler is a host closure, so a restored PMU keeps the handler its
+// rebuilt machine registered, and Restore validates the configuration
+// matches instead of copying it.
+type Snapshot struct {
+	cfg     Config
+	enabled bool
+
+	cycles  uint64
+	retired uint64
+	dMiss   uint64
+
+	btb    [BTBEntries]BranchRec
+	btbLen int
+	btbPos int
+	dear   DearRec
+
+	nextSampleAt uint64
+	sampleIndex  uint64
+	ssb          []Sample
+	rng          uint64
+
+	overheadCycles uint64
+	totalSamples   uint64
+	overflows      uint64
+	samplesDropped uint64
+}
+
+// Snapshot deep-copies the PMU's mutable state.
+func (p *PMU) Snapshot() *Snapshot {
+	return &Snapshot{
+		cfg:     p.cfg,
+		enabled: p.enabled,
+
+		cycles:  p.Cycles,
+		retired: p.Retired,
+		dMiss:   p.DMiss,
+
+		btb:    p.btb,
+		btbLen: p.btbLen,
+		btbPos: p.btbPos,
+		dear:   p.dear,
+
+		nextSampleAt: p.nextSampleAt,
+		sampleIndex:  p.sampleIndex,
+		ssb:          append([]Sample(nil), p.ssb...),
+		rng:          p.rng,
+
+		overheadCycles: p.OverheadCycles,
+		totalSamples:   p.TotalSamples,
+		overflows:      p.Overflows,
+		samplesDropped: p.SamplesDropped,
+	}
+}
+
+// Restore overwrites the PMU's mutable state from s, leaving cfg and the
+// handler untouched. Call it after the machine assembly that registers the
+// handler and Starts the PMU — Restore rewinds the sampling schedule
+// (nextSampleAt, rng) that Start advanced. It errors when s was taken from
+// a PMU with a different configuration.
+func (p *PMU) Restore(s *Snapshot) error {
+	if p.cfg != s.cfg {
+		return fmt.Errorf("pmu: snapshot config %+v does not match %+v", s.cfg, p.cfg)
+	}
+	p.enabled = s.enabled
+	p.Cycles = s.cycles
+	p.Retired = s.retired
+	p.DMiss = s.dMiss
+	p.btb = s.btb
+	p.btbLen = s.btbLen
+	p.btbPos = s.btbPos
+	p.dear = s.dear
+	p.nextSampleAt = s.nextSampleAt
+	p.sampleIndex = s.sampleIndex
+	p.ssb = append(p.ssb[:0], s.ssb...)
+	p.rng = s.rng
+	p.OverheadCycles = s.overheadCycles
+	p.TotalSamples = s.totalSamples
+	p.Overflows = s.overflows
+	p.SamplesDropped = s.samplesDropped
+	return nil
+}

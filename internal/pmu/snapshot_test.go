@@ -1,0 +1,105 @@
+package pmu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPMUSnapshotFieldCoverage is the state-exhaustiveness net for the
+// fork engine: every PMU field must be explicitly classified. A new
+// field that Snapshot/Restore were not taught about fails by name.
+func TestPMUSnapshotFieldCoverage(t *testing.T) {
+	covered := map[string]string{
+		"cfg": "validated by Restore",
+
+		"enabled":        "captured",
+		"Cycles":         "captured",
+		"Retired":        "captured",
+		"DMiss":          "captured",
+		"btb":            "captured",
+		"btbLen":         "captured",
+		"btbPos":         "captured",
+		"dear":           "captured",
+		"nextSampleAt":   "captured",
+		"sampleIndex":    "captured",
+		"ssb":            "captured",
+		"rng":            "captured (deterministic jitter state)",
+		"OverheadCycles": "captured",
+		"TotalSamples":   "captured",
+		"Overflows":      "captured",
+		"SamplesDropped": "captured",
+
+		"handler": "host closure, re-registered by the resuming assembly",
+	}
+	typ := reflect.TypeOf(PMU{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := covered[name]; !ok {
+			t.Errorf("pmu.PMU has a new field %q not classified for snapshot coverage — teach Snapshot/Restore about it, then add it to this list", name)
+		}
+	}
+	for name := range covered {
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("coverage list names %q, which no longer exists on pmu.PMU — prune it", name)
+		}
+	}
+}
+
+// TestPMUSnapshotRoundTrip drives two identical PMUs, snapshots one
+// mid-stream, perturbs it, restores, and demands the remaining sample
+// stream (including the jittered sample schedule) match its twin's
+// bit-for-bit.
+func TestPMUSnapshotRoundTrip(t *testing.T) {
+	cfg := Config{SampleInterval: 100, SSBSize: 8, DearLatencyMin: 4, HandlerCyclesPerSample: 10}
+	drive := func(p *PMU, lo, hi uint64) []Sample {
+		var got []Sample
+		p.SetHandler(func(s []Sample) { got = append(got, s...) })
+		for cyc := lo; cyc < hi; cyc++ {
+			p.Retired += 3
+			if cyc%7 == 0 {
+				p.OnBranch(cyc, cyc+16, cyc%14 == 0)
+			}
+			if cyc%13 == 0 {
+				p.OnLoadMiss(cyc, cyc*8, uint32(cyc%50))
+			}
+			if cyc >= p.NextSampleAt() {
+				p.TakeSample(cyc, cyc)
+			}
+		}
+		return got
+	}
+
+	a, b := New(cfg), New(cfg)
+	a.Start(0)
+	b.Start(0)
+	drive(a, 0, 5000)
+	drive(b, 0, 5000)
+	snap := a.Snapshot()
+
+	// Perturb a past the snapshot, then rewind.
+	drive(a, 5000, 9000)
+	if err := a.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	sa := drive(a, 5000, 20000)
+	sb := drive(b, 5000, 20000)
+	if len(sa) != len(sb) {
+		t.Fatalf("restored PMU produced %d samples, twin %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sample %d diverged: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	if a.TotalSamples != b.TotalSamples || a.Overflows != b.Overflows || a.OverheadCycles != b.OverheadCycles {
+		t.Fatalf("counters diverged: %d/%d/%d vs %d/%d/%d",
+			a.TotalSamples, a.Overflows, a.OverheadCycles, b.TotalSamples, b.Overflows, b.OverheadCycles)
+	}
+
+	// Config mismatch is an error.
+	other := cfg
+	other.SampleInterval++
+	if err := New(other).Restore(snap); err == nil {
+		t.Error("config mismatch not rejected")
+	}
+}

@@ -1,0 +1,59 @@
+package program
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// CodeSnapshot captures the bundle contents of every segment in a code
+// space — the patched state an ADORE run has accumulated (entry-bundle
+// rewrites plus the trace pool). Restore writes the bundles back through
+// WriteBundles so change hooks fire and derived caches (the CPU's
+// predecoded image) stay coherent; that is the invalidation rule for code
+// patched after a snapshot (DESIGN.md §16).
+type CodeSnapshot struct {
+	segs []segSnapshot
+}
+
+type segSnapshot struct {
+	base    uint64
+	bundles []isa.Bundle
+}
+
+// Snapshot deep-copies every segment's bundles. Segment identity (base
+// address, length, order) is captured for validation, not restoration:
+// a snapshot can only be restored into a code space with the same layout.
+func (cs *CodeSpace) Snapshot() *CodeSnapshot {
+	s := &CodeSnapshot{segs: make([]segSnapshot, 0, len(cs.segs))}
+	for _, seg := range cs.segs {
+		s.segs = append(s.segs, segSnapshot{
+			base:    seg.Base,
+			bundles: append([]isa.Bundle(nil), seg.Bundles...),
+		})
+	}
+	return s
+}
+
+// Restore overwrites every segment's bundles from s, notifying change
+// hooks. It errors when the code space's segment layout differs from the
+// one the snapshot was taken from.
+func (cs *CodeSpace) Restore(s *CodeSnapshot) error {
+	if len(cs.segs) != len(s.segs) {
+		return fmt.Errorf("program: code snapshot has %d segments, space has %d", len(s.segs), len(cs.segs))
+	}
+	for i, seg := range cs.segs {
+		ss := &s.segs[i]
+		if seg.Base != ss.base || len(seg.Bundles) != len(ss.bundles) {
+			return fmt.Errorf("program: code snapshot segment %d layout mismatch (base %#x/%d vs %#x/%d)",
+				i, ss.base, len(ss.bundles), seg.Base, len(seg.Bundles))
+		}
+	}
+	for i := range cs.segs {
+		ss := &s.segs[i]
+		if err := cs.WriteBundles(ss.base, ss.bundles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
