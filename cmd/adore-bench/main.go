@@ -41,6 +41,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/workloads"
 )
 
@@ -87,7 +88,7 @@ func main() {
 		return
 	}
 
-	status := newStatusTracker()
+	status := serve.NewStatusTracker()
 	var jobsDone atomic.Int64
 	onProgress := func(p harness.Progress) {
 		status.Progress(p)
@@ -102,7 +103,7 @@ func main() {
 	var reg *metrics.Registry
 	if *metricsAddr != "" {
 		reg = metrics.NewRegistry()
-		shutdown, err := serveMetrics(*metricsAddr, reg, status, *linger)
+		shutdown, err := serveMetrics(ctx, *metricsAddr, reg, status, *linger)
 		cli.Fatal(err)
 		defer shutdown()
 	}

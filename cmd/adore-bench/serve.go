@@ -1,18 +1,17 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 )
 
 // The -metrics-addr observability endpoint: while a sweep runs,
@@ -27,88 +26,13 @@ import (
 // endpoint up after the sweeps finish, for scrapers that poll — CI smoke
 // uses it to validate the endpoint after a short run.
 
-// statusTracker folds engine progress callbacks into the /status document.
-type statusTracker struct {
-	mu     sync.Mutex
-	start  time.Time
-	sweeps map[string]*sweepStatus
-}
-
-type sweepStatus struct {
-	Total   int      `json:"total"`
-	Started int      `json:"started"`
-	Done    int      `json:"done"`
-	Failed  int      `json:"failed"`
-	Running []string `json:"running,omitempty"`
-}
-
-func newStatusTracker() *statusTracker {
-	return &statusTracker{start: time.Now(), sweeps: map[string]*sweepStatus{}}
-}
-
-// Progress observes one engine event; safe for concurrent use (the engine
-// calls it from worker goroutines).
-func (t *statusTracker) Progress(p harness.Progress) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s := t.sweeps[p.Sweep]
-	if s == nil {
-		s = &sweepStatus{}
-		t.sweeps[p.Sweep] = s
-	}
-	s.Total = p.Total
-	if !p.Done {
-		s.Started++
-		s.Running = append(s.Running, p.Job)
-		return
-	}
-	if p.Err != nil {
-		s.Failed++
-	} else {
-		s.Done++
-	}
-	for i, name := range s.Running {
-		if name == p.Job {
-			s.Running = append(s.Running[:i], s.Running[i+1:]...)
-			break
-		}
-	}
-}
-
-// ServeHTTP renders the tracker as the /status JSON document.
-func (t *statusTracker) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
-	t.mu.Lock()
-	names := make([]string, 0, len(t.sweeps))
-	for name := range t.sweeps {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	type entry struct {
-		Sweep string `json:"sweep"`
-		sweepStatus
-	}
-	doc := struct {
-		UptimeSeconds float64 `json:"uptime_seconds"`
-		Sweeps        []entry `json:"sweeps"`
-	}{UptimeSeconds: time.Since(t.start).Seconds()}
-	for _, name := range names {
-		s := *t.sweeps[name]
-		s.Running = append([]string(nil), s.Running...)
-		doc.Sweeps = append(doc.Sweeps, entry{Sweep: name, sweepStatus: s})
-	}
-	t.mu.Unlock()
-
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(doc)
-}
-
 // serveMetrics starts the observability endpoint on addr and returns a
-// shutdown func that (after the linger grace) closes the listener. The
-// listener is bound synchronously so the endpoint is scrapeable — and the
-// bound address printed — before any sweep starts.
-func serveMetrics(addr string, reg *metrics.Registry, status *statusTracker, linger time.Duration) (func(), error) {
+// shutdown func that (after the linger grace, cut short if ctx fires)
+// drains the server gracefully. The listener is bound synchronously so
+// the endpoint is scrapeable — and the bound address printed — before any
+// sweep starts. The server carries the hardened timeouts (serve.Hardened)
+// and a Serve failure is logged instead of discarded.
+func serveMetrics(ctx context.Context, addr string, reg *metrics.Registry, status *serve.StatusTracker, linger time.Duration) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("-metrics-addr %s: %w", addr, err)
@@ -124,16 +48,30 @@ func serveMetrics(addr string, reg *metrics.Registry, status *statusTracker, lin
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
+	srv := serve.Hardened(mux)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "warning: -metrics-addr endpoint died: %v\n", err)
+		}
+	}()
 	fmt.Fprintf(os.Stderr, "serving /metrics, /status, /debug/pprof on http://%s\n", ln.Addr())
 
 	return func() {
 		if linger > 0 {
 			fmt.Fprintf(os.Stderr, "sweeps done; serving for another %v (-linger)\n", linger)
-			time.Sleep(linger)
+			select {
+			case <-time.After(linger):
+			case <-ctx.Done():
+				// ^C during the linger: stop waiting, start draining.
+			}
 		}
-		srv.Close()
+		// Graceful drain with a bounded deadline, so an in-flight scrape
+		// finishes but a stuck connection cannot wedge process exit.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			srv.Close()
+		}
 	}, nil
 }
 

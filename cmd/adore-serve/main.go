@@ -1,0 +1,79 @@
+// adore-serve runs the simulator as a long-lived service: a sharded,
+// cached, self-balancing run fleet behind an HTTP/JSON API.
+//
+// Usage:
+//
+//	adore-serve [-addr :8124] [-j 0] [-shards 8] [-shard-cap 128]
+//	            [-slots 0] [-rebalance 2s] [-grace 30s]
+//
+// Endpoints:
+//
+//	POST /run      one simulation by value; see internal/serve.RunRequest
+//	POST /sweep    one workload across policy columns, fork-grouped
+//	GET  /shards   live shard table: cache counters, load, worker slots
+//	GET  /status   per-sweep job progress
+//	GET  /metrics  Prometheus text exposition (?format=json for JSON)
+//	GET  /healthz  liveness
+//
+// Responses are cached by request fingerprint in a sharded bounded-LRU
+// cache; a hit is byte-identical to the cold response, with the
+// disposition in the X-Adore-Cache header. SIGTERM/SIGINT drain
+// gracefully: in-flight requests get -grace to finish, and a clean drain
+// exits 0 (so supervisors and CI can tell a graceful stop from a crash).
+// See DESIGN.md §17.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/cmd/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8124", "listen address")
+	jobs := flag.Int("j", 0, "engine worker-pool width (0 = one per core)")
+	shards := flag.Int("shards", 8, "response-cache shard count (rounded up to a power of two)")
+	shardCap := flag.Int("shard-cap", 128, "max completed responses per shard (LRU eviction past it)")
+	slots := flag.Int("slots", 0, "worker-slot budget split across shards (0 = engine width)")
+	rebalance := flag.Duration("rebalance", 2*time.Second, "shard-manager rebalance interval")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace for in-flight requests")
+	resultCap := flag.Int("result-cap", 1024, "engine result-cache bound (entries)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	cli.Fatal(err)
+
+	srv := serve.New(serve.Config{
+		Parallelism:     *jobs,
+		Shards:          *shards,
+		ShardCap:        *shardCap,
+		TotalSlots:      *slots,
+		Rebalance:       *rebalance,
+		EngineResultCap: *resultCap,
+	})
+
+	ctx := cli.Context()
+	mgrCtx, stopMgr := context.WithCancel(context.Background())
+	go srv.Run(mgrCtx)
+
+	fmt.Fprintf(os.Stderr, "adore-serve: listening on http://%s (%d shards, cap %d, %v shard budget)\n",
+		ln.Addr(), srv.Cache().Shards(), *shardCap, srv.Manager().Allocations())
+
+	// A graceful SIGTERM drain is a SUCCESS for a server (unlike an
+	// interrupted batch sweep), so a clean ListenAndServe return exits 0
+	// rather than taking cli.Fatal's canceled-means-130 path.
+	err = serve.ListenAndServe(ctx, serve.Hardened(srv.Handler()), ln, *grace)
+	stopMgr()
+	if err != nil {
+		cli.Fatal(fmt.Errorf("adore-serve: %w", err))
+	}
+	hits, misses, evictions := srv.Cache().Stats()
+	fmt.Fprintf(os.Stderr, "adore-serve: drained; cache %d hits / %d misses / %d evictions\n",
+		hits, misses, evictions)
+}

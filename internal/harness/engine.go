@@ -46,6 +46,12 @@ type EngineConfig struct {
 	// simulated aggregates (see metrics.go for the semantics). Nil runs
 	// the engine unmetered at no cost.
 	Metrics *metrics.Registry
+
+	// ResultCacheCap bounds the engine's result cache to this many
+	// completed runs (LRU eviction past it). Zero keeps the cache
+	// unbounded — right for one-shot sweeps, wrong for a long-lived
+	// service, which is why adore-serve always sets it.
+	ResultCacheCap int
 }
 
 // Engine runs experiment jobs on a worker pool with shared build and
@@ -65,7 +71,7 @@ type Engine struct {
 // Fig. 11 all compile the same O2 kernels, and Table 2 re-runs Fig. 7's
 // exact machine configurations.
 func NewEngine(cfg EngineConfig) *Engine {
-	e := &Engine{cfg: cfg, cache: NewBuildCache(), results: NewResultCache()}
+	e := &Engine{cfg: cfg, cache: NewBuildCache(), results: NewResultCacheBounded(cfg.ResultCacheCap)}
 	e.metrics = newEngineMetrics(cfg.Metrics)
 	e.metrics.workers.Set(int64(e.Parallelism()))
 	r := cfg.Metrics
@@ -225,6 +231,18 @@ func (e *Engine) RunJobs(ctx context.Context, sweep string, jobs []Job) ([]*RunR
 	return out, nil
 }
 
+// RunJob schedules one job — the unit the serve front door submits per
+// request — and returns its result. Identical to RunJobs with a
+// single-element slice: the job shares the engine's build and result
+// caches and its metrics with every other request in flight.
+func (e *Engine) RunJob(ctx context.Context, sweep string, job Job) (*RunResult, error) {
+	out, err := e.RunJobs(ctx, sweep, []Job{job})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
 // BuildCache is a single-flight cache of compiler builds keyed by
 // CompileSpec.Key. Sharing one BuildResult between concurrent runs is safe
 // because runs copy the code segment and never mutate the image.
@@ -288,13 +306,29 @@ func (c *BuildCache) Stats() (hits, misses uint64) {
 // jobs is safe for the engine's callers, which treat results as read-only;
 // it is NOT used for differential or hook-carrying runs, which go through
 // RunContext directly.
+//
+// An optional capacity (NewResultCacheBounded) turns the cache into an
+// LRU: completed entries beyond the bound are evicted oldest-touched
+// first, which is what a long-lived process (adore-serve) needs — the
+// unbounded form grows forever under a diverse query mix. In-flight
+// entries are never evicted: their waiters hold the entry pointer, and
+// evicting one would let a concurrent identical request start a duplicate
+// simulation.
 type ResultCache struct {
-	mu      sync.Mutex
-	entries map[string]*resultEntry
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	mHits   *metrics.Counter // optional live mirrors (SetMetrics)
-	mMisses *metrics.Counter
+	mu        sync.Mutex
+	entries   map[string]*resultEntry
+	order     []string // completed keys, oldest-touched first (bounded mode only)
+	capacity  int      // 0 = unbounded
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	mHits     *metrics.Counter // optional live mirrors (SetMetrics)
+	mMisses   *metrics.Counter
+
+	// runFn performs the simulation; tests substitute a controllable
+	// runner to pin the single-flight edge cases (stranded waiters,
+	// panicking runners) without real workloads.
+	runFn func(context.Context, *compiler.BuildResult, RunConfig) (*RunResult, error)
 }
 
 type resultEntry struct {
@@ -303,9 +337,20 @@ type resultEntry struct {
 	err   error
 }
 
-// NewResultCache returns an empty cache.
+// NewResultCache returns an empty, unbounded cache.
 func NewResultCache() *ResultCache {
-	return &ResultCache{entries: map[string]*resultEntry{}}
+	return &ResultCache{entries: map[string]*resultEntry{}, runFn: RunContext}
+}
+
+// NewResultCacheBounded returns an empty cache holding at most capacity
+// completed results, evicting least-recently-touched entries beyond it.
+// A capacity <= 0 is unbounded.
+func NewResultCacheBounded(capacity int) *ResultCache {
+	c := NewResultCache()
+	if capacity > 0 {
+		c.capacity = capacity
+	}
+	return c
 }
 
 // SetMetrics mirrors the cache's hit/miss counters onto live metric
@@ -318,34 +363,98 @@ func (c *ResultCache) SetMetrics(hits, misses *metrics.Counter) {
 // distinct (compileKey, cfg.Fingerprint()) pair at most once no matter how
 // many goroutines ask concurrently. A failed run is handed to its waiters
 // but evicted from the cache, so a later retry (e.g. after a canceled
-// sweep) re-runs instead of replaying a stale context error.
+// sweep) re-runs instead of replaying a stale context error. Waiters block
+// on the in-flight run OR their own context — a waiter whose context fires
+// returns immediately instead of stranding on a runner that never
+// finishes — and a panicking runner releases its waiters (with an error in
+// the entry) before the panic propagates.
 func (c *ResultCache) Run(ctx context.Context, compileKey string, build *compiler.BuildResult, cfg RunConfig) (*RunResult, error) {
 	key := compileKey + "|" + cfg.Fingerprint()
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
+		c.touchLocked(key)
 		c.mu.Unlock()
 		c.hits.Add(1)
 		c.mHits.Inc()
-		<-e.ready
-		return e.res, e.err
+		select {
+		case <-e.ready:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &resultEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
 	c.misses.Add(1)
 	c.mMisses.Inc()
-	e.res, e.err = RunContext(ctx, build, cfg)
+
+	finished := false
+	defer func() {
+		if !finished {
+			// The runner panicked. Evict the entry and release the waiters
+			// with an error before the panic unwinds, so nobody strands on
+			// a ready channel that would otherwise never close.
+			e.err = fmt.Errorf("harness: result-cache runner for %s died", key)
+			c.mu.Lock()
+			delete(c.entries, key)
+			c.mu.Unlock()
+			close(e.ready)
+		}
+	}()
+	e.res, e.err = c.runFn(ctx, build, cfg)
+	finished = true
+	c.mu.Lock()
 	if e.err != nil {
-		c.mu.Lock()
 		delete(c.entries, key)
-		c.mu.Unlock()
+	} else {
+		c.completeLocked(key)
 	}
+	c.mu.Unlock()
 	close(e.ready)
 	return e.res, e.err
+}
+
+// touchLocked marks key most-recently-used (bounded mode; no-op otherwise
+// or while the key is still in flight).
+func (c *ResultCache) touchLocked(key string) {
+	if c.capacity == 0 {
+		return
+	}
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// completeLocked records a freshly completed key and evicts past capacity.
+func (c *ResultCache) completeLocked(key string) {
+	if c.capacity == 0 {
+		return
+	}
+	c.order = append(c.order, key)
+	for len(c.order) > c.capacity {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, victim)
+		c.evictions.Add(1)
+	}
 }
 
 // Stats reports cache effectiveness: hits are requests served by an
 // existing or in-flight run, misses are actual simulations.
 func (c *ResultCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Evictions reports how many completed results the bounded mode dropped.
+func (c *ResultCache) Evictions() uint64 { return c.evictions.Load() }
+
+// Len reports the number of cached (and in-flight) entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

@@ -217,3 +217,140 @@ func TestRunContextCancelMidRun(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+// TestResultCacheWaiterNotStranded is the regression test for the serve
+// hardening PR: a sweep whose first runner is canceled must not strand a
+// concurrent second waiter on a ready channel that never closes (or that
+// closes only when the stuck runner eventually dies). The waiter blocks on
+// the in-flight run OR its own context, and a retry after the canceled
+// first runner re-runs instead of replaying the stale error.
+func TestResultCacheWaiterNotStranded(t *testing.T) {
+	c := NewResultCache()
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	c.runFn = func(ctx context.Context, _ *compiler.BuildResult, _ RunConfig) (*RunResult, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+			return &RunResult{Name: "stub"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	cfg := DefaultRunConfig()
+
+	// First runner: holds the in-flight entry until its context fires.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctxA, "k", nil, cfg)
+		errA <- err
+	}()
+	<-started
+
+	// Second waiter with its own live context: joins the in-flight entry.
+	// Canceling ITS context must release it promptly even though the first
+	// runner is still stuck.
+	ctxB, cancelB := context.WithCancel(context.Background())
+	errB := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctxB, "k", nil, cfg)
+		errB <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let B reach the wait
+	cancelB()
+	select {
+	case err := <-errB:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second waiter stranded on a canceled context")
+	}
+
+	// Cancel the first runner: its error evicts the entry...
+	cancelA()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("runner err = %v, want context.Canceled", err)
+	}
+	// ...so a retried sweep re-runs and succeeds.
+	close(block)
+	res, err := c.Run(context.Background(), "k", nil, cfg)
+	if err != nil || res == nil || res.Name != "stub" {
+		t.Fatalf("retry after canceled runner: res=%v err=%v", res, err)
+	}
+	if hits, misses := c.Stats(); misses != 2 {
+		t.Fatalf("stats = %d hits / %d misses, want 2 misses (canceled + retry)", hits, misses)
+	}
+}
+
+// TestResultCachePanicReleasesWaiters: a panicking runner must evict its
+// entry and close the ready channel before the panic unwinds, so waiters
+// see an error instead of stranding forever.
+func TestResultCachePanicReleasesWaiters(t *testing.T) {
+	c := NewResultCache()
+	entered := make(chan struct{})
+	c.runFn = func(context.Context, *compiler.BuildResult, RunConfig) (*RunResult, error) {
+		close(entered)
+		time.Sleep(5 * time.Millisecond) // let the waiter join first
+		panic("runner died")
+	}
+	cfg := DefaultRunConfig()
+	go func() {
+		defer func() { recover() }()
+		c.Run(context.Background(), "k", nil, cfg)
+	}()
+	<-entered
+	_, err := c.Run(context.Background(), "k", nil, cfg)
+	if err == nil {
+		t.Fatal("waiter of a panicked runner returned a nil error")
+	}
+	// The entry was evicted, so a retry runs fresh (and panics again here,
+	// but through its own call — prove the eviction only).
+	if n := c.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after a panicked runner, want 0", n)
+	}
+}
+
+// TestResultCacheBoundedLRU pins the bounded mode: least-recently-touched
+// completed entries are evicted past capacity, touching refreshes recency,
+// and the eviction counter is exact.
+func TestResultCacheBoundedLRU(t *testing.T) {
+	c := NewResultCacheBounded(2)
+	var runs atomic.Int64
+	c.runFn = func(_ context.Context, _ *compiler.BuildResult, _ RunConfig) (*RunResult, error) {
+		runs.Add(1)
+		return &RunResult{Name: "stub"}, nil
+	}
+	cfg := DefaultRunConfig()
+	ctx := context.Background()
+	must := func(key string) {
+		t.Helper()
+		if _, err := c.Run(ctx, key, nil, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must("a")
+	must("b")
+	must("c") // evicts a
+	if got := c.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	must("b") // hit; refreshes b over c
+	must("d") // evicts c (b was touched)
+	if got := c.Evictions(); got != 2 {
+		t.Fatalf("evictions = %d, want 2", got)
+	}
+	must("b") // still cached
+	must("a") // was evicted: re-runs, evicts d
+	if got := runs.Load(); got != 5 {
+		t.Fatalf("runs = %d, want 5 (a b c d + re-run of a)", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 5 {
+		t.Fatalf("stats = %d hits / %d misses, want 2/5", hits, misses)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want capacity 2", n)
+	}
+}

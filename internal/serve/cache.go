@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// The response cache: the serving-path half of the ROADMAP's "sharded run
+// fleet with a content-addressed result cache". Keys are request
+// fingerprints (sha256 over the normalized request document — see
+// request.go), values are fully marshaled response bodies, so a cache hit
+// is served byte-identical to the cold run that filled it, with zero
+// re-marshaling. The fingerprint prefix picks the shard, each shard is an
+// independently locked bounded LRU (the lesson of the unbounded
+// harness.ResultCache: a long-lived process must not grow its cache with
+// its query universe), and each entry is single-flight — concurrent
+// identical requests share one simulation.
+
+// CacheConfig sizes the sharded response cache.
+type CacheConfig struct {
+	// Shards is the shard count, rounded up to a power of two (so the
+	// fingerprint prefix maps onto shards with a mask). Default 8.
+	Shards int
+	// ShardCap bounds each shard's completed entries (LRU eviction past
+	// it). Default 128.
+	ShardCap int
+}
+
+// ShardedCache is a sharded, bounded-LRU, single-flight cache of response
+// bodies keyed by request fingerprint.
+type ShardedCache struct {
+	shards []*cacheShard
+	mask   uint64
+
+	// Aggregate counters, mirrored live when a registry is attached.
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mEvictions *metrics.Counter
+}
+
+// cacheShard is one independently locked LRU shard.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // of *cacheEntry; front = most recently used
+	cap     int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	// Load signals for the shard manager: every request to the shard
+	// (hit or miss) counts once, with its full service latency.
+	requests  atomic.Uint64
+	latencyNS atomic.Uint64
+}
+
+// cacheEntry is one single-flight slot: ready closes once body/err are
+// set. In-flight entries (elem == nil) are never evicted — their waiters
+// hold the pointer, and evicting one would let a concurrent identical
+// request start a duplicate simulation.
+type cacheEntry struct {
+	key   string
+	ready chan struct{}
+	body  []byte
+	err   error
+	elem  *list.Element
+}
+
+// NewShardedCache builds the cache and registers its aggregate counters
+// on reg (nil runs unmetered for free).
+func NewShardedCache(cfg CacheConfig, reg *metrics.Registry) *ShardedCache {
+	want := cfg.Shards
+	if want <= 0 {
+		want = 8
+	}
+	n := 1
+	for n < want {
+		n <<= 1
+	}
+	capacity := cfg.ShardCap
+	if capacity <= 0 {
+		capacity = 128
+	}
+	c := &ShardedCache{
+		shards:     make([]*cacheShard, n),
+		mask:       uint64(n - 1),
+		mHits:      reg.Counter("adore_serve_cache_hits_total", "requests served from the sharded response cache (incl. in-flight joins)"),
+		mMisses:    reg.Counter("adore_serve_cache_misses_total", "requests that ran a simulation"),
+		mEvictions: reg.Counter("adore_serve_cache_evictions_total", "completed responses dropped by shard LRU bounds"),
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{entries: map[string]*cacheEntry{}, lru: list.New(), cap: capacity}
+	}
+	return c
+}
+
+// Shards reports the shard count.
+func (c *ShardedCache) Shards() int { return len(c.shards) }
+
+// ShardFor maps a fingerprint to its shard index by prefix: the leading
+// hex digits select the shard, so the keyspace spreads uniformly (the
+// fingerprint is a cryptographic hash). Non-hex keys fall back to FNV.
+func (c *ShardedCache) ShardFor(key string) int {
+	var v uint64
+	n := 0
+	for ; n < len(key) && n < 8; n++ {
+		d := hexVal(key[n])
+		if d < 0 {
+			break
+		}
+		v = v<<4 | uint64(d)
+	}
+	if n == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		v = h.Sum64()
+	}
+	return int(v & c.mask)
+}
+
+func hexVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10
+	case b >= 'A' && b <= 'F':
+		return int(b-'A') + 10
+	}
+	return -1
+}
+
+// Do returns the body cached under key, filling it with fill on a miss.
+// Concurrent calls with the same key run fill once and share its result
+// (hit reports whether THIS call was served without running fill). A
+// failed fill is handed to the waiters that joined it but evicted, so a
+// retry re-runs; a waiter whose own ctx fires returns immediately instead
+// of stranding on a stuck fill; a panicking fill releases its waiters
+// before the panic propagates.
+func (c *ShardedCache) Do(ctx context.Context, key string, fill func(context.Context) ([]byte, error)) (body []byte, hit bool, err error) {
+	s := c.shards[c.ShardFor(key)]
+	start := time.Now()
+	defer func() {
+		s.requests.Add(1)
+		s.latencyNS.Add(uint64(time.Since(start)))
+	}()
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if e.elem != nil {
+			s.lru.MoveToFront(e.elem)
+		}
+		s.mu.Unlock()
+		s.hits.Add(1)
+		c.mHits.Inc()
+		select {
+		case <-e.ready:
+			return e.body, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	s.entries[key] = e
+	s.mu.Unlock()
+	s.misses.Add(1)
+	c.mMisses.Inc()
+
+	finished := false
+	defer func() {
+		if !finished {
+			e.err = fmt.Errorf("serve: cache fill for %s died", key)
+			s.mu.Lock()
+			delete(s.entries, key)
+			s.mu.Unlock()
+			close(e.ready)
+		}
+	}()
+	e.body, e.err = fill(ctx)
+	finished = true
+	s.mu.Lock()
+	if e.err != nil {
+		delete(s.entries, key)
+	} else {
+		e.elem = s.lru.PushFront(e)
+		for s.lru.Len() > s.cap {
+			victim := s.lru.Remove(s.lru.Back()).(*cacheEntry)
+			delete(s.entries, victim.key)
+			s.evictions.Add(1)
+			c.mEvictions.Inc()
+		}
+	}
+	s.mu.Unlock()
+	close(e.ready)
+	return e.body, false, e.err
+}
+
+// Stats reports the aggregate cache effectiveness across shards.
+func (c *ShardedCache) Stats() (hits, misses, evictions uint64) {
+	for _, s := range c.shards {
+		hits += s.hits.Load()
+		misses += s.misses.Load()
+		evictions += s.evictions.Load()
+	}
+	return hits, misses, evictions
+}
+
+// ShardLoad reports shard i's cumulative request count and service
+// latency — the shard manager's input signals.
+func (c *ShardedCache) ShardLoad(i int) (requests, latencyNS uint64) {
+	s := c.shards[i]
+	return s.requests.Load(), s.latencyNS.Load()
+}
+
+// ShardStats reports shard i's cache counters and current entry count
+// (the /shards introspection document).
+func (c *ShardedCache) ShardStats(i int) (hits, misses, evictions uint64, entries int) {
+	s := c.shards[i]
+	s.mu.Lock()
+	entries = len(s.entries)
+	s.mu.Unlock()
+	return s.hits.Load(), s.misses.Load(), s.evictions.Load(), entries
+}

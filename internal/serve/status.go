@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// StatusTracker folds engine progress callbacks into the /status JSON
+// document. It is shared by adore-serve and adore-bench's -metrics-addr
+// endpoint.
+type StatusTracker struct {
+	mu     sync.Mutex
+	start  time.Time
+	sweeps map[string]*sweepStatus
+}
+
+type sweepStatus struct {
+	Total   int      `json:"total"`
+	Started int      `json:"started"`
+	Done    int      `json:"done"`
+	Failed  int      `json:"failed"`
+	Running []string `json:"running,omitempty"`
+}
+
+// NewStatusTracker starts an empty tracker; uptime counts from here.
+func NewStatusTracker() *StatusTracker {
+	return &StatusTracker{start: time.Now(), sweeps: map[string]*sweepStatus{}}
+}
+
+// Progress observes one engine event; safe for concurrent use (the engine
+// calls it from worker goroutines).
+func (t *StatusTracker) Progress(p harness.Progress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.sweeps[p.Sweep]
+	if s == nil {
+		s = &sweepStatus{}
+		t.sweeps[p.Sweep] = s
+	}
+	s.Total = p.Total
+	if !p.Done {
+		s.Started++
+		s.Running = append(s.Running, p.Job)
+		return
+	}
+	if p.Err != nil {
+		s.Failed++
+	} else {
+		s.Done++
+	}
+	for i, name := range s.Running {
+		if name == p.Job {
+			s.Running = append(s.Running[:i], s.Running[i+1:]...)
+			break
+		}
+	}
+}
+
+// marshalStatus renders the status document; a variable so tests can
+// force the failure path.
+var marshalStatus = func(doc any) ([]byte, error) {
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ServeHTTP renders the tracker as the /status JSON document. The
+// snapshot is taken under the lock but marshaled outside it, and
+// marshaling completes BEFORE the first response byte: a marshal failure
+// becomes a clean 500 instead of a half-written 200 body (the bug the
+// old encoder-straight-to-ResponseWriter version had — by the time
+// Encode failed, the 200 and a body prefix were already on the wire, and
+// the error was discarded besides).
+func (t *StatusTracker) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.sweeps))
+	for name := range t.sweeps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type entry struct {
+		Sweep string `json:"sweep"`
+		sweepStatus
+	}
+	doc := struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Sweeps        []entry `json:"sweeps"`
+	}{UptimeSeconds: time.Since(t.start).Seconds()}
+	for _, name := range names {
+		s := *t.sweeps[name]
+		s.Running = append([]string(nil), s.Running...)
+		doc.Sweeps = append(doc.Sweeps, entry{Sweep: name, sweepStatus: s})
+	}
+	t.mu.Unlock()
+
+	body, err := marshalStatus(doc)
+	if err != nil {
+		http.Error(w, "status marshal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestStatusTracker pins the progress bookkeeping and the /status
+// document shape.
+func TestStatusTracker(t *testing.T) {
+	tr := NewStatusTracker()
+	tr.Progress(harness.Progress{Sweep: "s", Job: "a", Total: 2})
+	tr.Progress(harness.Progress{Sweep: "s", Job: "b", Total: 2})
+	tr.Progress(harness.Progress{Sweep: "s", Job: "a", Total: 2, Done: true})
+	tr.Progress(harness.Progress{Sweep: "s", Job: "b", Total: 2, Done: true, Err: errors.New("x")})
+
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("Content-Type = %q", got)
+	}
+	var doc struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Sweeps        []struct {
+			Sweep   string   `json:"sweep"`
+			Total   int      `json:"total"`
+			Started int      `json:"started"`
+			Done    int      `json:"done"`
+			Failed  int      `json:"failed"`
+			Running []string `json:"running"`
+		} `json:"sweeps"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("status body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Sweeps) != 1 {
+		t.Fatalf("%d sweeps, want 1", len(doc.Sweeps))
+	}
+	s := doc.Sweeps[0]
+	if s.Sweep != "s" || s.Started != 2 || s.Done != 1 || s.Failed != 1 || len(s.Running) != 0 {
+		t.Fatalf("sweep doc wrong: %+v", s)
+	}
+}
+
+// TestStatusMarshalFailure pins the encoding bugfix: a marshal failure is
+// a clean 500, not a half-written 200 with a discarded error.
+func TestStatusMarshalFailure(t *testing.T) {
+	orig := marshalStatus
+	marshalStatus = func(any) ([]byte, error) { return nil, errors.New("synthetic marshal failure") }
+	defer func() { marshalStatus = orig }()
+
+	tr := NewStatusTracker()
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if rec.Code != 500 {
+		t.Fatalf("status %d on marshal failure, want 500", rec.Code)
+	}
+	if rec.Header().Get("Content-Type") == "application/json" {
+		t.Fatal("failure response claims to be the JSON document")
+	}
+}
